@@ -1,0 +1,102 @@
+// Component-cost ablation — the paper's Discussion defers "computational
+// costs of other components" to future work; this bench provides them:
+// per-component forward (and forward+backward) time for the input
+// representation, one SIRN layer, the normalizing flow, and the assembled
+// Conformer, as the sequence length grows.
+
+#include <benchmark/benchmark.h>
+
+#include "core/conformer_model.h"
+#include "data/dataset_registry.h"
+#include "data/time_features.h"
+
+namespace conformer::bench {
+namespace {
+
+constexpr int64_t kDModel = 32;
+constexpr int64_t kDims = 7;
+constexpr int64_t kBatch = 8;
+
+Tensor MarksFor(int64_t batch, int64_t length) {
+  std::vector<int64_t> ts(length);
+  for (int64_t i = 0; i < length; ++i) ts[i] = 1577836800 + i * 3600;
+  std::vector<float> one = data::ExtractTimeFeatures(ts);
+  std::vector<float> all;
+  all.reserve(batch * one.size());
+  for (int64_t b = 0; b < batch; ++b) {
+    all.insert(all.end(), one.begin(), one.end());
+  }
+  return Tensor::FromVector(std::move(all),
+                            {batch, length, data::kNumTimeFeatures});
+}
+
+void InputRepresentationForward(benchmark::State& state) {
+  const int64_t length = state.range(0);
+  core::InputRepresentationConfig config;
+  config.dims = kDims;
+  config.length = length;
+  config.d_model = kDModel;
+  core::InputRepresentation repr(config);
+  NoGradGuard guard;
+  Tensor x = Tensor::Randn({kBatch, length, kDims});
+  Tensor marks = MarksFor(kBatch, length);
+  for (auto _ : state) {
+    Tensor out = repr.Forward(x, marks);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+
+void SirnForward(benchmark::State& state) {
+  const int64_t length = state.range(0);
+  core::SirnConfig config;
+  config.d_model = kDModel;
+  config.n_heads = 4;
+  core::Sirn sirn(config);
+  NoGradGuard guard;
+  Tensor x = Tensor::Randn({kBatch, length, kDModel});
+  for (auto _ : state) {
+    core::LayerOutput out = sirn.Forward(x);
+    benchmark::DoNotOptimize(out.sequence.data());
+  }
+}
+
+void FlowForward(benchmark::State& state) {
+  flow::NormalizingFlow nf(kDModel, state.range(0));
+  NoGradGuard guard;
+  Tensor h_e = Tensor::Randn({kBatch, kDModel});
+  Tensor h_d = Tensor::Randn({kBatch, kDModel});
+  Rng rng(1);
+  for (auto _ : state) {
+    Tensor z = nf.Forward(h_e, h_d, /*sample=*/true, &rng);
+    benchmark::DoNotOptimize(z.data());
+  }
+}
+
+void ConformerTrainStep(benchmark::State& state) {
+  const int64_t length = state.range(0);
+  data::WindowConfig window{length, length / 2, length / 2};
+  core::ConformerConfig config;
+  config.d_model = kDModel;
+  config.n_heads = 4;
+  core::ConformerModel model(config, window, kDims);
+
+  data::TimeSeries series = data::MakeDataset("etth1", 0.05, 1).value();
+  data::DatasetSplits splits = data::MakeSplits(series, window);
+  data::Batch batch = splits.train.GetRange(0, kBatch);
+  for (auto _ : state) {
+    model.ZeroGrad();
+    Tensor loss = model.Loss(batch);
+    loss.Backward();
+    benchmark::DoNotOptimize(loss.item());
+  }
+}
+
+BENCHMARK(InputRepresentationForward)->Arg(48)->Arg(96)->Arg(192)->Unit(benchmark::kMillisecond);
+BENCHMARK(SirnForward)->Arg(48)->Arg(96)->Arg(192)->Unit(benchmark::kMillisecond);
+BENCHMARK(FlowForward)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(ConformerTrainStep)->Arg(32)->Arg(48)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace conformer::bench
+
+BENCHMARK_MAIN();

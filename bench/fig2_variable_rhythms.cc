@@ -1,0 +1,86 @@
+// Reproduces Fig. 2: "different variables of time-series data evolve at
+// varying rhythms and dynamics" — for each dataset we print an ASCII
+// heatmap of the inter-variable correlation matrix and each variable's
+// dominant period (from its auto-correlation), which is what the paper's
+// heatmaps visualize.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "data/dataset_registry.h"
+#include "fft/autocorrelation.h"
+#include "util/env.h"
+
+namespace conformer::bench {
+namespace {
+
+char Shade(double v) {
+  const double a = std::fabs(v);
+  if (a > 0.8) return '#';
+  if (a > 0.6) return '@';
+  if (a > 0.4) return '+';
+  if (a > 0.2) return '.';
+  return ' ';
+}
+
+int Run() {
+  const double scale = GetEnv("CONFORMER_BENCH_SCALE") == "full" ? 1.0 : 0.06;
+  for (const std::string& name : data::AvailableDatasets()) {
+    data::TimeSeries series = data::MakeDataset(name, scale, /*seed=*/9).value();
+    const int64_t dims = std::min<int64_t>(series.dims(), 8);
+    std::printf("\n== %s: correlation heatmap (first %lld vars) ==\n",
+                name.c_str(), static_cast<long long>(dims));
+    for (int64_t i = 0; i < dims; ++i) {
+      std::printf("  var%lld |", static_cast<long long>(i));
+      for (int64_t j = 0; j < dims; ++j) {
+        std::printf(" %c", Shade(series.ColumnCorrelation(i, j)));
+      }
+      std::printf("|\n");
+    }
+
+    std::printf("  dominant periods (steps): ");
+    const int64_t window = std::min<int64_t>(series.num_points(), 512);
+    for (int64_t d = 0; d < dims; ++d) {
+      // Demean, then pick the strongest auto-correlation lag beyond the
+      // short-range AR noise (lag >= 4) — the variable's rhythm.
+      std::vector<double> column(window);
+      double mean = 0.0;
+      for (int64_t t = 0; t < window; ++t) mean += series.value(t, d);
+      mean /= static_cast<double>(window);
+      for (int64_t t = 0; t < window; ++t) {
+        column[t] = series.value(t, d) - mean;
+      }
+      auto ac = fft::AutoCorrelation(column);
+      // The rhythm is the strongest LOCAL maximum of the auto-correlation:
+      // AR noise decays monotonically, while a seasonal component produces
+      // a bump at its period.
+      int64_t best = 0;
+      for (int64_t lag = 4; lag < window / 2; ++lag) {
+        if (ac[lag] > ac[lag - 1] && ac[lag] >= ac[lag + 1] &&
+            (best == 0 || ac[lag] > ac[best])) {
+          best = lag;
+        }
+      }
+      // Report "-" when there is no convincing peak (aperiodic series).
+      if (best == 0 || ac[best] < 0.1 * ac[0]) {
+        std::printf("- ");
+      } else {
+        std::printf("%lld ", static_cast<long long>(best));
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\npaper shape: periodic datasets (ECL/Weather/ETT) show repeated "
+      "rhythm structure across variables; Exchange shows none; variables "
+      "within one dataset differ in rhythm.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace conformer::bench
+
+int main() { return conformer::bench::Run(); }

@@ -1,0 +1,64 @@
+// Backtest report: compares Conformer against the closed-form Linear/VAR
+// baseline with a rolling-origin backtest, printing how the error grows
+// along the forecast horizon — the operational view behind the paper's
+// "Conformer degrades slowest as the horizon grows" claim.
+//
+//   $ ./build/examples/example_backtest_report
+
+#include <cstdio>
+
+#include "baselines/linear_forecaster.h"
+#include "core/conformer_model.h"
+#include "data/dataset_registry.h"
+#include "train/backtest.h"
+#include "train/trainer.h"
+
+int main() {
+  using namespace conformer;
+
+  data::TimeSeries series = data::MakeDataset("etth1", 0.07, /*seed=*/29).value();
+  data::WindowConfig window{.input_len = 48, .label_len = 24, .pred_len = 24};
+  data::DatasetSplits splits = data::MakeSplits(series, window);
+
+  // Conformer: gradient-trained.
+  core::ConformerConfig config;
+  config.d_model = 16;
+  config.n_heads = 2;
+  config.ma_kernel = 13;
+  core::ConformerModel conformer(config, window, series.dims());
+  train::TrainConfig tc;
+  tc.epochs = 3;
+  tc.learning_rate = 2e-3f;
+  tc.max_train_batches = 40;
+  tc.max_eval_batches = 8;
+  train::Trainer trainer(tc);
+  trainer.Fit(&conformer, splits.train, splits.val);
+
+  // Linear/VAR: one closed-form ridge fit, no gradients at all.
+  models::LinearForecaster linear(window, series.dims());
+  Status fitted = linear.FitLeastSquares(splits.train);
+  if (!fitted.ok()) {
+    std::fprintf(stderr, "linear fit failed: %s\n", fitted.ToString().c_str());
+    return 1;
+  }
+
+  const train::BacktestResult conformer_bt =
+      train::Backtest(&conformer, splits.test, /*stride=*/2, /*max_windows=*/60);
+  const train::BacktestResult linear_bt =
+      train::Backtest(&linear, splits.test, /*stride=*/2, /*max_windows=*/60);
+
+  std::printf("rolling-origin backtest over %lld windows (test split)\n",
+              static_cast<long long>(conformer_bt.windows));
+  std::printf("aggregate: Conformer MSE %.4f | Linear(VAR) MSE %.4f\n\n",
+              conformer_bt.mse, linear_bt.mse);
+  std::printf("error growth along the horizon (per-step MSE):\n");
+  std::printf("  step   Conformer   Linear(VAR)\n");
+  for (int64_t t = 0; t < window.pred_len; t += 3) {
+    std::printf("  %4lld   %9.4f   %11.4f\n", static_cast<long long>(t + 1),
+                conformer_bt.per_step_mse[t], linear_bt.per_step_mse[t]);
+  }
+  std::printf(
+      "\nreading: both profiles rise with the horizon; the flatter profile "
+      "degrades more gracefully on long-term forecasts.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Wind-power supply planning — the application motivating the paper's
+// abstract. Trains Conformer on the Wind dataset stand-in, produces a
+// day-ahead forecast with uncertainty bands, and derives a conservative
+// supply commitment from the lower band (the planning decision an operator
+// would actually make).
+//
+//   $ ./build/examples/example_wind_power
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/conformer_model.h"
+#include "data/dataset_registry.h"
+#include "train/trainer.h"
+
+int main() {
+  using namespace conformer;
+
+  // Wind power: 15-minute intervals, bounded below by zero, regime
+  // switching between calm and gusty periods.
+  data::TimeSeries series = data::MakeDataset("wind", 0.06, /*seed=*/17).value();
+  const int64_t target = series.target_column();
+  std::printf("wind farm series: %lld points, target '%s'\n",
+              static_cast<long long>(series.num_points()),
+              series.column_names()[target].c_str());
+
+  // Day-ahead planning at 15-minute resolution, scaled: forecast 24 steps
+  // (6 hours) from 48 steps (12 hours) of context.
+  data::WindowConfig window{.input_len = 48, .label_len = 24, .pred_len = 24};
+  data::DatasetSplits splits = data::MakeSplits(series, window);
+
+  core::ConformerConfig config;
+  config.d_model = 16;
+  config.n_heads = 2;
+  config.lambda = 0.7f;  // weight the flow: planning wants honest bands
+  core::ConformerModel model(config, window, series.dims());
+
+  train::TrainConfig tc;
+  tc.epochs = 3;
+  tc.learning_rate = 1.5e-3f;
+  tc.max_train_batches = 50;
+  tc.max_eval_batches = 10;
+  train::Trainer trainer(tc);
+  trainer.Fit(&model, splits.train, splits.val);
+  train::EvalMetrics m = trainer.Evaluate(&model, splits.test);
+  std::printf("test MSE %.4f MAE %.4f (standardized)\n", m.mse, m.mae);
+
+  // Forecast one window with an 80% band and plan against the lower bound.
+  data::Batch batch = splits.test.GetRange(splits.test.size() / 2, 1);
+  flow::UncertaintyBand band = model.PredictWithUncertainty(batch, 32, 0.8);
+
+  std::printf("\nday-ahead plan (values in MW-equivalent, de-standardized):\n");
+  std::printf("  step   expected   safe_commit   reserve_needed\n");
+  double total_commit = 0.0;
+  for (int64_t t = 0; t < window.pred_len; ++t) {
+    const float mean =
+        splits.scaler.InverseValue(band.mean.at({0, t, target}), target);
+    const float lower =
+        splits.scaler.InverseValue(band.lower.at({0, t, target}), target);
+    // Commit the lower band (never promise power the wind may not deliver);
+    // the gap to the expectation is covered by reserves.
+    const double commit = std::max(0.0f, lower);
+    const double reserve = std::max(0.0, mean - commit);
+    total_commit += commit;
+    std::printf("  %4lld   %8.3f   %11.3f   %14.3f\n",
+                static_cast<long long>(t), mean, commit, reserve);
+  }
+  std::printf("total committed energy over the horizon: %.2f MW-steps\n",
+              total_commit);
+  return 0;
+}

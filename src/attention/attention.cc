@@ -1,0 +1,51 @@
+#include "attention/attention.h"
+
+#include "attention/auto_correlation.h"
+#include "attention/full_attention.h"
+#include "attention/log_sparse_attention.h"
+#include "attention/lsh_attention.h"
+#include "attention/prob_sparse_attention.h"
+#include "attention/sliding_window_attention.h"
+
+namespace conformer::attention {
+
+const char* AttentionKindName(AttentionKind kind) {
+  switch (kind) {
+    case AttentionKind::kFull:
+      return "full";
+    case AttentionKind::kSlidingWindow:
+      return "sliding_window";
+    case AttentionKind::kProbSparse:
+      return "prob_sparse";
+    case AttentionKind::kLogSparse:
+      return "log_sparse";
+    case AttentionKind::kLsh:
+      return "lsh";
+    case AttentionKind::kAutoCorrelation:
+      return "auto_correlation";
+  }
+  return "?";
+}
+
+std::unique_ptr<AttentionMechanism> MakeAttention(AttentionKind kind,
+                                                  const AttentionConfig& config) {
+  switch (kind) {
+    case AttentionKind::kFull:
+      return std::make_unique<FullAttention>();
+    case AttentionKind::kSlidingWindow:
+      return std::make_unique<SlidingWindowAttention>(config.window);
+    case AttentionKind::kProbSparse:
+      return std::make_unique<ProbSparseAttention>(config.factor, config.seed);
+    case AttentionKind::kLogSparse:
+      return std::make_unique<LogSparseAttention>();
+    case AttentionKind::kLsh:
+      return std::make_unique<LshAttention>(config.lsh_buckets,
+                                            config.lsh_chunk, config.seed);
+    case AttentionKind::kAutoCorrelation:
+      return std::make_unique<AutoCorrelationAttention>(config.factor);
+  }
+  CONFORMER_CHECK(false) << "unknown attention kind";
+  return nullptr;
+}
+
+}  // namespace conformer::attention

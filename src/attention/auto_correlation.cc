@@ -1,0 +1,89 @@
+#include "attention/auto_correlation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fft/autocorrelation.h"
+
+namespace conformer::attention {
+
+AutoCorrelationAttention::AutoCorrelationAttention(int64_t factor)
+    : factor_(factor) {
+  CONFORMER_CHECK_GE(factor, 1);
+}
+
+Tensor AutoCorrelationAttention::Forward(const Tensor& q, const Tensor& k_in,
+                                         const Tensor& v_in, bool causal) const {
+  (void)causal;  // The operator aggregates rolled series; masking does not apply.
+  const int64_t bh = q.size(0);
+  const int64_t lq = q.size(1);
+  const int64_t lk = k_in.size(1);
+  const int64_t dk = q.size(2);
+
+  // Autoformer convention for cross attention: truncate or zero-pad keys and
+  // values to the query length.
+  Tensor k = k_in;
+  Tensor v = v_in;
+  if (lk > lq) {
+    k = Slice(k, 1, 0, lq);
+    v = Slice(v, 1, 0, lq);
+  } else if (lk < lq) {
+    k = Pad(k, 1, 0, lq - lk, 0.0f);
+    v = Pad(v, 1, 0, lq - lk, 0.0f);
+  }
+  const int64_t length = lq;
+
+  // --- Candidate lags from the FFT of the batch-averaged correlation. ---
+  const int64_t top_k = std::min<int64_t>(
+      length - 1,
+      factor_ * static_cast<int64_t>(
+                    std::ceil(std::log(std::max<int64_t>(2, length)))));
+  std::vector<int64_t> lags;
+  {
+    NoGradGuard guard;
+    const float* qd = q.data();
+    const float* kd = k.data();
+    // Average q/k over batch and channels into two 1-D series.
+    std::vector<double> q_series(length, 0.0);
+    std::vector<double> k_series(length, 0.0);
+    for (int64_t b = 0; b < bh; ++b) {
+      for (int64_t t = 0; t < length; ++t) {
+        double qacc = 0.0;
+        double kacc = 0.0;
+        for (int64_t d = 0; d < dk; ++d) {
+          qacc += qd[(b * length + t) * dk + d];
+          kacc += kd[(b * length + t) * dk + d];
+        }
+        q_series[t] += qacc;
+        k_series[t] += kacc;
+      }
+    }
+    std::vector<double> corr = fft::CrossCorrelation(q_series, k_series);
+    lags = fft::TopKLags(corr, top_k);
+  }
+  CONFORMER_CHECK(!lags.empty());
+
+  // --- Differentiable per-lag scores and delay aggregation. ---
+  std::vector<Tensor> scores;  // each [BH, 1]
+  std::vector<Tensor> rolled_v;
+  scores.reserve(lags.size());
+  rolled_v.reserve(lags.size());
+  for (int64_t lag : lags) {
+    // R(lag) = mean_t,d ( q_t . k_{t+lag} ): roll k backwards by lag.
+    Tensor k_shift = Roll(k, 1, -lag);
+    scores.push_back(Mean(Mul(q, k_shift), {1, 2}, /*keepdim=*/false));
+    rolled_v.push_back(Roll(v, 1, -lag));
+  }
+  Tensor score_mat = StackTensors(scores, /*dim=*/1);       // [BH, n_lags]
+  Tensor weights = Softmax(score_mat, -1);                  // [BH, n_lags]
+  Tensor out = Tensor::Zeros({bh, length, v.size(2)});
+  for (size_t i = 0; i < lags.size(); ++i) {
+    Tensor w = Reshape(Slice(weights, 1, static_cast<int64_t>(i),
+                             static_cast<int64_t>(i) + 1),
+                       {bh, 1, 1});
+    out = Add(out, Mul(w, rolled_v[i]));
+  }
+  return out;
+}
+
+}  // namespace conformer::attention

@@ -1,0 +1,37 @@
+#include "attention/full_attention.h"
+
+#include <cmath>
+
+namespace conformer::attention {
+
+namespace internal {
+
+Tensor DenseAttention(const Tensor& q, const Tensor& k, const Tensor& v,
+                      bool causal) {
+  const int64_t dk = q.size(-1);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dk));
+  Tensor scores = MulScalar(MatMul(q, Transpose(k, -1, -2)), scale);
+  if (causal) {
+    const int64_t lq = q.size(1);
+    const int64_t lk = k.size(1);
+    // Additive mask: -1e9 above the (shifted) diagonal. Queries are aligned
+    // to the end of the key sequence when lengths differ.
+    std::vector<float> mask(lq * lk, 0.0f);
+    const int64_t offset = lk - lq;
+    for (int64_t i = 0; i < lq; ++i) {
+      for (int64_t j = i + offset + 1; j < lk; ++j) mask[i * lk + j] = -1e9f;
+    }
+    scores = Add(scores, Tensor::FromVector(std::move(mask), {lq, lk}));
+  }
+  Tensor weights = Softmax(scores, -1);
+  return MatMul(weights, v);
+}
+
+}  // namespace internal
+
+Tensor FullAttention::Forward(const Tensor& q, const Tensor& k, const Tensor& v,
+                              bool causal) const {
+  return internal::DenseAttention(q, k, v, causal);
+}
+
+}  // namespace conformer::attention

@@ -1,0 +1,19 @@
+// Standard scaled dot-product attention (Vaswani et al.), O(L^2).
+
+#ifndef CONFORMER_ATTENTION_FULL_ATTENTION_H_
+#define CONFORMER_ATTENTION_FULL_ATTENTION_H_
+
+#include "attention/attention.h"
+
+namespace conformer::attention {
+
+class FullAttention : public AttentionMechanism {
+ public:
+  Tensor Forward(const Tensor& q, const Tensor& k, const Tensor& v,
+                 bool causal) const override;
+  const char* name() const override { return "full"; }
+};
+
+}  // namespace conformer::attention
+
+#endif  // CONFORMER_ATTENTION_FULL_ATTENTION_H_

@@ -1,0 +1,55 @@
+#include "attention/log_sparse_attention.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace conformer::attention {
+
+LogSparseAttention::LogSparseAttention(int64_t sub_len) : sub_len_(sub_len) {
+  CONFORMER_CHECK_GE(sub_len, 0);
+}
+
+Tensor LogSparseAttention::Forward(const Tensor& q, const Tensor& k,
+                                   const Tensor& v, bool causal) const {
+  (void)causal;  // The log-sparse pattern is causal by construction.
+  CONFORMER_CHECK_EQ(q.size(1), k.size(1))
+      << "log-sparse attention is self-attention only";
+  const int64_t bh = q.size(0);
+  const int64_t length = q.size(1);
+  const int64_t dk = q.size(2);
+  const int64_t dv = v.size(2);
+
+  // Tap pattern per position: self, sub_len neighbours, exponential steps.
+  const int64_t log_taps = static_cast<int64_t>(
+                               std::floor(std::log2(std::max<int64_t>(1, length)))) +
+                           1;
+  const int64_t width = 1 + sub_len_ + log_taps;
+  std::vector<int64_t> taps(length * width);
+  std::vector<float> mask(length * width, 0.0f);
+  for (int64_t i = 0; i < length; ++i) {
+    int64_t w = 0;
+    auto add_tap = [&](int64_t pos) {
+      const bool invalid = pos < 0;
+      taps[i * width + w] = std::max<int64_t>(pos, 0);
+      if (invalid) mask[i * width + w] = -1e9f;
+      ++w;
+    };
+    add_tap(i);
+    for (int64_t s = 1; s <= sub_len_; ++s) add_tap(i - s);
+    for (int64_t step = sub_len_ + 1, t = 0; t < log_taps; ++t, step <<= 1) {
+      add_tap(i - step);
+    }
+  }
+
+  Tensor k_band = Reshape(IndexSelect(k, 1, taps), {bh, length, width, dk});
+  Tensor v_band = Reshape(IndexSelect(v, 1, taps), {bh, length, width, dv});
+
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dk));
+  Tensor q_exp = Reshape(q, {bh, length, 1, dk});
+  Tensor scores = MulScalar(Sum(Mul(q_exp, k_band), {-1}), scale);
+  scores = Add(scores, Tensor::FromVector(std::move(mask), {1, length, width}));
+  Tensor weights = Softmax(scores, -1);
+  return Sum(Mul(Reshape(weights, {bh, length, width, 1}), v_band), {2});
+}
+
+}  // namespace conformer::attention

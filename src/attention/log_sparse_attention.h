@@ -1,0 +1,29 @@
+// LogTrans' LogSparse attention (Li et al., 2019): each position attends to
+// itself and to previous positions at exponentially growing step sizes
+// (i-1, i-2, i-4, i-8, ...), so every position sees O(log L) keys.
+
+#ifndef CONFORMER_ATTENTION_LOG_SPARSE_ATTENTION_H_
+#define CONFORMER_ATTENTION_LOG_SPARSE_ATTENTION_H_
+
+#include "attention/attention.h"
+
+namespace conformer::attention {
+
+class LogSparseAttention : public AttentionMechanism {
+ public:
+  /// `sub_len` adds that many immediately preceding neighbours on top of the
+  /// exponential taps (the paper's baselines use sub_len = 1).
+  explicit LogSparseAttention(int64_t sub_len = 1);
+
+  Tensor Forward(const Tensor& q, const Tensor& k, const Tensor& v,
+                 bool causal) const override;
+  bool SupportsCrossAttention() const override { return false; }
+  const char* name() const override { return "log_sparse"; }
+
+ private:
+  int64_t sub_len_;
+};
+
+}  // namespace conformer::attention
+
+#endif  // CONFORMER_ATTENTION_LOG_SPARSE_ATTENTION_H_

@@ -1,0 +1,50 @@
+#include "attention/multi_head_attention.h"
+
+#include "attention/full_attention.h"
+
+namespace conformer::attention {
+
+MultiHeadAttention::MultiHeadAttention(int64_t d_model, int64_t n_heads,
+                                       AttentionKind kind,
+                                       const AttentionConfig& config)
+    : d_model_(d_model), n_heads_(n_heads) {
+  CONFORMER_CHECK_EQ(d_model % n_heads, 0)
+      << "d_model must be divisible by n_heads";
+  wq_ = RegisterModule("wq", std::make_shared<nn::Linear>(d_model, d_model));
+  wk_ = RegisterModule("wk", std::make_shared<nn::Linear>(d_model, d_model));
+  wv_ = RegisterModule("wv", std::make_shared<nn::Linear>(d_model, d_model));
+  wo_ = RegisterModule("wo", std::make_shared<nn::Linear>(d_model, d_model));
+  mechanism_ = MakeAttention(kind, config);
+  cross_fallback_ = std::make_unique<FullAttention>();
+}
+
+Tensor MultiHeadAttention::SplitHeads(const Tensor& x) const {
+  const int64_t batch = x.size(0);
+  const int64_t length = x.size(1);
+  const int64_t dh = d_model_ / n_heads_;
+  Tensor reshaped = Reshape(x, {batch, length, n_heads_, dh});
+  return Reshape(Permute(reshaped, {0, 2, 1, 3}), {batch * n_heads_, length, dh});
+}
+
+Tensor MultiHeadAttention::MergeHeads(const Tensor& x, int64_t batch) const {
+  const int64_t length = x.size(1);
+  const int64_t dh = d_model_ / n_heads_;
+  Tensor reshaped = Reshape(x, {batch, n_heads_, length, dh});
+  return Reshape(Permute(reshaped, {0, 2, 1, 3}), {batch, length, d_model_});
+}
+
+Tensor MultiHeadAttention::Forward(const Tensor& q, const Tensor& k,
+                                   const Tensor& v, bool causal) const {
+  const int64_t batch = q.size(0);
+  Tensor qh = SplitHeads(wq_->Forward(q));
+  Tensor kh = SplitHeads(wk_->Forward(k));
+  Tensor vh = SplitHeads(wv_->Forward(v));
+  const bool cross = q.size(1) != k.size(1);
+  const AttentionMechanism& mech =
+      cross && !mechanism_->SupportsCrossAttention() ? *cross_fallback_
+                                                     : *mechanism_;
+  Tensor out = mech.Forward(qh, kh, vh, causal);
+  return wo_->Forward(MergeHeads(out, batch));
+}
+
+}  // namespace conformer::attention

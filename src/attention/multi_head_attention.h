@@ -1,0 +1,50 @@
+// Multi-head wrapper (Eq. 7): projects q/k/v, splits heads, delegates the
+// score-and-aggregate step to an AttentionMechanism, then concatenates heads
+// and applies the output projection.
+
+#ifndef CONFORMER_ATTENTION_MULTI_HEAD_ATTENTION_H_
+#define CONFORMER_ATTENTION_MULTI_HEAD_ATTENTION_H_
+
+#include <memory>
+
+#include "attention/attention.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace conformer::attention {
+
+class MultiHeadAttention : public nn::Module {
+ public:
+  /// `d_model` must be divisible by `n_heads`.
+  MultiHeadAttention(int64_t d_model, int64_t n_heads, AttentionKind kind,
+                     const AttentionConfig& config = {});
+
+  /// q/k/v: [B, L, d_model]; returns [B, Lq, d_model]. Falls back to full
+  /// attention for cross shapes the mechanism does not support.
+  Tensor Forward(const Tensor& q, const Tensor& k, const Tensor& v,
+                 bool causal = false) const;
+
+  /// Self-attention convenience.
+  Tensor Forward(const Tensor& x, bool causal = false) const {
+    return Forward(x, x, x, causal);
+  }
+
+  const AttentionMechanism& mechanism() const { return *mechanism_; }
+
+ private:
+  Tensor SplitHeads(const Tensor& x) const;   // [B, L, d] -> [B*H, L, d/H]
+  Tensor MergeHeads(const Tensor& x, int64_t batch) const;
+
+  int64_t d_model_;
+  int64_t n_heads_;
+  std::shared_ptr<nn::Linear> wq_;
+  std::shared_ptr<nn::Linear> wk_;
+  std::shared_ptr<nn::Linear> wv_;
+  std::shared_ptr<nn::Linear> wo_;
+  std::unique_ptr<AttentionMechanism> mechanism_;
+  std::unique_ptr<AttentionMechanism> cross_fallback_;
+};
+
+}  // namespace conformer::attention
+
+#endif  // CONFORMER_ATTENTION_MULTI_HEAD_ATTENTION_H_

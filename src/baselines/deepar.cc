@@ -1,0 +1,64 @@
+#include "baselines/deepar.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace conformer::models {
+
+DeepAr::DeepAr(data::WindowConfig window, int64_t dims, int64_t hidden,
+               int64_t layers, uint64_t seed)
+    : Forecaster(window, dims), rng_(seed) {
+  embed_ = RegisterModule("embed", std::make_shared<nn::Linear>(dims, hidden));
+  gru_ = RegisterModule("gru", std::make_shared<nn::Gru>(hidden, hidden, layers));
+  mu_head_ = RegisterModule(
+      "mu_head", std::make_shared<nn::Linear>(hidden, window.pred_len * dims));
+  sigma_head_ = RegisterModule(
+      "sigma_head",
+      std::make_shared<nn::Linear>(hidden, window.pred_len * dims));
+}
+
+std::pair<Tensor, Tensor> DeepAr::Distribution(const data::Batch& batch) {
+  const int64_t batch_size = batch.x.size(0);
+  nn::GruOutput out = gru_->Forward(embed_->Forward(batch.x));
+  Tensor last = Squeeze(Slice(out.last_hidden, 0, gru_->num_layers() - 1,
+                              gru_->num_layers()),
+                        0);
+  const Shape shape{batch_size, window_.pred_len, dims_};
+  Tensor mu = Reshape(mu_head_->Forward(last), shape);
+  // Softplus keeps sigma positive; the +1e-3 floor avoids NLL blow-ups.
+  Tensor sigma = AddScalar(Softplus(Reshape(sigma_head_->Forward(last), shape)),
+                           1e-3f);
+  return {mu, sigma};
+}
+
+Tensor DeepAr::Forward(const data::Batch& batch) {
+  return Distribution(batch).first;
+}
+
+Tensor DeepAr::Loss(const data::Batch& batch) {
+  auto [mu, sigma] = Distribution(batch);
+  Tensor target = TargetBlock(batch).Detach();
+  // NLL = 0.5 * ((y - mu) / sigma)^2 + log(sigma) + 0.5 log(2 pi)
+  Tensor z = Div(Sub(target, mu), sigma);
+  Tensor nll = Add(MulScalar(Mul(z, z), 0.5f), Log(sigma));
+  constexpr float kHalfLog2Pi =
+      0.5f * 1.8378770664093453f;  // 0.5 * log(2*pi)
+  return AddScalar(Mean(nll), kHalfLog2Pi);
+}
+
+flow::UncertaintyBand DeepAr::PredictWithUncertainty(const data::Batch& batch,
+                                                     int64_t num_samples,
+                                                     double coverage) {
+  NoGradGuard guard;
+  SetTraining(false);
+  auto [mu, sigma] = Distribution(batch);
+  std::vector<Tensor> samples;
+  samples.reserve(num_samples);
+  for (int64_t s = 0; s < num_samples; ++s) {
+    Tensor eps = Tensor::Randn(mu.shape(), &rng_);
+    samples.push_back(Add(mu, Mul(sigma, eps)));
+  }
+  return flow::SummarizeSamples(samples, coverage);
+}
+
+}  // namespace conformer::models

@@ -1,0 +1,50 @@
+// DeepAR-style probabilistic forecaster (Salinas et al. [9] in the paper's
+// related work): a GRU encoder with a Gaussian output head per horizon
+// step, trained by negative log-likelihood. Included as a library extension
+// beyond the paper's baseline set — it gives a second uncertainty-aware
+// model to compare the normalizing flow against.
+
+#ifndef CONFORMER_BASELINES_DEEPAR_H_
+#define CONFORMER_BASELINES_DEEPAR_H_
+
+#include <memory>
+
+#include "baselines/forecaster.h"
+#include "flow/gaussian_head.h"
+#include "nn/gru.h"
+#include "nn/linear.h"
+
+namespace conformer::models {
+
+class DeepAr : public Forecaster {
+ public:
+  DeepAr(data::WindowConfig window, int64_t dims, int64_t hidden = 32,
+         int64_t layers = 2, uint64_t seed = 19);
+
+  /// Point prediction = the Gaussian mean.
+  Tensor Forward(const data::Batch& batch) override;
+
+  /// Gaussian negative log-likelihood of the target block.
+  Tensor Loss(const data::Batch& batch) override;
+
+  std::string name() const override { return "DeepAR"; }
+
+  /// Draws `num_samples` trajectories and summarizes them into a band.
+  flow::UncertaintyBand PredictWithUncertainty(const data::Batch& batch,
+                                               int64_t num_samples,
+                                               double coverage);
+
+ private:
+  /// (mu, sigma), each [B, pred_len, dims]; sigma > 0 via softplus.
+  std::pair<Tensor, Tensor> Distribution(const data::Batch& batch);
+
+  std::shared_ptr<nn::Linear> embed_;
+  std::shared_ptr<nn::Gru> gru_;
+  std::shared_ptr<nn::Linear> mu_head_;
+  std::shared_ptr<nn::Linear> sigma_head_;
+  Rng rng_;
+};
+
+}  // namespace conformer::models
+
+#endif  // CONFORMER_BASELINES_DEEPAR_H_

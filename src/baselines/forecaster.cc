@@ -1,0 +1,22 @@
+#include "baselines/forecaster.h"
+
+namespace conformer::models {
+
+Tensor Forecaster::Loss(const data::Batch& batch) {
+  return MseLoss(Forward(batch), TargetBlock(batch));
+}
+
+Tensor Forecaster::TargetBlock(const data::Batch& batch) const {
+  const int64_t total = batch.y.size(1);
+  return Slice(batch.y, 1, total - window_.pred_len, total);
+}
+
+Tensor Forecaster::DecoderInput(const data::Batch& batch) const {
+  if (window_.label_len == 0) {
+    return Tensor::Zeros({batch.size(), window_.pred_len, dims_});
+  }
+  Tensor label = Slice(batch.y, 1, 0, window_.label_len).Detach();
+  return Pad(label, 1, 0, window_.pred_len, 0.0f);
+}
+
+}  // namespace conformer::models

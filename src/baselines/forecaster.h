@@ -1,0 +1,49 @@
+// The common interface every forecasting model implements — Conformer, the
+// Transformer baselines, and the RNN / deep baselines alike — so the trainer
+// and the bench harness treat them uniformly.
+
+#ifndef CONFORMER_BASELINES_FORECASTER_H_
+#define CONFORMER_BASELINES_FORECASTER_H_
+
+#include <string>
+
+#include "data/window_dataset.h"
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace conformer::models {
+
+/// \brief Base forecaster: maps a windowed batch to a [B, pred_len, D]
+/// prediction of the standardized series.
+class Forecaster : public nn::Module {
+ public:
+  Forecaster(data::WindowConfig window, int64_t dims)
+      : window_(window), dims_(dims) {}
+
+  /// Point prediction for the batch: [B, pred_len, dims].
+  virtual Tensor Forward(const data::Batch& batch) = 0;
+
+  /// Training objective; the default is MSE against the target block.
+  /// Conformer overrides this with the mixed loss of Eq. (18).
+  virtual Tensor Loss(const data::Batch& batch);
+
+  virtual std::string name() const = 0;
+
+  const data::WindowConfig& window() const { return window_; }
+  int64_t dims() const { return dims_; }
+
+ protected:
+  /// Ground-truth block to forecast: last pred_len rows of batch.y.
+  Tensor TargetBlock(const data::Batch& batch) const;
+
+  /// Informer-style decoder input: the label section of batch.y followed by
+  /// zeros over the prediction horizon. [B, label+pred, dims].
+  Tensor DecoderInput(const data::Batch& batch) const;
+
+  data::WindowConfig window_;
+  int64_t dims_;
+};
+
+}  // namespace conformer::models
+
+#endif  // CONFORMER_BASELINES_FORECASTER_H_

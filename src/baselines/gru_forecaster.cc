@@ -1,0 +1,24 @@
+#include "baselines/gru_forecaster.h"
+
+namespace conformer::models {
+
+GruForecaster::GruForecaster(data::WindowConfig window, int64_t dims,
+                             int64_t hidden, int64_t layers)
+    : Forecaster(window, dims) {
+  embed_ = RegisterModule("embed", std::make_shared<nn::Linear>(dims, hidden));
+  gru_ = RegisterModule("gru", std::make_shared<nn::Gru>(hidden, hidden, layers));
+  head_ = RegisterModule(
+      "head", std::make_shared<nn::Linear>(hidden, window.pred_len * dims));
+}
+
+Tensor GruForecaster::Forward(const data::Batch& batch) {
+  const int64_t batch_size = batch.x.size(0);
+  nn::GruOutput out = gru_->Forward(embed_->Forward(batch.x));
+  // Final top-layer state summarizes the window.
+  Tensor last = Squeeze(Slice(out.last_hidden, 0, gru_->num_layers() - 1,
+                              gru_->num_layers()),
+                        0);
+  return Reshape(head_->Forward(last), {batch_size, window_.pred_len, dims_});
+}
+
+}  // namespace conformer::models

@@ -1,0 +1,33 @@
+// GRU baseline (Table II "GRU [21]"): a stacked GRU over the input window
+// whose final state is projected onto the whole forecast horizon at once
+// (the one-step / direct multi-horizon strategy all baselines share).
+
+#ifndef CONFORMER_BASELINES_GRU_FORECASTER_H_
+#define CONFORMER_BASELINES_GRU_FORECASTER_H_
+
+#include <memory>
+
+#include "baselines/forecaster.h"
+#include "nn/gru.h"
+#include "nn/linear.h"
+
+namespace conformer::models {
+
+class GruForecaster : public Forecaster {
+ public:
+  /// Paper setting: 2-layer GRU, hidden size from {16, 24, 32, 64}.
+  GruForecaster(data::WindowConfig window, int64_t dims, int64_t hidden = 32,
+                int64_t layers = 2);
+
+  Tensor Forward(const data::Batch& batch) override;
+  std::string name() const override { return "GRU"; }
+
+ private:
+  std::shared_ptr<nn::Linear> embed_;
+  std::shared_ptr<nn::Gru> gru_;
+  std::shared_ptr<nn::Linear> head_;
+};
+
+}  // namespace conformer::models
+
+#endif  // CONFORMER_BASELINES_GRU_FORECASTER_H_

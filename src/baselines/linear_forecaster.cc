@@ -1,0 +1,67 @@
+#include "baselines/linear_forecaster.h"
+
+#include <algorithm>
+
+#include "util/linalg.h"
+
+namespace conformer::models {
+
+LinearForecaster::LinearForecaster(data::WindowConfig window, int64_t dims)
+    : Forecaster(window, dims) {
+  head_ = RegisterModule(
+      "head", std::make_shared<nn::Linear>(window.input_len * dims,
+                                           window.pred_len * dims));
+}
+
+Tensor LinearForecaster::Forward(const data::Batch& batch) {
+  const int64_t batch_size = batch.x.size(0);
+  Tensor flat = Reshape(batch.x, {batch_size, -1});
+  return Reshape(head_->Forward(flat), {batch_size, window_.pred_len, dims_});
+}
+
+Status LinearForecaster::FitLeastSquares(const data::WindowDataset& dataset,
+                                         double ridge, int64_t max_windows) {
+  const int64_t features = window_.input_len * dims_ + 1;  // +1 for bias
+  const int64_t outputs = window_.pred_len * dims_;
+  const int64_t rows = std::min<int64_t>(dataset.size(), max_windows);
+  if (rows < 2) return Status::InvalidArgument("not enough windows to fit");
+
+  // Assemble the design matrix (with a bias column) and targets.
+  std::vector<double> x(rows * features);
+  std::vector<double> y(rows * outputs);
+  // Spread the sampled origins evenly across the dataset.
+  const int64_t stride = std::max<int64_t>(1, dataset.size() / rows);
+  for (int64_t r = 0; r < rows; ++r) {
+    data::Batch batch = dataset.GetRange(r * stride, 1);
+    const float* in = batch.x.data();
+    for (int64_t i = 0; i < features - 1; ++i) {
+      x[r * features + i] = in[i];
+    }
+    x[r * features + features - 1] = 1.0;  // bias
+    const int64_t total = batch.y.size(1);
+    Tensor target = Slice(batch.y, 1, total - window_.pred_len, total);
+    const float* out = target.data();
+    for (int64_t i = 0; i < outputs; ++i) y[r * outputs + i] = out[i];
+  }
+
+  Result<std::vector<double>> solved =
+      RidgeLeastSquares(x, rows, features, y, outputs, ridge);
+  if (!solved.ok()) return solved.status();
+  const std::vector<double>& w = solved.value();
+
+  // Write back into the Linear layer (weight [in, out] + bias [out]).
+  std::vector<Tensor> params = head_->Parameters();
+  Tensor weight = params[0];
+  Tensor bias = params[1];
+  for (int64_t i = 0; i < features - 1; ++i) {
+    for (int64_t o = 0; o < outputs; ++o) {
+      weight.data()[i * outputs + o] = static_cast<float>(w[i * outputs + o]);
+    }
+  }
+  for (int64_t o = 0; o < outputs; ++o) {
+    bias.data()[o] = static_cast<float>(w[(features - 1) * outputs + o]);
+  }
+  return Status::OK();
+}
+
+}  // namespace conformer::models

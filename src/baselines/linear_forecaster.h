@@ -1,0 +1,37 @@
+// Direct linear forecaster — the VAR-family statistical baseline the
+// paper's related work opens with (§II-A): the forecast block is a single
+// linear map of the flattened input window. Trainable by gradient descent
+// through the common Forecaster interface, or fitted in closed form by
+// ridge least squares (the classical estimator).
+
+#ifndef CONFORMER_BASELINES_LINEAR_FORECASTER_H_
+#define CONFORMER_BASELINES_LINEAR_FORECASTER_H_
+
+#include <memory>
+
+#include "baselines/forecaster.h"
+#include "nn/linear.h"
+#include "util/status.h"
+
+namespace conformer::models {
+
+class LinearForecaster : public Forecaster {
+ public:
+  LinearForecaster(data::WindowConfig window, int64_t dims);
+
+  Tensor Forward(const data::Batch& batch) override;
+  std::string name() const override { return "Linear(VAR)"; }
+
+  /// Closed-form ridge fit on every window of `dataset` (replaces the
+  /// current weights). This is the classical VAR estimator; after it, no
+  /// gradient training is needed.
+  Status FitLeastSquares(const data::WindowDataset& dataset,
+                         double ridge = 1e-3, int64_t max_windows = 4096);
+
+ private:
+  std::shared_ptr<nn::Linear> head_;  // [input_len*dims -> pred_len*dims]
+};
+
+}  // namespace conformer::models
+
+#endif  // CONFORMER_BASELINES_LINEAR_FORECASTER_H_

@@ -1,0 +1,24 @@
+#include "baselines/lstm_forecaster.h"
+
+namespace conformer::models {
+
+LstmForecaster::LstmForecaster(data::WindowConfig window, int64_t dims,
+                               int64_t hidden, int64_t layers)
+    : Forecaster(window, dims) {
+  embed_ = RegisterModule("embed", std::make_shared<nn::Linear>(dims, hidden));
+  lstm_ = RegisterModule("lstm",
+                         std::make_shared<nn::Lstm>(hidden, hidden, layers));
+  head_ = RegisterModule(
+      "head", std::make_shared<nn::Linear>(hidden, window.pred_len * dims));
+}
+
+Tensor LstmForecaster::Forward(const data::Batch& batch) {
+  const int64_t batch_size = batch.x.size(0);
+  nn::LstmOutput out = lstm_->Forward(embed_->Forward(batch.x));
+  Tensor last = Squeeze(Slice(out.last_hidden, 0, lstm_->num_layers() - 1,
+                              lstm_->num_layers()),
+                        0);
+  return Reshape(head_->Forward(last), {batch_size, window_.pred_len, dims_});
+}
+
+}  // namespace conformer::models

@@ -1,0 +1,32 @@
+// LSTM baseline — the classic recurrent forecaster the paper's related
+// work builds on (Hochreiter & Schmidhuber [20]); included as a library
+// extension beyond the paper's Table II baseline set.
+
+#ifndef CONFORMER_BASELINES_LSTM_FORECASTER_H_
+#define CONFORMER_BASELINES_LSTM_FORECASTER_H_
+
+#include <memory>
+
+#include "baselines/forecaster.h"
+#include "nn/linear.h"
+#include "nn/lstm.h"
+
+namespace conformer::models {
+
+class LstmForecaster : public Forecaster {
+ public:
+  LstmForecaster(data::WindowConfig window, int64_t dims, int64_t hidden = 32,
+                 int64_t layers = 2);
+
+  Tensor Forward(const data::Batch& batch) override;
+  std::string name() const override { return "LSTM"; }
+
+ private:
+  std::shared_ptr<nn::Linear> embed_;
+  std::shared_ptr<nn::Lstm> lstm_;
+  std::shared_ptr<nn::Linear> head_;
+};
+
+}  // namespace conformer::models
+
+#endif  // CONFORMER_BASELINES_LSTM_FORECASTER_H_

@@ -1,0 +1,30 @@
+#include "baselines/lstnet.h"
+
+namespace conformer::models {
+
+LstNet::LstNet(data::WindowConfig window, int64_t dims, int64_t channels,
+               int64_t kernel, int64_t hidden, float dropout)
+    : Forecaster(window, dims) {
+  // Valid convolution shortens the sequence by kernel-1; the GRU consumes
+  // the resulting feature sequence.
+  CONFORMER_CHECK_GT(window.input_len, kernel);
+  conv_ = RegisterModule(
+      "conv", std::make_shared<nn::Conv1dLayer>(dims, channels, kernel,
+                                                /*padding=*/0));
+  gru_ = RegisterModule("gru", std::make_shared<nn::Gru>(channels, hidden, 1));
+  dropout_ = RegisterModule("dropout", std::make_shared<nn::Dropout>(dropout));
+  head_ = RegisterModule(
+      "head", std::make_shared<nn::Linear>(hidden, window.pred_len * dims));
+}
+
+Tensor LstNet::Forward(const data::Batch& batch) {
+  const int64_t batch_size = batch.x.size(0);
+  // [B, L, D] -> [B, D, L] -> conv -> [B, C, L'] -> [B, L', C]
+  Tensor features = Relu(conv_->Forward(Permute(batch.x, {0, 2, 1})));
+  features = dropout_->Forward(Permute(features, {0, 2, 1}));
+  nn::GruOutput out = gru_->Forward(features);
+  Tensor last = Squeeze(Slice(out.last_hidden, 0, 0, 1), 0);
+  return Reshape(head_->Forward(last), {batch_size, window_.pred_len, dims_});
+}
+
+}  // namespace conformer::models

@@ -1,0 +1,36 @@
+// LSTNet baseline (Lai et al., SIGIR 2018): convolution over the input
+// window for short-term cross-variable patterns, a GRU for longer trends,
+// and a direct multi-horizon head. Matching Section V-A2, the skip-recurrent
+// and highway components are omitted.
+
+#ifndef CONFORMER_BASELINES_LSTNET_H_
+#define CONFORMER_BASELINES_LSTNET_H_
+
+#include <memory>
+
+#include "baselines/forecaster.h"
+#include "nn/conv1d.h"
+#include "nn/dropout.h"
+#include "nn/gru.h"
+#include "nn/linear.h"
+
+namespace conformer::models {
+
+class LstNet : public Forecaster {
+ public:
+  LstNet(data::WindowConfig window, int64_t dims, int64_t channels = 32,
+         int64_t kernel = 6, int64_t hidden = 32, float dropout = 0.1f);
+
+  Tensor Forward(const data::Batch& batch) override;
+  std::string name() const override { return "LSTNet"; }
+
+ private:
+  std::shared_ptr<nn::Conv1dLayer> conv_;
+  std::shared_ptr<nn::Gru> gru_;
+  std::shared_ptr<nn::Dropout> dropout_;
+  std::shared_ptr<nn::Linear> head_;
+};
+
+}  // namespace conformer::models
+
+#endif  // CONFORMER_BASELINES_LSTNET_H_

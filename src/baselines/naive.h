@@ -1,0 +1,42 @@
+// Parameter-free reference forecasters: the last-value ("naive") and
+// last-period ("seasonal naive") predictors every forecasting study is
+// sanity-checked against. A learned model that cannot beat these on a
+// periodic dataset is not learning.
+
+#ifndef CONFORMER_BASELINES_NAIVE_H_
+#define CONFORMER_BASELINES_NAIVE_H_
+
+#include "baselines/forecaster.h"
+
+namespace conformer::models {
+
+/// \brief Repeats the final observed value across the horizon.
+class NaiveForecaster : public Forecaster {
+ public:
+  NaiveForecaster(data::WindowConfig window, int64_t dims)
+      : Forecaster(window, dims) {}
+
+  Tensor Forward(const data::Batch& batch) override;
+  std::string name() const override { return "Naive"; }
+};
+
+/// \brief Repeats the value one season back: y_{t+h} = x_{t+h-period}
+/// (wrapping within the input window when the horizon exceeds the period).
+class SeasonalNaiveForecaster : public Forecaster {
+ public:
+  /// `period` is clamped to the input length.
+  SeasonalNaiveForecaster(data::WindowConfig window, int64_t dims,
+                          int64_t period);
+
+  Tensor Forward(const data::Batch& batch) override;
+  std::string name() const override { return "SeasonalNaive"; }
+
+  int64_t period() const { return period_; }
+
+ private:
+  int64_t period_;
+};
+
+}  // namespace conformer::models
+
+#endif  // CONFORMER_BASELINES_NAIVE_H_

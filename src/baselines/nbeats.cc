@@ -1,0 +1,49 @@
+#include "baselines/nbeats.h"
+
+namespace conformer::models {
+
+NBeatsBlock::NBeatsBlock(int64_t input_size, int64_t forecast_size,
+                         int64_t hidden) {
+  int64_t in = input_size;
+  for (int64_t i = 0; i < 4; ++i) {
+    trunk_.push_back(RegisterModule("fc" + std::to_string(i),
+                                    std::make_shared<nn::Linear>(in, hidden)));
+    in = hidden;
+  }
+  backcast_ = RegisterModule("backcast",
+                             std::make_shared<nn::Linear>(hidden, input_size));
+  forecast_ = RegisterModule(
+      "forecast", std::make_shared<nn::Linear>(hidden, forecast_size));
+}
+
+std::pair<Tensor, Tensor> NBeatsBlock::Forward(const Tensor& x) const {
+  Tensor h = x;
+  for (const auto& fc : trunk_) h = Relu(fc->Forward(h));
+  return {backcast_->Forward(h), forecast_->Forward(h)};
+}
+
+NBeats::NBeats(data::WindowConfig window, int64_t dims, int64_t blocks,
+               int64_t hidden)
+    : Forecaster(window, dims) {
+  const int64_t input_size = window.input_len * dims;
+  const int64_t forecast_size = window.pred_len * dims;
+  for (int64_t i = 0; i < blocks; ++i) {
+    blocks_.push_back(RegisterModule(
+        "block" + std::to_string(i),
+        std::make_shared<NBeatsBlock>(input_size, forecast_size, hidden)));
+  }
+}
+
+Tensor NBeats::Forward(const data::Batch& batch) {
+  const int64_t batch_size = batch.x.size(0);
+  Tensor residual = Reshape(batch.x, {batch_size, -1});
+  Tensor forecast;
+  for (const auto& block : blocks_) {
+    auto [backcast, partial] = block->Forward(residual);
+    residual = Sub(residual, backcast);
+    forecast = forecast.defined() ? Add(forecast, partial) : partial;
+  }
+  return Reshape(forecast, {batch_size, window_.pred_len, dims_});
+}
+
+}  // namespace conformer::models

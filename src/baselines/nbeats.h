@@ -1,0 +1,46 @@
+// N-BEATS baseline (Oreshkin et al., ICLR 2020): a deep stack of fully
+// connected blocks with backward (backcast) and forward residual links,
+// generic (identity) basis. Extended to the multivariate setting by
+// flattening the variable axis, as Section V-A2 prescribes.
+
+#ifndef CONFORMER_BASELINES_NBEATS_H_
+#define CONFORMER_BASELINES_NBEATS_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/forecaster.h"
+#include "nn/linear.h"
+
+namespace conformer::models {
+
+/// \brief One generic N-BEATS block: 4-layer FC trunk feeding backcast and
+/// forecast heads.
+class NBeatsBlock : public nn::Module {
+ public:
+  NBeatsBlock(int64_t input_size, int64_t forecast_size, int64_t hidden);
+
+  /// x [B, input_size] -> (backcast [B, input_size], forecast [B, fcst]).
+  std::pair<Tensor, Tensor> Forward(const Tensor& x) const;
+
+ private:
+  std::vector<std::shared_ptr<nn::Linear>> trunk_;
+  std::shared_ptr<nn::Linear> backcast_;
+  std::shared_ptr<nn::Linear> forecast_;
+};
+
+class NBeats : public Forecaster {
+ public:
+  NBeats(data::WindowConfig window, int64_t dims, int64_t blocks = 3,
+         int64_t hidden = 64);
+
+  Tensor Forward(const data::Batch& batch) override;
+  std::string name() const override { return "N-Beats"; }
+
+ private:
+  std::vector<std::shared_ptr<NBeatsBlock>> blocks_;
+};
+
+}  // namespace conformer::models
+
+#endif  // CONFORMER_BASELINES_NBEATS_H_

@@ -1,0 +1,103 @@
+#include "baselines/registry.h"
+
+#include "baselines/deepar.h"
+#include "baselines/gru_forecaster.h"
+#include "baselines/linear_forecaster.h"
+#include "baselines/lstm_forecaster.h"
+#include "baselines/lstnet.h"
+#include "baselines/naive.h"
+#include "baselines/nbeats.h"
+#include "baselines/transformer_forecaster.h"
+#include "baselines/ts2vec.h"
+#include "core/conformer_model.h"
+#include "util/string_util.h"
+
+namespace conformer::models {
+
+std::vector<std::string> AvailableModels() {
+  return {"conformer", "longformer", "autoformer", "informer",
+          "reformer",  "logtrans",   "transformer", "gru",
+          "lstm",      "lstnet",     "nbeats",      "ts2vec",
+          "deepar",    "linear",     "naive",       "seasonal_naive"};
+}
+
+Result<std::unique_ptr<Forecaster>> MakeForecaster(
+    const std::string& name, data::WindowConfig window, int64_t dims,
+    const ModelHyperParams& params) {
+  const std::string key = ToLower(name);
+
+  if (key == "conformer") {
+    core::ConformerConfig config;
+    config.d_model = params.d_model;
+    config.n_heads = params.n_heads;
+    config.ma_kernel = params.ma_kernel;
+    config.dropout = params.dropout;
+    config.seed = params.seed;
+    if (params.univariate) config.dec_rnn_layers = 1;
+    return std::unique_ptr<Forecaster>(
+        std::make_unique<core::ConformerModel>(config, window, dims));
+  }
+
+  auto make_transformer =
+      [&](TransformerConfig config) -> std::unique_ptr<Forecaster> {
+    config.d_model = params.d_model;
+    config.n_heads = params.n_heads;
+    config.d_ff = 2 * params.d_model;
+    config.ma_kernel = params.ma_kernel;
+    config.dropout = params.dropout;
+    config.attn.seed = params.seed;
+    return std::make_unique<TransformerForecaster>(config, window, dims);
+  };
+
+  if (key == "longformer") return make_transformer(LongformerConfig());
+  if (key == "informer") return make_transformer(InformerConfig());
+  if (key == "autoformer") return make_transformer(AutoformerConfig());
+  if (key == "reformer") return make_transformer(ReformerConfig());
+  if (key == "logtrans") return make_transformer(LogTransConfig());
+  if (key == "transformer") {
+    return make_transformer(VanillaTransformerConfig());
+  }
+
+  if (key == "gru") {
+    return std::unique_ptr<Forecaster>(
+        std::make_unique<GruForecaster>(window, dims, params.hidden));
+  }
+  if (key == "lstm") {
+    return std::unique_ptr<Forecaster>(
+        std::make_unique<LstmForecaster>(window, dims, params.hidden));
+  }
+  if (key == "deepar") {
+    return std::unique_ptr<Forecaster>(std::make_unique<DeepAr>(
+        window, dims, params.hidden, /*layers=*/2, params.seed));
+  }
+  if (key == "linear") {
+    return std::unique_ptr<Forecaster>(
+        std::make_unique<LinearForecaster>(window, dims));
+  }
+  if (key == "naive") {
+    return std::unique_ptr<Forecaster>(
+        std::make_unique<NaiveForecaster>(window, dims));
+  }
+  if (key == "seasonal_naive") {
+    return std::unique_ptr<Forecaster>(std::make_unique<SeasonalNaiveForecaster>(
+        window, dims, params.seasonal_period));
+  }
+  if (key == "lstnet") {
+    return std::unique_ptr<Forecaster>(std::make_unique<LstNet>(
+        window, dims, params.hidden, /*kernel=*/6, params.hidden,
+        params.dropout));
+  }
+  if (key == "nbeats") {
+    return std::unique_ptr<Forecaster>(
+        std::make_unique<NBeats>(window, dims, /*blocks=*/3,
+                                 2 * params.hidden));
+  }
+  if (key == "ts2vec") {
+    return std::unique_ptr<Forecaster>(
+        std::make_unique<Ts2Vec>(window, dims, params.hidden));
+  }
+
+  return Status::NotFound("unknown model '" + name + "'");
+}
+
+}  // namespace conformer::models

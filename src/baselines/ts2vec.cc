@@ -1,0 +1,85 @@
+#include "baselines/ts2vec.h"
+
+namespace conformer::models {
+
+Ts2Vec::Ts2Vec(data::WindowConfig window, int64_t dims, int64_t hidden,
+               float mask_prob, float contrastive_weight)
+    : Forecaster(window, dims),
+      hidden_(hidden),
+      mask_prob_(mask_prob),
+      contrastive_weight_(contrastive_weight),
+      rng_(13) {
+  input_proj_ = RegisterModule("input_proj",
+                               std::make_shared<nn::Linear>(dims, hidden));
+  // Dilated convolution stack (dilations 1, 2, 4), as in the original
+  // TS2Vec encoder; "same" padding keeps the sequence length.
+  for (int64_t i = 0; i < 3; ++i) {
+    const int64_t dilation = int64_t{1} << i;
+    dilated_.push_back(RegisterModule(
+        "conv" + std::to_string(i),
+        std::make_shared<nn::Conv1dLayer>(hidden, hidden, /*kernel=*/3,
+                                          /*padding=*/dilation,
+                                          PadMode::kReplicate, /*bias=*/true,
+                                          dilation)));
+  }
+  head_ = RegisterModule(
+      "head", std::make_shared<nn::Linear>(hidden, window.pred_len * dims));
+}
+
+Tensor Ts2Vec::Encode(const Tensor& x, bool mask) {
+  Tensor h = input_proj_->Forward(x);
+  if (mask && training()) {
+    // Timestep masking: zero whole positions with probability mask_prob.
+    const int64_t batch = h.size(0);
+    const int64_t length = h.size(1);
+    std::vector<float> keep(batch * length);
+    for (float& v : keep) v = rng_.Bernoulli(mask_prob_) ? 0.0f : 1.0f;
+    h = Mul(h, Tensor::FromVector(std::move(keep), {batch, length, 1}));
+  }
+  for (const auto& conv : dilated_) {
+    Tensor c = Permute(conv->Forward(Permute(h, {0, 2, 1})), {0, 2, 1});
+    h = Add(h, Gelu(c));  // residual conv block
+  }
+  return h;
+}
+
+Tensor Ts2Vec::Forward(const data::Batch& batch) {
+  const int64_t batch_size = batch.x.size(0);
+  Tensor repr = Encode(batch.x, /*mask=*/false);
+  Tensor last = Squeeze(Slice(repr, 1, repr.size(1) - 1, repr.size(1)), 1);
+  return Reshape(head_->Forward(last), {batch_size, window_.pred_len, dims_});
+}
+
+Tensor Ts2Vec::Loss(const data::Batch& batch) {
+  const int64_t batch_size = batch.x.size(0);
+  const int64_t length = batch.x.size(1);
+
+  // Two stochastically masked views.
+  Tensor z1 = Encode(batch.x, /*mask=*/true);
+  Tensor z2 = Encode(batch.x, /*mask=*/true);
+
+  // Temporal contrast on a handful of sampled timesteps: the same timestep
+  // across views is the positive, other sampled timesteps are negatives.
+  const int64_t samples = std::min<int64_t>(8, length);
+  std::vector<int64_t> steps(samples);
+  for (int64_t i = 0; i < samples; ++i) steps[i] = rng_.UniformInt(length);
+  Tensor a = IndexSelect(z1, 1, steps);  // [B, S, h]
+  Tensor b = IndexSelect(z2, 1, steps);
+  const float temperature = 10.0f / static_cast<float>(hidden_);
+  Tensor logits = MulScalar(MatMul(a, Transpose(b, -1, -2)), temperature);
+  Tensor log_probs = LogSoftmax(logits, -1);  // [B, S, S]
+  Tensor diag_mask = Tile(Unsqueeze(Tensor::Eye(samples), 0), {batch_size, 1, 1});
+  Tensor contrastive = Neg(Mean(Sum(Mul(log_probs, diag_mask), {-1})));
+
+  // Forecast head trained on detached representations (two-stage protocol).
+  Tensor repr = Encode(batch.x, /*mask=*/false).Detach();
+  Tensor last = Squeeze(Slice(repr, 1, length - 1, length), 1);
+  Tensor pred =
+      Reshape(head_->Forward(last), {batch_size, window_.pred_len, dims_});
+  Tensor mse = MseLoss(pred, TargetBlock(batch));
+
+  return Add(MulScalar(contrastive, contrastive_weight_),
+             MulScalar(mse, 1.0f - contrastive_weight_));
+}
+
+}  // namespace conformer::models

@@ -1,0 +1,48 @@
+// TS2Vec-lite baseline (Yue et al., AAAI 2022), used for univariate LTTF in
+// Table IV: a dilated-convolution encoder trained with an instance +
+// temporal contrastive objective over two stochastically masked views, and
+// a linear forecasting head on the final-timestep representation (standing
+// in for the original's ridge regression — see DESIGN.md §2).
+
+#ifndef CONFORMER_BASELINES_TS2VEC_H_
+#define CONFORMER_BASELINES_TS2VEC_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/forecaster.h"
+#include "nn/conv1d.h"
+#include "nn/linear.h"
+
+namespace conformer::models {
+
+class Ts2Vec : public Forecaster {
+ public:
+  Ts2Vec(data::WindowConfig window, int64_t dims, int64_t hidden = 32,
+         float mask_prob = 0.15f, float contrastive_weight = 0.5f);
+
+  Tensor Forward(const data::Batch& batch) override;
+
+  /// Contrastive objective + forecasting MSE (the head learns from a
+  /// detached representation to mimic the two-stage protocol).
+  Tensor Loss(const data::Batch& batch) override;
+
+  std::string name() const override { return "TS2Vec"; }
+
+ private:
+  /// Per-timestep representation [B, L, hidden]; `mask` drops random
+  /// timesteps before encoding (training augmentation).
+  Tensor Encode(const Tensor& x, bool mask);
+
+  int64_t hidden_;
+  float mask_prob_;
+  float contrastive_weight_;
+  std::shared_ptr<nn::Linear> input_proj_;
+  std::vector<std::shared_ptr<nn::Conv1dLayer>> dilated_;  // dilations 1,2,4
+  std::shared_ptr<nn::Linear> head_;
+  Rng rng_;
+};
+
+}  // namespace conformer::models
+
+#endif  // CONFORMER_BASELINES_TS2VEC_H_

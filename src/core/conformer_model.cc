@@ -1,0 +1,122 @@
+#include "core/conformer_model.h"
+
+namespace conformer::core {
+
+namespace {
+
+std::function<std::shared_ptr<SequenceLayer>()> LayerFactory(
+    const ConformerConfig& config, int64_t rnn_layers) {
+  if (config.sirn_mode == SirnMode::kFull) {
+    SirnConfig sirn;
+    sirn.d_model = config.d_model;
+    sirn.n_heads = config.n_heads;
+    sirn.window = config.window;
+    sirn.eta = config.eta;
+    sirn.ma_kernel = config.ma_kernel;
+    sirn.rnn_layers = rnn_layers;
+    sirn.dropout = config.dropout;
+    return [sirn] { return std::make_shared<Sirn>(sirn); };
+  }
+  attention::AttentionConfig attn;
+  attn.window = config.window;
+  attn.seed = config.seed;
+  const auto kind = config.ablation_attention;
+  const int64_t d_model = config.d_model;
+  const int64_t n_heads = config.n_heads;
+  const float dropout = config.dropout;
+  return [=] {
+    return std::make_shared<AttentionOnlyLayer>(d_model, n_heads, kind, attn,
+                                                dropout);
+  };
+}
+
+}  // namespace
+
+ConformerModel::ConformerModel(const ConformerConfig& config,
+                               data::WindowConfig window, int64_t dims)
+    : Forecaster(window, dims), config_(config), rng_(config.seed) {
+  InputRepresentationConfig enc_input;
+  enc_input.dims = dims;
+  enc_input.length = window.input_len;
+  enc_input.d_model = config.d_model;
+  enc_input.resolutions = config.resolutions;
+  enc_input.variant = config.input_variant;
+  enc_input.fusion = config.fusion;
+
+  InputRepresentationConfig dec_input = enc_input;
+  dec_input.length = window.label_len + window.pred_len;
+
+  encoder_ = RegisterModule(
+      "encoder", std::make_shared<Encoder>(
+                     enc_input, config.enc_layers,
+                     LayerFactory(config, config.enc_rnn_layers)));
+  decoder_ = RegisterModule(
+      "decoder",
+      std::make_shared<Decoder>(dec_input, config.dec_layers,
+                                LayerFactory(config, config.dec_rnn_layers),
+                                config.n_heads, dims, config.dropout));
+  if (config.flow_variant != flow::FlowVariant::kNone) {
+    flow_ = RegisterModule(
+        "flow", std::make_shared<flow::NormalizingFlow>(
+                    config.d_model, config.flow_transforms,
+                    config.flow_variant));
+    flow_head_ = RegisterModule(
+        "flow_head", std::make_shared<flow::FlowOutputHead>(
+                         config.d_model, window.pred_len, dims));
+  }
+}
+
+ConformerModel::Parts ConformerModel::Run(const data::Batch& batch,
+                                          bool sample_flow) {
+  EncoderOutput enc = encoder_->Forward(batch.x, batch.x_mark);
+  Tensor dec_in = DecoderInput(batch);
+  DecoderOutput dec = decoder_->Forward(dec_in, batch.y_mark, enc.sequence);
+
+  Parts parts;
+  const int64_t total = dec.series.size(1);
+  parts.decoder_series = Slice(dec.series, 1, total - window_.pred_len, total);
+
+  if (flow_ != nullptr) {
+    Tensor h_e = enc.SelectHidden(config_.enc_hidden);
+    Tensor h_d = dec.SelectHidden(config_.dec_hidden);
+    Tensor z = flow_->Forward(h_e, h_d, sample_flow, &rng_);
+    parts.flow_series = flow_head_->Forward(z);
+  }
+  return parts;
+}
+
+Tensor ConformerModel::Forward(const data::Batch& batch) {
+  Parts parts = Run(batch, /*sample_flow=*/training());
+  if (!parts.flow_series.defined()) return parts.decoder_series;
+  return Add(MulScalar(parts.decoder_series, config_.lambda),
+             MulScalar(parts.flow_series, 1.0f - config_.lambda));
+}
+
+Tensor ConformerModel::Loss(const data::Batch& batch) {
+  Parts parts = Run(batch, /*sample_flow=*/training());
+  Tensor target = TargetBlock(batch);
+  Tensor loss = MseLoss(parts.decoder_series, target);
+  if (!parts.flow_series.defined()) return loss;
+  return Add(MulScalar(loss, config_.lambda),
+             MulScalar(MseLoss(parts.flow_series, target),
+                       1.0f - config_.lambda));
+}
+
+flow::UncertaintyBand ConformerModel::PredictWithUncertainty(
+    const data::Batch& batch, int64_t num_samples, double coverage) {
+  CONFORMER_CHECK(flow_ != nullptr)
+      << "uncertainty requires the normalizing flow";
+  NoGradGuard guard;
+  SetTraining(false);
+  std::vector<Tensor> samples;
+  samples.reserve(num_samples);
+  for (int64_t s = 0; s < num_samples; ++s) {
+    Parts parts = Run(batch, /*sample_flow=*/true);
+    samples.push_back(Add(MulScalar(parts.decoder_series, config_.lambda),
+                          MulScalar(parts.flow_series,
+                                    1.0f - config_.lambda)));
+  }
+  return flow::SummarizeSamples(samples, coverage);
+}
+
+}  // namespace conformer::core

@@ -1,0 +1,97 @@
+// Conformer (the paper's model): encoder-decoder on SIRN + sliding-window
+// attention, with a normalizing-flow head generating the target block from
+// the RNN latent states, trained with the mixed loss of Eq. (18).
+
+#ifndef CONFORMER_CORE_CONFORMER_MODEL_H_
+#define CONFORMER_CORE_CONFORMER_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/forecaster.h"
+#include "core/decoder.h"
+#include "core/encoder.h"
+#include "flow/gaussian_head.h"
+#include "flow/normalizing_flow.h"
+
+namespace conformer::core {
+
+/// \brief Whether the stacked layers are real SIRN blocks or the Table VI
+/// attention-only ablation.
+enum class SirnMode { kFull, kAttentionOnly };
+
+/// \brief All Conformer hyper-parameters (defaults = paper, Section V-A3).
+struct ConformerConfig {
+  int64_t d_model = 32;
+  int64_t n_heads = 4;
+  int64_t window = 2;             ///< Sliding-window width w.
+  int64_t eta = 2;                ///< Decomposition recurrences.
+  int64_t ma_kernel = 25;         ///< Moving-average width.
+  int64_t enc_layers = 2;
+  int64_t dec_layers = 1;
+  int64_t enc_rnn_layers = 1;     ///< Paper: 1-layer GRU in the encoder.
+  int64_t dec_rnn_layers = 2;     ///< Paper: 2-layer GRU in the decoder
+                                  ///< (1 under the univariate setting).
+  float dropout = 0.05f;
+
+  // Normalizing flow (Eq. 15-18).
+  int64_t flow_transforms = 2;
+  flow::FlowVariant flow_variant = flow::FlowVariant::kFull;
+  float lambda = 0.8f;            ///< Eq. (18) trade-off.
+  HiddenChoice enc_hidden;        ///< Which h_e feeds the flow (Table IX).
+  HiddenChoice dec_hidden;
+
+  // Input representation (Tables V / VIII).
+  InputVariant input_variant = InputVariant::kFull;
+  FusionMethod fusion = FusionMethod::kDefault;
+  std::vector<TemporalResolution> resolutions = {
+      TemporalResolution::kHour, TemporalResolution::kDayOfWeek};
+
+  // SIRN ablation (Table VI).
+  SirnMode sirn_mode = SirnMode::kFull;
+  attention::AttentionKind ablation_attention = attention::AttentionKind::kFull;
+
+  uint64_t seed = 7;
+};
+
+class ConformerModel : public models::Forecaster {
+ public:
+  ConformerModel(const ConformerConfig& config, data::WindowConfig window,
+                 int64_t dims);
+
+  /// Point forecast: lambda * decoder output + (1 - lambda) * flow output
+  /// (mean path in eval mode).
+  Tensor Forward(const data::Batch& batch) override;
+
+  /// Eq. (18): lambda * MSE(Y_out, Y) + (1 - lambda) * MSE(Z_out, Y).
+  Tensor Loss(const data::Batch& batch) override;
+
+  std::string name() const override { return "Conformer"; }
+
+  /// Uncertainty-aware forecast (Figs. 6-7): draws `num_samples` flow
+  /// samples and summarizes them into mean and coverage band.
+  flow::UncertaintyBand PredictWithUncertainty(const data::Batch& batch,
+                                               int64_t num_samples,
+                                               double coverage);
+
+  const ConformerConfig& config() const { return config_; }
+
+ private:
+  /// Shared forward: decoder series + flow latent block.
+  struct Parts {
+    Tensor decoder_series;  ///< [B, pred_len, D]
+    Tensor flow_series;     ///< [B, pred_len, D] or undefined when disabled.
+  };
+  Parts Run(const data::Batch& batch, bool sample_flow);
+
+  ConformerConfig config_;
+  std::shared_ptr<Encoder> encoder_;
+  std::shared_ptr<Decoder> decoder_;
+  std::shared_ptr<flow::NormalizingFlow> flow_;
+  std::shared_ptr<flow::FlowOutputHead> flow_head_;
+  Rng rng_;
+};
+
+}  // namespace conformer::core
+
+#endif  // CONFORMER_CORE_CONFORMER_MODEL_H_

@@ -1,0 +1,50 @@
+#include "core/decoder.h"
+
+namespace conformer::core {
+
+Tensor DecoderOutput::SelectHidden(const HiddenChoice& choice) const {
+  CONFORMER_CHECK(!layers.empty());
+  const LayerOutput& layer = choice.last_layer ? layers.back() : layers.front();
+  return choice.first_step ? layer.hidden_first : layer.hidden_last;
+}
+
+Decoder::Decoder(
+    const InputRepresentationConfig& input_config, int64_t num_layers,
+    const std::function<std::shared_ptr<SequenceLayer>()>& make_layer,
+    int64_t n_heads, int64_t out_dims, float dropout) {
+  CONFORMER_CHECK_GE(num_layers, 1);
+  input_ = RegisterModule("input",
+                          std::make_shared<InputRepresentation>(input_config));
+  for (int64_t i = 0; i < num_layers; ++i) {
+    layers_.push_back(
+        RegisterModule("layer" + std::to_string(i), make_layer()));
+  }
+  cross_attention_ = RegisterModule(
+      "cross_attention",
+      std::make_shared<attention::MultiHeadAttention>(
+          input_config.d_model, n_heads, attention::AttentionKind::kFull));
+  cross_norm_ = RegisterModule(
+      "cross_norm", std::make_shared<nn::LayerNorm>(input_config.d_model));
+  dropout_ = RegisterModule("dropout", std::make_shared<nn::Dropout>(dropout));
+  out_proj_ = RegisterModule(
+      "out_proj", std::make_shared<nn::Linear>(input_config.d_model, out_dims));
+}
+
+DecoderOutput Decoder::Forward(const Tensor& y_in, const Tensor& marks,
+                               const Tensor& memory) const {
+  DecoderOutput out;
+  Tensor h = input_->Forward(y_in, marks);
+  for (const auto& layer : layers_) {
+    LayerOutput lo = layer->Forward(h);
+    h = lo.sequence;
+    out.layers.push_back(std::move(lo));
+  }
+  // Weighted composition against the encoder memory (Fig. 1).
+  Tensor attended = dropout_->Forward(
+      cross_attention_->Forward(h, memory, memory, /*causal=*/false));
+  h = cross_norm_->Forward(Add(h, attended));
+  out.series = out_proj_->Forward(h);
+  return out;
+}
+
+}  // namespace conformer::core

@@ -1,0 +1,48 @@
+// Conformer decoder: the zero-padded target block is embedded with its own
+// input representation, refined by SIRN layers, then fused with the encoder
+// memory through cross attention and projected back to variable space.
+
+#ifndef CONFORMER_CORE_DECODER_H_
+#define CONFORMER_CORE_DECODER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/encoder.h"
+#include "core/input_representation.h"
+#include "core/sirn.h"
+
+namespace conformer::core {
+
+/// \brief Decoder output.
+struct DecoderOutput {
+  Tensor series;                    ///< [B, label+pred, dims] prediction.
+  std::vector<LayerOutput> layers;  ///< Per-layer RNN states.
+
+  Tensor SelectHidden(const HiddenChoice& choice) const;
+};
+
+class Decoder : public nn::Module {
+ public:
+  Decoder(const InputRepresentationConfig& input_config, int64_t num_layers,
+          const std::function<std::shared_ptr<SequenceLayer>()>& make_layer,
+          int64_t n_heads, int64_t out_dims, float dropout);
+
+  /// y_in: zero-padded decoder block [B, label+pred, dims]; memory: encoder
+  /// sequence [B, Lx, d_model].
+  DecoderOutput Forward(const Tensor& y_in, const Tensor& marks,
+                        const Tensor& memory) const;
+
+ private:
+  std::shared_ptr<InputRepresentation> input_;
+  std::vector<std::shared_ptr<SequenceLayer>> layers_;
+  std::shared_ptr<attention::MultiHeadAttention> cross_attention_;
+  std::shared_ptr<nn::LayerNorm> cross_norm_;
+  std::shared_ptr<nn::Dropout> dropout_;
+  std::shared_ptr<nn::Linear> out_proj_;
+};
+
+}  // namespace conformer::core
+
+#endif  // CONFORMER_CORE_DECODER_H_

@@ -1,0 +1,35 @@
+#include "core/encoder.h"
+
+namespace conformer::core {
+
+Tensor EncoderOutput::SelectHidden(const HiddenChoice& choice) const {
+  CONFORMER_CHECK(!layers.empty());
+  const LayerOutput& layer = choice.last_layer ? layers.back() : layers.front();
+  return choice.first_step ? layer.hidden_first : layer.hidden_last;
+}
+
+Encoder::Encoder(
+    const InputRepresentationConfig& input_config, int64_t num_layers,
+    const std::function<std::shared_ptr<SequenceLayer>()>& make_layer) {
+  CONFORMER_CHECK_GE(num_layers, 1);
+  input_ = RegisterModule("input",
+                          std::make_shared<InputRepresentation>(input_config));
+  for (int64_t i = 0; i < num_layers; ++i) {
+    layers_.push_back(
+        RegisterModule("layer" + std::to_string(i), make_layer()));
+  }
+}
+
+EncoderOutput Encoder::Forward(const Tensor& x, const Tensor& marks) const {
+  EncoderOutput out;
+  Tensor h = input_->Forward(x, marks);
+  for (const auto& layer : layers_) {
+    LayerOutput lo = layer->Forward(h);
+    h = lo.sequence;
+    out.layers.push_back(std::move(lo));
+  }
+  out.sequence = h;
+  return out;
+}
+
+}  // namespace conformer::core

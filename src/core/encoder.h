@@ -1,0 +1,47 @@
+// Conformer encoder: input representation followed by a stack of SIRN (or
+// ablation) layers. Exposes each layer's RNN hidden states for the
+// normalizing flow (Table IX feeds first- or last-layer states).
+
+#ifndef CONFORMER_CORE_ENCODER_H_
+#define CONFORMER_CORE_ENCODER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/input_representation.h"
+#include "core/sirn.h"
+
+namespace conformer::core {
+
+/// \brief Which SIRN layer's hidden feeds the flow, and at which time step.
+struct HiddenChoice {
+  bool last_layer = true;  ///< h_k (true) vs h_1 (false) in Table IX.
+  bool first_step = true;  ///< Paper default: state after the first step.
+};
+
+/// \brief Encoder stack output.
+struct EncoderOutput {
+  Tensor sequence;                   ///< [B, Lx, d_model]
+  std::vector<LayerOutput> layers;   ///< Per-layer states.
+
+  /// Hidden state selected per `choice`: [B, d_model].
+  Tensor SelectHidden(const HiddenChoice& choice) const;
+};
+
+class Encoder : public nn::Module {
+ public:
+  /// `make_layer` constructs each stacked layer (SIRN or ablation).
+  Encoder(const InputRepresentationConfig& input_config, int64_t num_layers,
+          const std::function<std::shared_ptr<SequenceLayer>()>& make_layer);
+
+  EncoderOutput Forward(const Tensor& x, const Tensor& marks) const;
+
+ private:
+  std::shared_ptr<InputRepresentation> input_;
+  std::vector<std::shared_ptr<SequenceLayer>> layers_;
+};
+
+}  // namespace conformer::core
+
+#endif  // CONFORMER_CORE_ENCODER_H_

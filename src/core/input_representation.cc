@@ -1,0 +1,231 @@
+#include "core/input_representation.h"
+
+#include <cmath>
+
+#include "fft/autocorrelation.h"
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace conformer::core {
+
+namespace {
+
+// Cardinality of each calendar resolution's vocabulary.
+int64_t ResolutionCardinality(TemporalResolution r) {
+  switch (r) {
+    case TemporalResolution::kMinute:
+      return 60;
+    case TemporalResolution::kHour:
+      return 24;
+    case TemporalResolution::kDayOfWeek:
+      return 7;
+    case TemporalResolution::kDayOfMonth:
+      return 31;
+  }
+  return 1;
+}
+
+// Recovers the discrete calendar index from the normalized mark features
+// (see data/time_features.cc for the encoding).
+int64_t ResolutionIndex(TemporalResolution r, const float* mark_row) {
+  auto decode = [](float v, float denom) {
+    return static_cast<int64_t>(std::lround((v + 0.5f) * denom));
+  };
+  switch (r) {
+    case TemporalResolution::kMinute:
+      return std::min<int64_t>(59, decode(mark_row[0], 59.0f));
+    case TemporalResolution::kHour:
+      return std::min<int64_t>(23, decode(mark_row[1], 23.0f));
+    case TemporalResolution::kDayOfWeek:
+      return std::min<int64_t>(6, decode(mark_row[2], 6.0f));
+    case TemporalResolution::kDayOfMonth:
+      return std::min<int64_t>(30, decode(mark_row[3], 30.0f));
+  }
+  return 0;
+}
+
+}  // namespace
+
+const char* InputVariantName(InputVariant variant) {
+  switch (variant) {
+    case InputVariant::kFull:
+      return "full";
+    case InputVariant::kNoMultiscale:
+      return "-Gamma";
+    case InputVariant::kNoCorrelation:
+      return "-R";
+    case InputVariant::kNoCorrNoMultiscale:
+      return "-R-Gamma";
+    case InputVariant::kNoRaw:
+      return "-X";
+    case InputVariant::kNoRawNoMultiscale:
+      return "-X-Gamma";
+  }
+  return "?";
+}
+
+const char* FusionMethodName(FusionMethod method) {
+  switch (method) {
+    case FusionMethod::kDefault:
+      return "default";
+    case FusionMethod::kMethod1:
+      return "method1";
+    case FusionMethod::kMethod2:
+      return "method2";
+    case FusionMethod::kMethod3:
+      return "method3";
+    case FusionMethod::kMethod4:
+      return "method4";
+  }
+  return "?";
+}
+
+InputRepresentation::InputRepresentation(const InputRepresentationConfig& config)
+    : config_(config) {
+  CONFORMER_CHECK_GT(config_.dims, 0);
+  CONFORMER_CHECK_GT(config_.length, 0);
+  CONFORMER_CHECK(!config_.resolutions.empty())
+      << "at least one temporal resolution";
+  // W^v, b^v of Eq. (5): kernel-3 circular convolution dims -> d_model.
+  value_conv_ = RegisterModule(
+      "value_conv",
+      std::make_shared<nn::Conv1dLayer>(config_.dims, config_.d_model,
+                                        /*kernel=*/3, /*padding=*/1,
+                                        PadMode::kCircular, /*bias=*/true));
+  // Eq. (3)-(4): one embedding table and one [L, L] mixer per resolution.
+  const int64_t l = config_.length;
+  for (size_t k = 0; k < config_.resolutions.size(); ++k) {
+    scale_embeddings_.push_back(RegisterModule(
+        "scale_emb" + std::to_string(k),
+        std::make_shared<nn::Embedding>(
+            ResolutionCardinality(config_.resolutions[k]), config_.d_model)));
+    scale_mixers_.push_back(RegisterParameter(
+        "scale_mixer" + std::to_string(k),
+        // Near-identity init keeps early training close to a plain sum of
+        // resolution embeddings.
+        Add(Tensor::Eye(l), nn::XavierUniform({l, l}, l, l) * 0.1f)));
+  }
+  scale_bias_ =
+      RegisterParameter("scale_bias", Tensor::Zeros({l, config_.d_model}));
+}
+
+Tensor InputRepresentation::MultivariateWeights(const Tensor& x) const {
+  // Eq. (1): per-variable auto-correlation over the window; Eq. (2):
+  // softmax across variables per lag. Computed outside the tape — the
+  // weights depend only on the raw input.
+  NoGradGuard guard;
+  const int64_t batch = x.size(0);
+  const int64_t length = x.size(1);
+  const int64_t dims = x.size(2);
+  std::vector<float> corr(batch * length * dims);
+  const float* xd = x.data();
+  std::vector<double> column(length);
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t d = 0; d < dims; ++d) {
+      for (int64_t t = 0; t < length; ++t) {
+        column[t] = xd[(b * length + t) * dims + d];
+      }
+      const std::vector<double> ac = fft::AutoCorrelation(column);
+      // Normalize by lag-0 energy so variables are comparable.
+      const double denom = std::max(std::fabs(ac[0]), 1e-8);
+      for (int64_t t = 0; t < length; ++t) {
+        corr[(b * length + t) * dims + d] = static_cast<float>(ac[t] / denom);
+      }
+    }
+  }
+  Tensor mr = Tensor::FromVector(std::move(corr), {batch, length, dims});
+  return Softmax(mr, -1);
+}
+
+Tensor InputRepresentation::MultiscaleDynamics(const Tensor& marks) const {
+  const int64_t batch = marks.size(0);
+  const int64_t length = marks.size(1);
+  CONFORMER_CHECK_EQ(length, config_.length)
+      << "InputRepresentation built for length " << config_.length;
+  const int64_t f = marks.size(2);
+  const float* md = marks.data();
+
+  Tensor out;
+  for (size_t k = 0; k < config_.resolutions.size(); ++k) {
+    // Gather the per-step calendar indices for this resolution.
+    std::vector<int64_t> indices(batch * length);
+    for (int64_t i = 0; i < batch * length; ++i) {
+      indices[i] = ResolutionIndex(config_.resolutions[k], md + i * f);
+    }
+    Tensor emb = Reshape(scale_embeddings_[k]->Forward(indices),
+                         {batch, length, config_.d_model});
+    // Eq. (4): temporal mixing with W^S_k in R^{L x L}.
+    Tensor mixed = MatMul(scale_mixers_[k], emb);
+    out = out.defined() ? Add(out, mixed) : mixed;
+  }
+  return Add(out, scale_bias_);
+}
+
+Tensor InputRepresentation::Forward(const Tensor& x, const Tensor& marks) const {
+  CONFORMER_CHECK_EQ(x.size(2), config_.dims);
+  const InputVariant variant = config_.variant;
+  const FusionMethod fusion = config_.fusion;
+
+  const bool use_corr = variant != InputVariant::kNoCorrelation &&
+                        variant != InputVariant::kNoCorrNoMultiscale;
+  const bool use_raw = variant != InputVariant::kNoRaw &&
+                       variant != InputVariant::kNoRawNoMultiscale;
+  const bool use_multiscale = variant == InputVariant::kFull ||
+                              variant == InputVariant::kNoCorrelation ||
+                              variant == InputVariant::kNoRaw;
+
+  Tensor gamma;  // multiscale term, [B, L, d_model]
+  if (use_multiscale || fusion != FusionMethod::kDefault) {
+    gamma = MultiscaleDynamics(marks);
+  }
+
+  if (fusion != FusionMethod::kDefault) {
+    // Table VIII experiments: W^Gamma = Softmax(Gamma) mixes over d_model,
+    // projected back onto the raw variable space via its softmax weights.
+    Tensor w_r = MultivariateWeights(x);
+    Tensor corr_term = Mul(w_r, x);
+    // W^Gamma X: gate the raw series by the (softmaxed) multiscale signal
+    // reduced to a per-step scalar.
+    Tensor gate = Softmax(Mean(gamma, {2}, /*keepdim=*/true), 1);  // [B, L, 1]
+    Tensor gated_x = Mul(MulScalar(gate, static_cast<float>(x.size(1))), x);
+    Tensor inner;
+    switch (fusion) {
+      case FusionMethod::kMethod1:
+        inner = Add(Mul(gate * static_cast<float>(x.size(1)), corr_term), x);
+        break;
+      case FusionMethod::kMethod2:
+        inner = Add(corr_term, gated_x);
+        break;
+      case FusionMethod::kMethod3:
+        inner = Add(Add(corr_term, gated_x), x);
+        break;
+      case FusionMethod::kMethod4:
+      case FusionMethod::kDefault:
+        inner = Add(corr_term, x);
+        break;
+    }
+    Tensor embedded =
+        Permute(value_conv_->Forward(Permute(inner, {0, 2, 1})), {0, 2, 1});
+    if (fusion == FusionMethod::kMethod4) {
+      Tensor gate_out = Softmax(Mean(gamma, {2}, /*keepdim=*/true), 1);
+      embedded = Mul(MulScalar(gate_out, static_cast<float>(x.size(1))), embedded);
+    }
+    return embedded;
+  }
+
+  // Eq. (5): X^v = Conv(W^R X + X) (terms toggled by the Table V variant).
+  Tensor inner;
+  if (use_corr) {
+    Tensor corr_term = Mul(MultivariateWeights(x), x);
+    inner = use_raw ? Add(corr_term, x) : corr_term;
+  } else {
+    CONFORMER_CHECK(use_raw) << "variant removes both W^R X and X";
+    inner = x;
+  }
+  Tensor x_v = Permute(value_conv_->Forward(Permute(inner, {0, 2, 1})), {0, 2, 1});
+
+  // Eq. (6): X^in = X^v + Gamma^S.
+  return use_multiscale ? Add(x_v, gamma) : x_v;
+}
+
+}  // namespace conformer::core

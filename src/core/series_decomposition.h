@@ -1,0 +1,24 @@
+// Moving-average series decomposition (Eq. 9): the trend is an
+// edge-replicated moving average over the time axis and the seasonal part
+// is the residual — the Autoformer block the paper adopts for SIRN.
+
+#ifndef CONFORMER_CORE_SERIES_DECOMPOSITION_H_
+#define CONFORMER_CORE_SERIES_DECOMPOSITION_H_
+
+#include "tensor/ops.h"
+
+namespace conformer::core {
+
+/// \brief Trend + seasonal pair, both shaped like the input.
+struct Decomposition {
+  Tensor trend;
+  Tensor seasonal;
+};
+
+/// Decomposes x [B, L, D] with a moving average of width `kernel` (odd;
+/// clamped to the sequence length when longer).
+Decomposition DecomposeSeries(const Tensor& x, int64_t kernel);
+
+}  // namespace conformer::core
+
+#endif  // CONFORMER_CORE_SERIES_DECOMPOSITION_H_

@@ -1,0 +1,107 @@
+#include "core/sirn.h"
+
+#include "core/series_decomposition.h"
+
+namespace conformer::core {
+
+Sirn::Sirn(const SirnConfig& config) : config_(config) {
+  rnn_global_ = RegisterModule(
+      "rnn_global",
+      std::make_shared<nn::Gru>(config.d_model, config.d_model,
+                                config.rnn_layers));
+  rnn_trend_ = RegisterModule(
+      "rnn_trend",
+      std::make_shared<nn::Gru>(config.d_model, config.d_model,
+                                config.rnn_layers));
+  attention::AttentionConfig attn_config;
+  attn_config.window = config.window;
+  window_attention_ = RegisterModule(
+      "window_attention",
+      std::make_shared<attention::MultiHeadAttention>(
+          config.d_model, config.n_heads,
+          attention::AttentionKind::kSlidingWindow, attn_config));
+  seasonal_conv_ = RegisterModule(
+      "seasonal_conv",
+      std::make_shared<nn::Conv1dLayer>(config.d_model, config.d_model,
+                                        /*kernel=*/3, /*padding=*/1,
+                                        PadMode::kReplicate));
+  out_proj_ = RegisterModule(
+      "out_proj", std::make_shared<nn::Linear>(config.d_model, config.d_model));
+  dropout_ = RegisterModule("dropout",
+                            std::make_shared<nn::Dropout>(config.dropout));
+  norm_ = RegisterModule("norm",
+                         std::make_shared<nn::LayerNorm>(config.d_model));
+}
+
+LayerOutput Sirn::Forward(const Tensor& x) const {
+  CONFORMER_CHECK_EQ(x.dim(), 3);
+  CONFORMER_CHECK_EQ(x.size(2), config_.d_model);
+
+  // Eq. (8): X' = Softmax(RNN(X)) * X + MHA_W(X) + X — a softmax-gated
+  // global signal plus windowed local attention plus the residual.
+  nn::GruOutput global = rnn_global_->Forward(x);
+  Tensor gate = Softmax(global.output, -1);
+  Tensor local = dropout_->Forward(window_attention_->Forward(x));
+  Tensor fused = Add(Add(Mul(gate, x), local), x);
+
+  // Eq. (9): initial trend / seasonal split.
+  Decomposition decomp = DecomposeSeries(fused, config_.ma_kernel);
+  Tensor trend_sum = decomp.trend;
+  Tensor seasonal = decomp.seasonal;
+
+  // Eq. (10): recurrent distillation; each round convolves the seasonal
+  // stream and re-injects the local pattern before decomposing again.
+  for (int64_t l = 0; l < config_.eta; ++l) {
+    Tensor conv = Permute(
+        seasonal_conv_->Forward(Permute(seasonal, {0, 2, 1})), {0, 2, 1});
+    Decomposition next = DecomposeSeries(Add(conv, local), config_.ma_kernel);
+    trend_sum = Add(trend_sum, next.trend);
+    seasonal = next.seasonal;
+  }
+
+  // Eq. (11): X_out = W(X_s^eta + RNN(sum of trends)).
+  nn::GruOutput trend_rnn = rnn_trend_->Forward(trend_sum);
+  Tensor out = out_proj_->Forward(Add(seasonal, trend_rnn.output));
+  out = norm_->Forward(out);
+
+  // The flow consumes the first RNN block's latent state (Fig. 3a); expose
+  // the top GRU layer's state after the first and last steps (Table IX).
+  const int64_t top = rnn_global_->num_layers() - 1;
+  LayerOutput result;
+  result.sequence = out;
+  result.hidden_first =
+      Squeeze(Slice(global.first_hidden, 0, top, top + 1), 0);
+  result.hidden_last = Squeeze(Slice(global.last_hidden, 0, top, top + 1), 0);
+  return result;
+}
+
+AttentionOnlyLayer::AttentionOnlyLayer(
+    int64_t d_model, int64_t n_heads, attention::AttentionKind kind,
+    const attention::AttentionConfig& attn_config, float dropout) {
+  attention_ = RegisterModule(
+      "attention", std::make_shared<attention::MultiHeadAttention>(
+                       d_model, n_heads, kind, attn_config));
+  ff1_ = RegisterModule("ff1",
+                        std::make_shared<nn::Linear>(d_model, 2 * d_model));
+  ff2_ = RegisterModule("ff2",
+                        std::make_shared<nn::Linear>(2 * d_model, d_model));
+  norm1_ = RegisterModule("norm1", std::make_shared<nn::LayerNorm>(d_model));
+  norm2_ = RegisterModule("norm2", std::make_shared<nn::LayerNorm>(d_model));
+  dropout_ = RegisterModule("dropout", std::make_shared<nn::Dropout>(dropout));
+}
+
+LayerOutput AttentionOnlyLayer::Forward(const Tensor& x) const {
+  Tensor attended = dropout_->Forward(attention_->Forward(x));
+  Tensor h1 = norm1_->Forward(Add(x, attended));
+  Tensor ff = ff2_->Forward(Relu(ff1_->Forward(h1)));
+  Tensor out = norm2_->Forward(Add(h1, dropout_->Forward(ff)));
+
+  LayerOutput result;
+  result.sequence = out;
+  // Without an RNN the flow hiddens degrade to pooled sequence summaries.
+  result.hidden_first = Squeeze(Slice(out, 1, 0, 1), 1);
+  result.hidden_last = Mean(out, {1});
+  return result;
+}
+
+}  // namespace conformer::core

@@ -1,0 +1,90 @@
+// Stationary and Instant Recurrent Network (Section IV-B2, Eqs. 8-11, Fig.
+// 3a): a sliding-window-attention block whose global signal comes from a
+// softmax-gated GRU, with eta recurrent moving-average decompositions
+// distilling stationary (trend) and instant (seasonal) patterns.
+//
+// Table VI's ablation replaces the whole block by a plain attention layer
+// (AttentionOnlyLayer below) built on any of the competing mechanisms.
+
+#ifndef CONFORMER_CORE_SIRN_H_
+#define CONFORMER_CORE_SIRN_H_
+
+#include <memory>
+
+#include "attention/multi_head_attention.h"
+#include "nn/conv1d.h"
+#include "nn/dropout.h"
+#include "nn/gru.h"
+#include "nn/layer_norm.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace conformer::core {
+
+/// \brief Output of one encoder/decoder layer: the sequence representation
+/// plus the RNN latent states consumed by the normalizing flow.
+struct LayerOutput {
+  Tensor sequence;      ///< [B, L, d_model]
+  Tensor hidden_first;  ///< [B, d_model] — RNN state after the first step.
+  Tensor hidden_last;   ///< [B, d_model] — RNN state after the last step.
+};
+
+/// \brief Common interface so SIRN and the attention-only ablation layers
+/// are interchangeable inside the encoder/decoder stacks.
+class SequenceLayer : public nn::Module {
+ public:
+  virtual LayerOutput Forward(const Tensor& x) const = 0;
+};
+
+/// \brief SIRN configuration.
+struct SirnConfig {
+  int64_t d_model = 32;
+  int64_t n_heads = 4;
+  int64_t window = 2;        ///< Sliding-window width w (paper default 2).
+  int64_t eta = 2;           ///< Number of recurrent decompositions (Eq. 10).
+  int64_t ma_kernel = 25;    ///< Moving-average width of Eq. (9).
+  int64_t rnn_layers = 1;    ///< GRU depth (1 enc / 2 dec in the paper).
+  float dropout = 0.05f;
+};
+
+class Sirn : public SequenceLayer {
+ public:
+  explicit Sirn(const SirnConfig& config);
+
+  LayerOutput Forward(const Tensor& x) const override;
+
+ private:
+  SirnConfig config_;
+  std::shared_ptr<nn::Gru> rnn_global_;  // first RNN block (Eq. 8)
+  std::shared_ptr<nn::Gru> rnn_trend_;   // second RNN block (Eq. 11)
+  std::shared_ptr<attention::MultiHeadAttention> window_attention_;
+  std::shared_ptr<nn::Conv1dLayer> seasonal_conv_;  // Conv of Eq. (10)
+  std::shared_ptr<nn::Linear> out_proj_;            // W of Eq. (11)
+  std::shared_ptr<nn::Dropout> dropout_;
+  std::shared_ptr<nn::LayerNorm> norm_;
+};
+
+/// \brief Table VI ablation: a vanilla pre-activation transformer layer
+/// (MHA of any kind + feed-forward) standing in for SIRN. The flow hiddens
+/// are mean-pooled sequence states.
+class AttentionOnlyLayer : public SequenceLayer {
+ public:
+  AttentionOnlyLayer(int64_t d_model, int64_t n_heads,
+                     attention::AttentionKind kind,
+                     const attention::AttentionConfig& attn_config,
+                     float dropout);
+
+  LayerOutput Forward(const Tensor& x) const override;
+
+ private:
+  std::shared_ptr<attention::MultiHeadAttention> attention_;
+  std::shared_ptr<nn::Linear> ff1_;
+  std::shared_ptr<nn::Linear> ff2_;
+  std::shared_ptr<nn::LayerNorm> norm1_;
+  std::shared_ptr<nn::LayerNorm> norm2_;
+  std::shared_ptr<nn::Dropout> dropout_;
+};
+
+}  // namespace conformer::core
+
+#endif  // CONFORMER_CORE_SIRN_H_

@@ -1,0 +1,101 @@
+#include "data/csv_loader.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/civil_time.h"
+#include "util/string_util.h"
+
+namespace conformer::data {
+
+Result<TimeSeries> ParseCsv(const std::string& text, const std::string& name,
+                            const CsvOptions& options) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("empty CSV: " + name);
+  }
+
+  const std::vector<std::string> header = Split(Strip(line), options.separator);
+  int64_t date_col = -1;
+  std::vector<std::string> columns;
+  std::vector<int64_t> value_cols;
+  for (int64_t i = 0; i < static_cast<int64_t>(header.size()); ++i) {
+    const std::string col = Strip(header[i]);
+    if (date_col < 0 && ToLower(col) == ToLower(options.date_column)) {
+      date_col = i;
+    } else {
+      columns.push_back(col);
+      value_cols.push_back(i);
+    }
+  }
+  if (columns.empty()) {
+    return Status::InvalidArgument("CSV has no value columns: " + name);
+  }
+
+  std::vector<int64_t> timestamps;
+  std::vector<float> values;
+  int64_t row_index = 0;
+  while (std::getline(in, line)) {
+    const std::string stripped = Strip(line);
+    if (stripped.empty()) continue;
+    const std::vector<std::string> fields = Split(stripped, options.separator);
+    if (fields.size() != header.size()) {
+      return Status::InvalidArgument(
+          "row " + std::to_string(row_index + 2) + " has " +
+          std::to_string(fields.size()) + " fields, expected " +
+          std::to_string(header.size()));
+    }
+    if (date_col >= 0) {
+      Result<int64_t> ts = ParseTimestamp(Strip(fields[date_col]));
+      if (!ts.ok()) return ts.status();
+      timestamps.push_back(ts.value());
+    } else {
+      timestamps.push_back(options.start_unix +
+                           row_index * options.interval_seconds);
+    }
+    for (int64_t col : value_cols) {
+      Result<double> v = ParseDouble(fields[col]);
+      if (!v.ok()) {
+        return Status::InvalidArgument("row " + std::to_string(row_index + 2) +
+                                       ": " + v.status().message());
+      }
+      values.push_back(static_cast<float>(v.value()));
+    }
+    ++row_index;
+  }
+  if (timestamps.empty()) {
+    return Status::InvalidArgument("CSV has no data rows: " + name);
+  }
+  const int64_t dims = static_cast<int64_t>(columns.size());
+  return TimeSeries(name, std::move(timestamps), std::move(values), dims,
+                    std::move(columns));
+}
+
+Status SaveCsv(const TimeSeries& series, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out << "date";
+  for (const std::string& name : series.column_names()) out << "," << name;
+  out << "\n";
+  out.precision(9);
+  for (int64_t i = 0; i < series.num_points(); ++i) {
+    out << FormatTimestamp(series.timestamps()[i]);
+    for (int64_t d = 0; d < series.dims(); ++d) {
+      out << "," << series.value(i, d);
+    }
+    out << "\n";
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<TimeSeries> LoadCsv(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCsv(buffer.str(), path, options);
+}
+
+}  // namespace conformer::data

@@ -1,0 +1,39 @@
+#include "data/dataset_registry.h"
+
+#include "data/synthetic.h"
+#include "util/string_util.h"
+
+namespace conformer::data {
+
+std::vector<std::string> AvailableDatasets() {
+  return {"ecl", "weather", "exchange", "etth1", "ettm1", "wind", "airdelay"};
+}
+
+Result<TimeSeries> MakeDataset(const std::string& name, double scale,
+                               uint64_t seed) {
+  if (scale <= 0.0 || scale > 1.0) {
+    return Status::InvalidArgument("scale must be in (0, 1]");
+  }
+  const std::string key = ToLower(name);
+  SyntheticConfig config;
+  if (key == "ecl") {
+    config = EclConfig(scale, seed);
+  } else if (key == "weather") {
+    config = WeatherConfig(scale, seed);
+  } else if (key == "exchange") {
+    config = ExchangeConfig(scale, seed);
+  } else if (key == "etth1") {
+    config = Etth1Config(scale, seed);
+  } else if (key == "ettm1") {
+    config = Ettm1Config(scale, seed);
+  } else if (key == "wind") {
+    config = WindConfig(scale, seed);
+  } else if (key == "airdelay") {
+    config = AirDelayConfig(scale, seed);
+  } else {
+    return Status::NotFound("unknown dataset '" + name + "'");
+  }
+  return GenerateSynthetic(config);
+}
+
+}  // namespace conformer::data

@@ -1,0 +1,26 @@
+// Name-based access to the seven paper datasets (synthetic stand-ins) used
+// by the bench harness and the examples.
+
+#ifndef CONFORMER_DATA_DATASET_REGISTRY_H_
+#define CONFORMER_DATA_DATASET_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "data/time_series.h"
+#include "util/status.h"
+
+namespace conformer::data {
+
+/// Dataset names in the paper's Table I order.
+std::vector<std::string> AvailableDatasets();
+
+/// Builds the synthetic stand-in for `name` ("ecl", "weather", "exchange",
+/// "etth1", "ettm1", "wind", "airdelay"). `scale` in (0, 1] shrinks the
+/// series for CPU benches (see data/synthetic.h).
+Result<TimeSeries> MakeDataset(const std::string& name, double scale = 0.1,
+                               uint64_t seed = 1);
+
+}  // namespace conformer::data
+
+#endif  // CONFORMER_DATA_DATASET_REGISTRY_H_

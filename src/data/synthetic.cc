@@ -1,0 +1,217 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace conformer::data {
+
+TimeSeries GenerateSynthetic(const SyntheticConfig& config) {
+  CONFORMER_CHECK_GT(config.dims, 0);
+  CONFORMER_CHECK_GT(config.points, 1);
+  Rng rng(config.seed);
+
+  const int64_t n = config.points;
+  const int64_t dims = config.dims;
+
+  // Timestamps: regular grid, optionally with random gaps (AirDelay's
+  // varying interval).
+  std::vector<int64_t> timestamps(n);
+  {
+    int64_t t = config.start_unix;
+    for (int64_t i = 0; i < n; ++i) {
+      timestamps[i] = t;
+      int64_t step = config.interval_seconds;
+      if (config.irregular_intervals) {
+        step = std::max<int64_t>(
+            1, static_cast<int64_t>(step * rng.Uniform(0.2, 2.5)));
+      }
+      t += step;
+    }
+  }
+
+  // Per-variable rhythm parameters: phase offsets, amplitude jitter, and a
+  // variable-specific mix against the shared latent signal.
+  std::vector<double> phase(dims * config.seasonal.size());
+  std::vector<double> amp(dims * config.seasonal.size());
+  for (auto& p : phase) p = rng.Uniform(0.0, 2.0 * std::numbers::pi);
+  for (auto& a : amp) a = rng.Uniform(0.6, 1.4);
+
+  // Two-state regime chain (calm / gusty) for wind-style data.
+  std::vector<double> regime(n, 1.0);
+  if (config.regime_switching) {
+    double level = 1.0;
+    for (int64_t i = 0; i < n; ++i) {
+      if (rng.Bernoulli(0.01)) level = level > 1.5 ? 0.6 : 2.2;  // ramp
+      regime[i] = level;
+    }
+  }
+
+  // Shared latent AR(1) process that couples the variables.
+  std::vector<double> latent(n);
+  {
+    double state = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      state = 0.9 * state + rng.Normal(0.0, 0.3);
+      latent[i] = state;
+    }
+  }
+
+  std::vector<float> values(n * dims);
+  std::vector<double> ar_state(dims, 0.0);
+  std::vector<double> walk(dims, 0.0);
+  std::vector<double> drift(dims, 0.0);  // slow per-variable phase drift
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t d = 0; d < dims; ++d) {
+      if (config.phase_drift > 0.0) {
+        drift[d] += rng.Normal(0.0, config.phase_drift);
+      }
+      // Seasonal amplitude waxes and wanes with the shared latent state, so
+      // the cycle must be inferred from the window, not memorized.
+      const double modulation =
+          1.0 + config.amplitude_modulation * std::tanh(latent[i]);
+      double v = 0.0;
+      for (size_t s = 0; s < config.seasonal.size(); ++s) {
+        const SeasonalComponent& comp = config.seasonal[s];
+        v += comp.amplitude * amp[d * config.seasonal.size() + s] * modulation *
+             std::sin(2.0 * std::numbers::pi * static_cast<double>(i) /
+                          comp.period_steps +
+                      phase[d * config.seasonal.size() + s] + drift[d]);
+      }
+      v += config.trend_slope * static_cast<double>(i) / 1000.0;
+      v += config.cross_coupling * latent[i];
+      double noise = config.heavy_tail_dof > 0.0
+                         ? rng.StudentT(config.heavy_tail_dof) * config.noise_std
+                         : rng.Normal(0.0, config.noise_std);
+      ar_state[d] = config.ar_coeff * ar_state[d] + noise;
+      if (config.random_walk) {
+        walk[d] += ar_state[d] * 0.1;
+        v += walk[d];
+      } else {
+        v += ar_state[d];
+      }
+      v *= regime[i];
+      if (config.non_negative) v = std::max(v + 2.0, 0.0);  // shifted, clipped
+      values[i * dims + d] = static_cast<float>(v);
+    }
+  }
+
+  std::vector<std::string> names(dims);
+  for (int64_t d = 0; d < dims; ++d) names[d] = "var" + std::to_string(d);
+  names.back() = "target";
+  return TimeSeries(config.name, std::move(timestamps), std::move(values),
+                    dims, std::move(names));
+}
+
+namespace {
+int64_t Scaled(int64_t full, double scale, int64_t minimum) {
+  return std::max<int64_t>(minimum,
+                           static_cast<int64_t>(full * std::min(scale, 1.0)));
+}
+}  // namespace
+
+SyntheticConfig EclConfig(double scale, uint64_t seed) {
+  SyntheticConfig c;
+  c.name = "ecl";
+  c.dims = Scaled(321, scale, 8);            // 321 clients at full scale
+  c.points = Scaled(26304, scale, 1200);
+  c.interval_seconds = 3600;
+  c.seasonal = {{24, 1.0}, {168, 0.6}};      // daily + weekly consumption
+  c.trend_slope = 0.05;
+  c.noise_std = 0.25;
+  c.ar_coeff = 0.4;
+  c.cross_coupling = 0.7;                    // strong grid-level coupling
+  c.seed = seed;
+  return c;
+}
+
+SyntheticConfig WeatherConfig(double scale, uint64_t seed) {
+  SyntheticConfig c;
+  c.name = "weather";
+  c.dims = 21;
+  c.points = Scaled(36761, scale, 1200);
+  c.interval_seconds = 600;
+  c.seasonal = {{144, 1.0}, {1008, 0.4}};    // daily + weekly at 10-min steps
+  c.trend_slope = 0.02;
+  c.noise_std = 0.2;
+  c.ar_coeff = 0.7;                          // smooth meteorological noise
+  c.cross_coupling = 0.5;
+  c.seed = seed;
+  return c;
+}
+
+SyntheticConfig ExchangeConfig(double scale, uint64_t seed) {
+  SyntheticConfig c;
+  c.name = "exchange";
+  c.dims = 8;
+  c.points = Scaled(7588, scale, 1200);
+  c.interval_seconds = 86400;
+  c.seasonal = {};                           // no periodicity (paper, §V-B)
+  c.random_walk = true;
+  c.noise_std = 0.15;
+  c.ar_coeff = 0.1;
+  c.cross_coupling = 0.3;
+  c.seed = seed;
+  return c;
+}
+
+SyntheticConfig Etth1Config(double scale, uint64_t seed) {
+  SyntheticConfig c;
+  c.name = "etth1";
+  c.dims = 7;
+  c.points = Scaled(17420, scale, 1200);
+  c.interval_seconds = 3600;
+  c.seasonal = {{24, 1.0}, {168, 0.5}};      // transformer load cycles
+  c.trend_slope = -0.03;
+  c.noise_std = 0.3;
+  c.ar_coeff = 0.5;
+  c.cross_coupling = 0.6;
+  c.seed = seed;
+  return c;
+}
+
+SyntheticConfig Ettm1Config(double scale, uint64_t seed) {
+  SyntheticConfig c = Etth1Config(scale, seed);
+  c.name = "ettm1";
+  c.points = Scaled(69680, scale, 1600);
+  c.interval_seconds = 900;
+  c.seasonal = {{96, 1.0}, {672, 0.5}};      // same cycles at 15-min steps
+  return c;
+}
+
+SyntheticConfig WindConfig(double scale, uint64_t seed) {
+  SyntheticConfig c;
+  c.name = "wind";
+  c.dims = 7;
+  c.points = Scaled(45550, scale, 1400);
+  c.interval_seconds = 900;
+  c.seasonal = {{96, 0.5}};                  // weak diurnal signal
+  c.noise_std = 0.5;
+  c.ar_coeff = 0.8;                          // persistent wind regimes
+  c.regime_switching = true;
+  c.non_negative = true;                     // generated power >= 0
+  c.cross_coupling = 0.6;
+  c.seed = seed;
+  return c;
+}
+
+SyntheticConfig AirDelayConfig(double scale, uint64_t seed) {
+  SyntheticConfig c;
+  c.name = "airdelay";
+  c.dims = 6;
+  c.points = Scaled(54451, scale, 1400);
+  c.interval_seconds = 49;                   // ~54k arrivals in one month
+  c.seasonal = {{1200, 0.4}};                // weak daily congestion wave
+  c.noise_std = 0.6;
+  c.ar_coeff = 0.2;
+  c.heavy_tail_dof = 3.0;                    // heavy-tailed delays
+  c.irregular_intervals = true;              // varying time between flights
+  c.cross_coupling = 0.4;
+  c.seed = seed;
+  return c;
+}
+
+}  // namespace conformer::data

@@ -1,0 +1,24 @@
+#include "data/time_features.h"
+
+#include "util/civil_time.h"
+
+namespace conformer::data {
+
+void TimeFeaturesOf(int64_t unix_seconds, float* out) {
+  const CivilTime ct = CivilFromUnixSeconds(unix_seconds);
+  out[0] = static_cast<float>(ct.minute) / 59.0f - 0.5f;
+  out[1] = static_cast<float>(ct.hour) / 23.0f - 0.5f;
+  out[2] = static_cast<float>(DayOfWeek(unix_seconds)) / 6.0f - 0.5f;
+  out[3] = static_cast<float>(ct.day - 1) / 30.0f - 0.5f;
+  out[4] = static_cast<float>(DayOfYear(unix_seconds) - 1) / 365.0f - 0.5f;
+}
+
+std::vector<float> ExtractTimeFeatures(const std::vector<int64_t>& timestamps) {
+  std::vector<float> out(timestamps.size() * kNumTimeFeatures);
+  for (size_t i = 0; i < timestamps.size(); ++i) {
+    TimeFeaturesOf(timestamps[i], out.data() + i * kNumTimeFeatures);
+  }
+  return out;
+}
+
+}  // namespace conformer::data

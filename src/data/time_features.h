@@ -1,0 +1,26 @@
+// Calendar time features for the multiscale-dynamics embedding (Eq. 3-4)
+// and the timestamp embedding of the Transformer baselines. Each timestamp
+// yields one feature per temporal resolution (minute, hour, day-of-week,
+// day-of-month, day-of-year), scaled into [-0.5, 0.5] — the Informer "timeF"
+// convention the paper's baselines share.
+
+#ifndef CONFORMER_DATA_TIME_FEATURES_H_
+#define CONFORMER_DATA_TIME_FEATURES_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace conformer::data {
+
+/// Number of features produced per timestamp.
+inline constexpr int64_t kNumTimeFeatures = 5;
+
+/// Row-major [timestamps.size(), kNumTimeFeatures] feature matrix.
+std::vector<float> ExtractTimeFeatures(const std::vector<int64_t>& timestamps);
+
+/// Features of one timestamp (minute, hour, weekday, monthday, yearday).
+void TimeFeaturesOf(int64_t unix_seconds, float* out);
+
+}  // namespace conformer::data
+
+#endif  // CONFORMER_DATA_TIME_FEATURES_H_

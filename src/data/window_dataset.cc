@@ -1,0 +1,161 @@
+#include "data/window_dataset.h"
+
+#include <algorithm>
+
+#include "data/time_features.h"
+#include "util/logging.h"
+
+namespace conformer::data {
+
+WindowDataset::WindowDataset(TimeSeries series, WindowConfig config)
+    : series_(std::move(series)), config_(config) {
+  CONFORMER_CHECK_GT(config_.input_len, 0);
+  CONFORMER_CHECK_GE(config_.label_len, 0);
+  CONFORMER_CHECK_GT(config_.pred_len, 0);
+  CONFORMER_CHECK_LE(config_.label_len, config_.input_len)
+      << "label section is a suffix of the encoder input";
+  marks_ = ExtractTimeFeatures(series_.timestamps());
+  CONFORMER_CHECK_GT(size(), 0)
+      << "series of " << series_.num_points() << " points has no window of "
+      << config_.input_len << "+" << config_.pred_len;
+}
+
+int64_t WindowDataset::size() const {
+  return series_.num_points() - config_.input_len - config_.pred_len + 1;
+}
+
+Batch WindowDataset::GetBatch(const std::vector<int64_t>& indices) const {
+  const int64_t batch = static_cast<int64_t>(indices.size());
+  CONFORMER_CHECK_GT(batch, 0);
+  const int64_t lx = config_.input_len;
+  const int64_t ly = config_.label_len + config_.pred_len;
+  const int64_t dims = series_.dims();
+  const int64_t f = kNumTimeFeatures;
+
+  std::vector<float> x(batch * lx * dims);
+  std::vector<float> xm(batch * lx * f);
+  std::vector<float> y(batch * ly * dims);
+  std::vector<float> ym(batch * ly * f);
+
+  const std::vector<float>& vals = series_.values();
+  for (int64_t b = 0; b < batch; ++b) {
+    const int64_t start = indices[b];
+    CONFORMER_CHECK(start >= 0 && start < size()) << "window index out of range";
+    const int64_t y_start = start + lx - config_.label_len;
+    std::copy(vals.begin() + start * dims, vals.begin() + (start + lx) * dims,
+              x.begin() + b * lx * dims);
+    std::copy(marks_.begin() + start * f, marks_.begin() + (start + lx) * f,
+              xm.begin() + b * lx * f);
+    std::copy(vals.begin() + y_start * dims,
+              vals.begin() + (y_start + ly) * dims, y.begin() + b * ly * dims);
+    std::copy(marks_.begin() + y_start * f, marks_.begin() + (y_start + ly) * f,
+              ym.begin() + b * ly * f);
+  }
+
+  Batch out;
+  out.x = Tensor::FromVector(std::move(x), {batch, lx, dims});
+  out.x_mark = Tensor::FromVector(std::move(xm), {batch, lx, f});
+  out.y = Tensor::FromVector(std::move(y), {batch, ly, dims});
+  out.y_mark = Tensor::FromVector(std::move(ym), {batch, ly, f});
+  return out;
+}
+
+Batch WindowDataset::GetRange(int64_t first, int64_t count) const {
+  std::vector<int64_t> indices(count);
+  for (int64_t i = 0; i < count; ++i) indices[i] = first + i;
+  return GetBatch(indices);
+}
+
+DatasetSplits MakeSplits(const TimeSeries& series, const WindowConfig& config,
+                         double train_frac, double val_frac) {
+  const int64_t n = series.num_points();
+  const int64_t train_end = static_cast<int64_t>(n * train_frac);
+  const int64_t val_end = static_cast<int64_t>(n * (train_frac + val_frac));
+  CONFORMER_CHECK(train_end > config.input_len + config.pred_len)
+      << "train split too small";
+  CONFORMER_CHECK(val_end > train_end && n > val_end) << "degenerate splits";
+
+  StandardScaler scaler;
+  scaler.Fit(series.Slice(0, train_end));
+  const TimeSeries scaled = scaler.Transform(series);
+
+  // Val / test keep input_len rows of context from the previous split.
+  const int64_t val_begin = std::max<int64_t>(0, train_end - config.input_len);
+  const int64_t test_begin = std::max<int64_t>(0, val_end - config.input_len);
+  return DatasetSplits{
+      WindowDataset(scaled.Slice(0, train_end), config),
+      WindowDataset(scaled.Slice(val_begin, val_end), config),
+      WindowDataset(scaled.Slice(test_begin, n), config),
+      scaler,
+  };
+}
+
+Result<DatasetSplits> MakeSplitsByDate(const TimeSeries& series,
+                                       const WindowConfig& config,
+                                       int64_t val_start, int64_t test_start) {
+  if (val_start >= test_start) {
+    return Status::InvalidArgument("val_start must precede test_start");
+  }
+  const std::vector<int64_t>& ts = series.timestamps();
+  const int64_t n = series.num_points();
+  const auto first_at_or_after = [&](int64_t stamp) {
+    return static_cast<int64_t>(
+        std::lower_bound(ts.begin(), ts.end(), stamp) - ts.begin());
+  };
+  const int64_t train_end = first_at_or_after(val_start);
+  const int64_t val_end = first_at_or_after(test_start);
+
+  const int64_t min_rows = config.input_len + config.pred_len;
+  if (train_end < min_rows) {
+    return Status::InvalidArgument("train split shorter than one window");
+  }
+  if (val_end - std::max<int64_t>(0, train_end - config.input_len) < min_rows ||
+      n - std::max<int64_t>(0, val_end - config.input_len) < min_rows) {
+    return Status::InvalidArgument("val/test split shorter than one window");
+  }
+
+  StandardScaler scaler;
+  scaler.Fit(series.Slice(0, train_end));
+  const TimeSeries scaled = scaler.Transform(series);
+  const int64_t val_begin = std::max<int64_t>(0, train_end - config.input_len);
+  const int64_t test_begin = std::max<int64_t>(0, val_end - config.input_len);
+  return DatasetSplits{
+      WindowDataset(scaled.Slice(0, train_end), config),
+      WindowDataset(scaled.Slice(val_begin, val_end), config),
+      WindowDataset(scaled.Slice(test_begin, n), config),
+      scaler,
+  };
+}
+
+BatchIterator::BatchIterator(const WindowDataset& dataset, int64_t batch_size,
+                             bool shuffle, Rng* rng)
+    : dataset_(dataset), batch_size_(batch_size), shuffle_(shuffle), rng_(rng) {
+  CONFORMER_CHECK_GT(batch_size, 0);
+  order_.resize(dataset.size());
+  Reset();
+}
+
+void BatchIterator::Reset() {
+  cursor_ = 0;
+  for (int64_t i = 0; i < static_cast<int64_t>(order_.size()); ++i) order_[i] = i;
+  if (shuffle_) {
+    Rng& rng = rng_ != nullptr ? *rng_ : GlobalRng();
+    order_ = rng.Permutation(static_cast<int64_t>(order_.size()));
+  }
+}
+
+bool BatchIterator::Next(Batch* batch) {
+  if (cursor_ >= static_cast<int64_t>(order_.size())) return false;
+  const int64_t end = std::min<int64_t>(cursor_ + batch_size_,
+                                        static_cast<int64_t>(order_.size()));
+  std::vector<int64_t> indices(order_.begin() + cursor_, order_.begin() + end);
+  cursor_ = end;
+  *batch = dataset_.GetBatch(indices);
+  return true;
+}
+
+int64_t BatchIterator::num_batches() const {
+  return (static_cast<int64_t>(order_.size()) + batch_size_ - 1) / batch_size_;
+}
+
+}  // namespace conformer::data

@@ -1,0 +1,108 @@
+// Rolling-window forecasting dataset (input-Lx-predict-Ly with stride one,
+// Section V-A3) plus chronological train/val/test splitting and batching.
+//
+// Samples follow the Informer convention shared by all baselines: the
+// decoder target block covers label_len known steps followed by pred_len
+// steps to forecast.
+
+#ifndef CONFORMER_DATA_WINDOW_DATASET_H_
+#define CONFORMER_DATA_WINDOW_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/scaler.h"
+#include "data/time_series.h"
+#include "tensor/tensor.h"
+#include "util/random.h"
+
+namespace conformer::data {
+
+/// \brief One minibatch of windowed samples.
+struct Batch {
+  Tensor x;       ///< [B, input_len, D] encoder input (standardized).
+  Tensor x_mark;  ///< [B, input_len, F] calendar features.
+  Tensor y;       ///< [B, label_len + pred_len, D] decoder block.
+  Tensor y_mark;  ///< [B, label_len + pred_len, F].
+  int64_t size() const { return x.defined() ? x.size(0) : 0; }
+};
+
+/// \brief Window geometry.
+struct WindowConfig {
+  int64_t input_len = 96;
+  int64_t label_len = 48;
+  int64_t pred_len = 96;
+};
+
+/// \brief Windowed view over a (standardized) TimeSeries.
+class WindowDataset {
+ public:
+  WindowDataset(TimeSeries series, WindowConfig config);
+
+  /// Number of complete windows.
+  int64_t size() const;
+
+  const WindowConfig& config() const { return config_; }
+  int64_t dims() const { return series_.dims(); }
+  const TimeSeries& series() const { return series_; }
+
+  /// Materializes the samples at `indices` into one batch.
+  Batch GetBatch(const std::vector<int64_t>& indices) const;
+
+  /// Sequential batch [first, first+count).
+  Batch GetRange(int64_t first, int64_t count) const;
+
+ private:
+  TimeSeries series_;
+  WindowConfig config_;
+  std::vector<float> marks_;  // [N, kNumTimeFeatures]
+};
+
+/// \brief The three chronological splits, standardized with train statistics.
+struct DatasetSplits {
+  WindowDataset train;
+  WindowDataset val;
+  WindowDataset test;
+  StandardScaler scaler;
+};
+
+/// Splits by fractions (default 0.7 / 0.1 / 0.2). Val/test segments keep
+/// `input_len` context rows from the preceding split so their first windows
+/// exist (the Informer border convention).
+DatasetSplits MakeSplits(const TimeSeries& series, const WindowConfig& config,
+                         double train_frac = 0.7, double val_frac = 0.1);
+
+/// Splits at explicit calendar boundaries (Unix seconds): rows with
+/// timestamp < val_start train, < test_start validate, the rest test —
+/// the "train/val/test is 12/2/2 months" convention of Table I. Fails when
+/// any split is too short to hold one window.
+Result<DatasetSplits> MakeSplitsByDate(const TimeSeries& series,
+                                       const WindowConfig& config,
+                                       int64_t val_start, int64_t test_start);
+
+/// \brief Iterates a dataset in shuffled minibatches.
+class BatchIterator {
+ public:
+  BatchIterator(const WindowDataset& dataset, int64_t batch_size, bool shuffle,
+                Rng* rng = nullptr);
+
+  /// Next minibatch; false when the epoch is exhausted.
+  bool Next(Batch* batch);
+
+  /// Restarts the epoch (reshuffling when enabled).
+  void Reset();
+
+  int64_t num_batches() const;
+
+ private:
+  const WindowDataset& dataset_;
+  int64_t batch_size_;
+  bool shuffle_;
+  Rng* rng_;
+  std::vector<int64_t> order_;
+  int64_t cursor_ = 0;
+};
+
+}  // namespace conformer::data
+
+#endif  // CONFORMER_DATA_WINDOW_DATASET_H_

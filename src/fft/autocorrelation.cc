@@ -1,0 +1,91 @@
+#include "fft/autocorrelation.h"
+
+#include <algorithm>
+#include <complex>
+
+#include "fft/fft.h"
+#include "util/logging.h"
+
+namespace conformer::fft {
+
+std::vector<double> AutoCorrelation(const std::vector<double>& signal,
+                                    bool circular) {
+  const int64_t n = static_cast<int64_t>(signal.size());
+  CONFORMER_CHECK_GT(n, 0);
+  const int64_t padded = NextPowerOfTwo(circular ? n : 2 * n);
+  std::vector<std::complex<double>> buffer(padded, {0.0, 0.0});
+  if (circular) {
+    // Tile the signal so the transform length stays a power of two while the
+    // correlation remains circular in the original period... impossible in
+    // general; instead compute directly when n is not a power of two.
+    if (padded == n) {
+      for (int64_t i = 0; i < n; ++i) buffer[i] = {signal[i], 0.0};
+      Transform(&buffer, false);
+      for (auto& x : buffer) x *= std::conj(x);
+      Transform(&buffer, true);
+      std::vector<double> out(n);
+      for (int64_t i = 0; i < n; ++i) out[i] = buffer[i].real();
+      return out;
+    }
+    // Direct O(n^2) circular correlation fallback for non-power-of-two n.
+    std::vector<double> out(n, 0.0);
+    for (int64_t lag = 0; lag < n; ++lag) {
+      double acc = 0.0;
+      for (int64_t t = 0; t < n; ++t) acc += signal[t] * signal[(t + lag) % n];
+      out[lag] = acc;
+    }
+    return out;
+  }
+  // Linear correlation via zero padding.
+  for (int64_t i = 0; i < n; ++i) buffer[i] = {signal[i], 0.0};
+  Transform(&buffer, false);
+  for (auto& x : buffer) x *= std::conj(x);
+  Transform(&buffer, true);
+  std::vector<double> out(n);
+  for (int64_t i = 0; i < n; ++i) out[i] = buffer[i].real();
+  return out;
+}
+
+std::vector<double> CrossCorrelation(const std::vector<double>& a,
+                                     const std::vector<double>& b) {
+  CONFORMER_CHECK_EQ(a.size(), b.size());
+  const int64_t n = static_cast<int64_t>(a.size());
+  const int64_t padded = NextPowerOfTwo(n);
+  if (padded == n) {
+    std::vector<std::complex<double>> fa(padded), fb(padded);
+    for (int64_t i = 0; i < n; ++i) {
+      fa[i] = {a[i], 0.0};
+      fb[i] = {b[i], 0.0};
+    }
+    Transform(&fa, false);
+    Transform(&fb, false);
+    for (int64_t i = 0; i < padded; ++i) fa[i] *= std::conj(fb[i]);
+    Transform(&fa, true);
+    std::vector<double> out(n);
+    for (int64_t i = 0; i < n; ++i) out[i] = fa[i].real();
+    return out;
+  }
+  // Direct circular correlation for non-power-of-two lengths.
+  std::vector<double> out(n, 0.0);
+  for (int64_t lag = 0; lag < n; ++lag) {
+    double acc = 0.0;
+    for (int64_t t = 0; t < n; ++t) acc += a[(t + lag) % n] * b[t];
+    out[lag] = acc;
+  }
+  return out;
+}
+
+std::vector<int64_t> TopKLags(const std::vector<double>& correlation, int64_t k) {
+  const int64_t n = static_cast<int64_t>(correlation.size());
+  std::vector<int64_t> lags;
+  for (int64_t i = 1; i < n; ++i) lags.push_back(i);
+  k = std::min<int64_t>(k, static_cast<int64_t>(lags.size()));
+  std::partial_sort(lags.begin(), lags.begin() + k, lags.end(),
+                    [&](int64_t x, int64_t y) {
+                      return correlation[x] > correlation[y];
+                    });
+  lags.resize(k);
+  return lags;
+}
+
+}  // namespace conformer::fft

@@ -1,0 +1,29 @@
+// FFT-based auto-correlation (Wiener–Khinchin), implementing Eq. (1) of the
+// paper:  MR_XX = F^{-1}( F(X) conj(F(X)) ).
+
+#ifndef CONFORMER_FFT_AUTOCORRELATION_H_
+#define CONFORMER_FFT_AUTOCORRELATION_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace conformer::fft {
+
+/// Circular auto-correlation of `signal` at all lags [0, n): the inverse FFT
+/// of the power spectrum, computed with zero padding to 2n to avoid wrap
+/// contamination when `circular` is false.
+std::vector<double> AutoCorrelation(const std::vector<double>& signal,
+                                    bool circular = true);
+
+/// Circular cross-correlation of `a` against `b` at all lags [0, n):
+/// F^{-1}(F(a) conj(F(b))). Both inputs must have the same length.
+std::vector<double> CrossCorrelation(const std::vector<double>& a,
+                                     const std::vector<double>& b);
+
+/// Lags of the `k` largest auto-correlation values (lag 0 excluded) —
+/// the period candidates used by the Autoformer-style baseline.
+std::vector<int64_t> TopKLags(const std::vector<double>& correlation, int64_t k);
+
+}  // namespace conformer::fft
+
+#endif  // CONFORMER_FFT_AUTOCORRELATION_H_

@@ -1,0 +1,79 @@
+#include "fft/fft.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/logging.h"
+
+namespace conformer::fft {
+
+int64_t NextPowerOfTwo(int64_t n) {
+  CONFORMER_CHECK_GE(n, 1);
+  int64_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void Transform(std::vector<std::complex<double>>* signal, bool inverse) {
+  auto& a = *signal;
+  const int64_t n = static_cast<int64_t>(a.size());
+  CONFORMER_CHECK(n > 0 && (n & (n - 1)) == 0)
+      << "FFT length must be a power of two, got " << n;
+
+  // Bit-reversal permutation.
+  for (int64_t i = 1, j = 0; i < n; ++i) {
+    int64_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  for (int64_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        2.0 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1.0 : -1.0);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (int64_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (int64_t j = 0; j < len / 2; ++j) {
+        const std::complex<double> u = a[i + j];
+        const std::complex<double> v = a[i + j + len / 2] * w;
+        a[i + j] = u + v;
+        a[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    for (auto& x : a) x /= static_cast<double>(n);
+  }
+}
+
+std::vector<std::complex<double>> RealFft(const std::vector<double>& signal) {
+  const int64_t padded = NextPowerOfTwo(static_cast<int64_t>(signal.size()));
+  std::vector<std::complex<double>> buffer(padded, {0.0, 0.0});
+  for (size_t i = 0; i < signal.size(); ++i) buffer[i] = {signal[i], 0.0};
+  Transform(&buffer, /*inverse=*/false);
+  return buffer;
+}
+
+std::vector<std::complex<double>> NaiveDft(
+    const std::vector<std::complex<double>>& signal, bool inverse) {
+  const int64_t n = static_cast<int64_t>(signal.size());
+  std::vector<std::complex<double>> out(n, {0.0, 0.0});
+  const double sign = inverse ? 1.0 : -1.0;
+  for (int64_t k = 0; k < n; ++k) {
+    for (int64_t t = 0; t < n; ++t) {
+      const double angle = sign * 2.0 * std::numbers::pi *
+                           static_cast<double>(k) * static_cast<double>(t) /
+                           static_cast<double>(n);
+      out[k] += signal[t] * std::complex<double>(std::cos(angle), std::sin(angle));
+    }
+  }
+  if (inverse) {
+    for (auto& x : out) x /= static_cast<double>(n);
+  }
+  return out;
+}
+
+}  // namespace conformer::fft

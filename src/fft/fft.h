@@ -1,0 +1,35 @@
+// Iterative radix-2 fast Fourier transform. Used by the Conformer input
+// representation (Eq. 1: multivariate auto-correlation) and by the fast path
+// of the Autoformer-style auto-correlation baseline.
+//
+// These routines operate on plain double buffers (no autograd): in Conformer
+// the FFT consumes raw input data, so no gradient flows through it (see
+// DESIGN.md §6).
+
+#ifndef CONFORMER_FFT_FFT_H_
+#define CONFORMER_FFT_FFT_H_
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace conformer::fft {
+
+/// In-place FFT of a power-of-two-length complex signal; `inverse` applies
+/// the conjugate transform and divides by n.
+void Transform(std::vector<std::complex<double>>* signal, bool inverse);
+
+/// Next power of two >= n (n >= 1).
+int64_t NextPowerOfTwo(int64_t n);
+
+/// Forward FFT of a real signal, zero-padded to the next power of two.
+/// Returns the padded-length complex spectrum.
+std::vector<std::complex<double>> RealFft(const std::vector<double>& signal);
+
+/// Naive O(n^2) DFT used as a test oracle.
+std::vector<std::complex<double>> NaiveDft(
+    const std::vector<std::complex<double>>& signal, bool inverse);
+
+}  // namespace conformer::fft
+
+#endif  // CONFORMER_FFT_FFT_H_

@@ -1,0 +1,57 @@
+#include "flow/gaussian_head.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace conformer::flow {
+
+FlowOutputHead::FlowOutputHead(int64_t hidden, int64_t pred_len, int64_t dims)
+    : pred_len_(pred_len), dims_(dims) {
+  proj_ = RegisterModule(
+      "proj", std::make_shared<nn::Linear>(hidden, pred_len * dims));
+}
+
+Tensor FlowOutputHead::Forward(const Tensor& z) const {
+  const int64_t batch = z.size(0);
+  return Reshape(proj_->Forward(z), {batch, pred_len_, dims_});
+}
+
+UncertaintyBand SummarizeSamples(const std::vector<Tensor>& samples,
+                                 double coverage) {
+  CONFORMER_CHECK(!samples.empty());
+  CONFORMER_CHECK(coverage > 0.0 && coverage < 1.0);
+  const int64_t s = static_cast<int64_t>(samples.size());
+  const int64_t n = samples[0].numel();
+  const Shape shape = samples[0].shape();
+
+  std::vector<float> mean(n, 0.0f);
+  for (const Tensor& t : samples) {
+    CONFORMER_CHECK(t.shape() == shape);
+    const float* d = t.data();
+    for (int64_t i = 0; i < n; ++i) mean[i] += d[i];
+  }
+  for (float& m : mean) m /= static_cast<float>(s);
+
+  std::vector<float> lower(n);
+  std::vector<float> upper(n);
+  std::vector<float> column(s);
+  const double alpha = (1.0 - coverage) / 2.0;
+  const int64_t lo_idx = std::clamp<int64_t>(
+      static_cast<int64_t>(std::floor(alpha * (s - 1))), 0, s - 1);
+  const int64_t hi_idx = std::clamp<int64_t>(
+      static_cast<int64_t>(std::ceil((1.0 - alpha) * (s - 1))), 0, s - 1);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < s; ++j) column[j] = samples[j].data()[i];
+    std::sort(column.begin(), column.end());
+    lower[i] = column[lo_idx];
+    upper[i] = column[hi_idx];
+  }
+
+  UncertaintyBand band;
+  band.mean = Tensor::FromVector(std::move(mean), shape);
+  band.lower = Tensor::FromVector(std::move(lower), shape);
+  band.upper = Tensor::FromVector(std::move(upper), shape);
+  return band;
+}
+
+}  // namespace conformer::flow

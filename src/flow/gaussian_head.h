@@ -1,0 +1,43 @@
+// Output head decoding the flow latent into the forecast block, plus the
+// multi-sample uncertainty summary used for Figs. 6-7.
+
+#ifndef CONFORMER_FLOW_GAUSSIAN_HEAD_H_
+#define CONFORMER_FLOW_GAUSSIAN_HEAD_H_
+
+#include <memory>
+
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace conformer::flow {
+
+/// \brief Projects a latent z [B, hidden] to a series block
+/// [B, pred_len, dims].
+class FlowOutputHead : public nn::Module {
+ public:
+  FlowOutputHead(int64_t hidden, int64_t pred_len, int64_t dims);
+
+  Tensor Forward(const Tensor& z) const;
+
+ private:
+  int64_t pred_len_;
+  int64_t dims_;
+  std::shared_ptr<nn::Linear> proj_;
+};
+
+/// \brief Empirical mean and symmetric quantile band of a set of sampled
+/// forecasts, all [S, B, pred_len, dims] flattened into a vector of tensors.
+struct UncertaintyBand {
+  Tensor mean;   ///< [B, pred_len, dims]
+  Tensor lower;  ///< coverage-quantile lower bound
+  Tensor upper;  ///< coverage-quantile upper bound
+};
+
+/// `coverage` in (0, 1), e.g. 0.9 for a 90% band.
+UncertaintyBand SummarizeSamples(const std::vector<Tensor>& samples,
+                                 double coverage);
+
+}  // namespace conformer::flow
+
+#endif  // CONFORMER_FLOW_GAUSSIAN_HEAD_H_

@@ -1,0 +1,78 @@
+#include "flow/normalizing_flow.h"
+
+namespace conformer::flow {
+
+const char* FlowVariantName(FlowVariant variant) {
+  switch (variant) {
+    case FlowVariant::kFull:
+      return "full";
+    case FlowVariant::kZe:
+      return "z_e";
+    case FlowVariant::kZd:
+      return "z_d";
+    case FlowVariant::kZeZd:
+      return "z_e+z_d";
+    case FlowVariant::kNone:
+      return "none";
+  }
+  return "?";
+}
+
+NormalizingFlow::NormalizingFlow(int64_t hidden, int64_t num_transforms,
+                                 FlowVariant variant)
+    : hidden_(hidden), num_transforms_(num_transforms), variant_(variant) {
+  CONFORMER_CHECK_GE(num_transforms, 0);
+  enc_mu_ = RegisterModule("enc_mu", std::make_shared<nn::Linear>(hidden, hidden));
+  enc_sigma_ =
+      RegisterModule("enc_sigma", std::make_shared<nn::Linear>(hidden, hidden));
+  dec_mu_ = RegisterModule("dec_mu", std::make_shared<nn::Linear>(hidden, hidden));
+  dec_sigma_ =
+      RegisterModule("dec_sigma", std::make_shared<nn::Linear>(hidden, hidden));
+  for (int64_t t = 0; t < num_transforms; ++t) {
+    step_mu_.push_back(RegisterModule(
+        "step_mu" + std::to_string(t),
+        std::make_shared<nn::Linear>(2 * hidden, hidden)));
+    step_sigma_.push_back(RegisterModule(
+        "step_sigma" + std::to_string(t),
+        std::make_shared<nn::Linear>(2 * hidden, hidden)));
+  }
+}
+
+Tensor NormalizingFlow::Forward(const Tensor& h_e, const Tensor& h_d,
+                                bool sample, Rng* rng) const {
+  CONFORMER_CHECK(variant_ != FlowVariant::kNone)
+      << "flow is disabled; caller must not invoke it";
+  CONFORMER_CHECK_EQ(h_e.size(-1), hidden_);
+  CONFORMER_CHECK_EQ(h_d.size(-1), hidden_);
+
+  // Eq. (15): z_e = mu_e(h_e) + sigma_e(h_e) * eps. Softplus keeps the
+  // scale positive; eps = 0 gives the deterministic mean path.
+  Tensor eps = sample ? Tensor::Randn(h_e.shape(), rng)
+                      : Tensor::Zeros(h_e.shape());
+  Tensor z_e =
+      Add(enc_mu_->Forward(h_e), Mul(Softplus(enc_sigma_->Forward(h_e)), eps));
+  if (variant_ == FlowVariant::kZe) return z_e;
+
+  if (variant_ == FlowVariant::kZd) {
+    // Eq. (15) applied to the decoder hidden state.
+    Tensor eps_d = sample ? Tensor::Randn(h_d.shape(), rng)
+                          : Tensor::Zeros(h_d.shape());
+    return Add(dec_mu_->Forward(h_d),
+               Mul(Softplus(dec_sigma_->Forward(h_d)), eps_d));
+  }
+
+  // Eq. (16): z_0 = mu_d(h_d) + sigma_d(h_d) * z_e.
+  Tensor z = Add(dec_mu_->Forward(h_d),
+                 Mul(Softplus(dec_sigma_->Forward(h_d)), z_e));
+  if (variant_ == FlowVariant::kZeZd) return z;
+
+  // Eq. (17): z_t = mu_t(h_d, z_{t-1}) + sigma_t(h_d, z_{t-1}) * z_{t-1}.
+  for (int64_t t = 0; t < num_transforms_; ++t) {
+    Tensor joint = Concat({h_d, z}, -1);
+    z = Add(step_mu_[t]->Forward(joint),
+            Mul(Softplus(step_sigma_[t]->Forward(joint)), z));
+  }
+  return z;
+}
+
+}  // namespace conformer::flow

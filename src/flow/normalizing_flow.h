@@ -1,0 +1,64 @@
+// Conformer's normalizing-flow forecasting head (Section IV-C, Eqs. 15-17):
+// a chain of conditional affine transformations seeded from the encoder RNN
+// hidden state and cascaded through the decoder RNN hidden state, generating
+// the target series directly ("generative fashion").
+//
+// Table VII's ablation variants — replacing the flow outcome z_t by z_e, z_d
+// or z_0 — are selected with FlowVariant.
+
+#ifndef CONFORMER_FLOW_NORMALIZING_FLOW_H_
+#define CONFORMER_FLOW_NORMALIZING_FLOW_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace conformer::flow {
+
+/// \brief Which latent feeds the output head (Table VII).
+enum class FlowVariant {
+  kFull,  ///< z_T after all transformations (Conformer).
+  kZe,    ///< Encoder Gaussian head only (Eq. 15).
+  kZd,    ///< Decoder Gaussian head only (Eq. 15 with h_d).
+  kZeZd,  ///< Flow initialisation z_0 only (Eq. 16).
+  kNone,  ///< Flow disabled (Conformer_-NF).
+};
+
+const char* FlowVariantName(FlowVariant variant);
+
+/// \brief Conditional affine normalizing flow over hidden states.
+class NormalizingFlow : public nn::Module {
+ public:
+  /// `hidden` is the dimension of h_e / h_d (and of the latent z);
+  /// `num_transforms` is T in Eq. (17) (paper default 2).
+  NormalizingFlow(int64_t hidden, int64_t num_transforms,
+                  FlowVariant variant = FlowVariant::kFull);
+
+  /// Produces the latent z for the output head. h_e, h_d: [B, hidden].
+  /// `sample` draws epsilon ~ N(0, I); when false epsilon = 0 (the mean
+  /// path used for deterministic evaluation).
+  Tensor Forward(const Tensor& h_e, const Tensor& h_d, bool sample,
+                 Rng* rng = nullptr) const;
+
+  FlowVariant variant() const { return variant_; }
+  int64_t num_transforms() const { return num_transforms_; }
+
+ private:
+  int64_t hidden_;
+  int64_t num_transforms_;
+  FlowVariant variant_;
+  std::shared_ptr<nn::Linear> enc_mu_;
+  std::shared_ptr<nn::Linear> enc_sigma_;
+  std::shared_ptr<nn::Linear> dec_mu_;
+  std::shared_ptr<nn::Linear> dec_sigma_;
+  // Per-transform conditioners on [h_d, z_{t-1}].
+  std::vector<std::shared_ptr<nn::Linear>> step_mu_;
+  std::vector<std::shared_ptr<nn::Linear>> step_sigma_;
+};
+
+}  // namespace conformer::flow
+
+#endif  // CONFORMER_FLOW_NORMALIZING_FLOW_H_

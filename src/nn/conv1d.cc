@@ -1,0 +1,30 @@
+#include "nn/conv1d.h"
+
+#include <cmath>
+
+#include "nn/init.h"
+
+namespace conformer::nn {
+
+Conv1dLayer::Conv1dLayer(int64_t in_channels, int64_t out_channels,
+                         int64_t kernel, int64_t padding, PadMode mode,
+                         bool bias, int64_t dilation)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      padding_(padding),
+      mode_(mode),
+      dilation_(dilation) {
+  const int64_t fan_in = in_channels * kernel;
+  weight_ = RegisterParameter(
+      "weight", KaimingUniform({out_channels, in_channels, kernel}, fan_in));
+  if (bias) {
+    const float bound = 1.0f / std::sqrt(static_cast<float>(fan_in));
+    bias_ = RegisterParameter("bias", UniformInit({out_channels}, bound));
+  }
+}
+
+Tensor Conv1dLayer::Forward(const Tensor& x) const {
+  return Conv1d(x, weight_, bias_, padding_, mode_, dilation_);
+}
+
+}  // namespace conformer::nn

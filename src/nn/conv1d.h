@@ -1,0 +1,38 @@
+// 1-D convolution layer.
+
+#ifndef CONFORMER_NN_CONV1D_H_
+#define CONFORMER_NN_CONV1D_H_
+
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace conformer::nn {
+
+/// \brief Conv over the time axis: input [B, Cin, L] -> [B, Cout, L'].
+///
+/// The "same"-padding circular mode matches the token embedding used by
+/// Informer-style models; Conformer's Eq. (5) value embedding uses it too.
+class Conv1dLayer : public Module {
+ public:
+  Conv1dLayer(int64_t in_channels, int64_t out_channels, int64_t kernel,
+              int64_t padding, PadMode mode = PadMode::kZeros,
+              bool bias = true, int64_t dilation = 1);
+
+  Tensor Forward(const Tensor& x) const;
+
+  int64_t in_channels() const { return in_channels_; }
+  int64_t out_channels() const { return out_channels_; }
+
+ private:
+  int64_t in_channels_;
+  int64_t out_channels_;
+  int64_t padding_;
+  PadMode mode_;
+  int64_t dilation_;
+  Tensor weight_;  // [Cout, Cin, K]
+  Tensor bias_;    // [Cout] or undefined
+};
+
+}  // namespace conformer::nn
+
+#endif  // CONFORMER_NN_CONV1D_H_

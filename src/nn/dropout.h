@@ -1,0 +1,25 @@
+// Inverted dropout layer (active only in training mode).
+
+#ifndef CONFORMER_NN_DROPOUT_H_
+#define CONFORMER_NN_DROPOUT_H_
+
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace conformer::nn {
+
+class Dropout : public Module {
+ public:
+  explicit Dropout(float p) : p_(p) {}
+
+  Tensor Forward(const Tensor& x) const {
+    return DropoutOp(x, p_, training());
+  }
+
+ private:
+  float p_;
+};
+
+}  // namespace conformer::nn
+
+#endif  // CONFORMER_NN_DROPOUT_H_

@@ -1,0 +1,94 @@
+#include "nn/gru.h"
+
+#include <cmath>
+
+#include "nn/init.h"
+
+namespace conformer::nn {
+
+GruCell::GruCell(int64_t input_size, int64_t hidden_size)
+    : input_size_(input_size), hidden_size_(hidden_size) {
+  const float bound = 1.0f / std::sqrt(static_cast<float>(hidden_size));
+  w_ih_ = RegisterParameter("w_ih",
+                            UniformInit({input_size, 3 * hidden_size}, bound));
+  w_hh_ = RegisterParameter("w_hh",
+                            UniformInit({hidden_size, 3 * hidden_size}, bound));
+  b_ih_ = RegisterParameter("b_ih", UniformInit({3 * hidden_size}, bound));
+  b_hh_ = RegisterParameter("b_hh", UniformInit({3 * hidden_size}, bound));
+}
+
+Tensor GruCell::Step(const Tensor& x, const Tensor& h) const {
+  CONFORMER_CHECK_EQ(x.size(-1), input_size_);
+  return StepPrecomputed(Add(MatMul(x, w_ih_), b_ih_), h);
+}
+
+Tensor GruCell::InputGates(const Tensor& x) const {
+  CONFORMER_CHECK_EQ(x.size(-1), input_size_);
+  const int64_t batch = x.size(0);
+  const int64_t length = x.size(1);
+  Tensor flat = Reshape(x, {batch * length, input_size_});
+  return Reshape(Add(MatMul(flat, w_ih_), b_ih_),
+                 {batch, length, 3 * hidden_size_});
+}
+
+Tensor GruCell::StepPrecomputed(const Tensor& gi, const Tensor& h) const {
+  const int64_t hs = hidden_size_;
+  Tensor gh = Add(MatMul(h, w_hh_), b_hh_);  // [B, 3h]
+  Tensor gi_r = Slice(gi, 1, 0, hs);
+  Tensor gi_z = Slice(gi, 1, hs, 2 * hs);
+  Tensor gi_n = Slice(gi, 1, 2 * hs, 3 * hs);
+  Tensor gh_r = Slice(gh, 1, 0, hs);
+  Tensor gh_z = Slice(gh, 1, hs, 2 * hs);
+  Tensor gh_n = Slice(gh, 1, 2 * hs, 3 * hs);
+  Tensor r = Sigmoid(Add(gi_r, gh_r));
+  Tensor z = Sigmoid(Add(gi_z, gh_z));
+  Tensor n = Tanh(Add(gi_n, Mul(r, gh_n)));
+  // h' = (1 - z) * n + z * h
+  return Add(Mul(Sub(Tensor::Ones(z.shape()), z), n), Mul(z, h));
+}
+
+Gru::Gru(int64_t input_size, int64_t hidden_size, int64_t num_layers)
+    : hidden_size_(hidden_size) {
+  CONFORMER_CHECK_GE(num_layers, 1);
+  for (int64_t l = 0; l < num_layers; ++l) {
+    const int64_t in = l == 0 ? input_size : hidden_size;
+    cells_.push_back(RegisterModule("layer" + std::to_string(l),
+                                    std::make_shared<GruCell>(in, hidden_size)));
+  }
+}
+
+GruOutput Gru::Forward(const Tensor& x) const {
+  CONFORMER_CHECK_EQ(x.dim(), 3) << "Gru expects [B, L, input]";
+  const int64_t batch = x.size(0);
+  const int64_t length = x.size(1);
+
+  std::vector<Tensor> states(cells_.size());
+  for (auto& s : states) s = Tensor::Zeros({batch, hidden_size_});
+
+  std::vector<Tensor> outputs;
+  outputs.reserve(length);
+  std::vector<Tensor> first_states(cells_.size());
+  // Layer 0's input-side projections for every step are one batched matmul;
+  // deeper layers consume freshly produced states and keep the step path.
+  Tensor gates0 = cells_[0]->InputGates(x);
+  for (int64_t t = 0; t < length; ++t) {
+    Tensor gi = Squeeze(Slice(gates0, 1, t, t + 1), 1);  // [B, 3h]
+    states[0] = cells_[0]->StepPrecomputed(gi, states[0]);
+    Tensor input = states[0];
+    if (t == 0) first_states[0] = states[0];
+    for (size_t l = 1; l < cells_.size(); ++l) {
+      states[l] = cells_[l]->Step(input, states[l]);
+      input = states[l];
+      if (t == 0) first_states[l] = states[l];
+    }
+    outputs.push_back(input);
+  }
+
+  GruOutput out;
+  out.output = StackTensors(outputs, /*dim=*/1);  // [B, L, h]
+  out.last_hidden = StackTensors(states, /*dim=*/0);
+  out.first_hidden = StackTensors(first_states, /*dim=*/0);
+  return out;
+}
+
+}  // namespace conformer::nn

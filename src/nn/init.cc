@@ -1,0 +1,22 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace conformer::nn {
+
+Tensor XavierUniform(const Shape& shape, int64_t fan_in, int64_t fan_out,
+                     Rng* rng) {
+  const float a = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Tensor::Rand(shape, -a, a, rng);
+}
+
+Tensor KaimingUniform(const Shape& shape, int64_t fan_in, Rng* rng) {
+  const float a = std::sqrt(6.0f / static_cast<float>(fan_in));
+  return Tensor::Rand(shape, -a, a, rng);
+}
+
+Tensor UniformInit(const Shape& shape, float bound, Rng* rng) {
+  return Tensor::Rand(shape, -bound, bound, rng);
+}
+
+}  // namespace conformer::nn

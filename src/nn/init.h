@@ -1,0 +1,23 @@
+// Weight initialization schemes.
+
+#ifndef CONFORMER_NN_INIT_H_
+#define CONFORMER_NN_INIT_H_
+
+#include "tensor/tensor.h"
+#include "util/random.h"
+
+namespace conformer::nn {
+
+/// Xavier/Glorot uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+Tensor XavierUniform(const Shape& shape, int64_t fan_in, int64_t fan_out,
+                     Rng* rng = nullptr);
+
+/// Kaiming/He uniform for ReLU-family layers: U(-a, a), a = sqrt(6 / fan_in).
+Tensor KaimingUniform(const Shape& shape, int64_t fan_in, Rng* rng = nullptr);
+
+/// U(-bound, bound), the default bias init (bound = 1/sqrt(fan_in)).
+Tensor UniformInit(const Shape& shape, float bound, Rng* rng = nullptr);
+
+}  // namespace conformer::nn
+
+#endif  // CONFORMER_NN_INIT_H_

@@ -1,0 +1,20 @@
+#include "nn/layer_norm.h"
+
+namespace conformer::nn {
+
+LayerNorm::LayerNorm(int64_t features, float eps)
+    : features_(features), eps_(eps) {
+  gamma_ = RegisterParameter("gamma", Tensor::Ones({features}));
+  beta_ = RegisterParameter("beta", Tensor::Zeros({features}));
+}
+
+Tensor LayerNorm::Forward(const Tensor& x) const {
+  CONFORMER_CHECK_EQ(x.size(-1), features_);
+  Tensor mu = Mean(x, {-1}, /*keepdim=*/true);
+  Tensor centered = Sub(x, mu);
+  Tensor var = Mean(Mul(centered, centered), {-1}, /*keepdim=*/true);
+  Tensor norm = Div(centered, Sqrt(AddScalar(var, eps_)));
+  return Add(Mul(norm, gamma_), beta_);
+}
+
+}  // namespace conformer::nn

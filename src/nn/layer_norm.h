@@ -1,0 +1,28 @@
+// Layer normalization over the trailing feature dimension.
+
+#ifndef CONFORMER_NN_LAYER_NORM_H_
+#define CONFORMER_NN_LAYER_NORM_H_
+
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace conformer::nn {
+
+/// \brief y = gamma * (x - mean) / sqrt(var + eps) + beta, statistics over
+/// the last dim.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int64_t features, float eps = 1e-5f);
+
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  int64_t features_;
+  float eps_;
+  Tensor gamma_;
+  Tensor beta_;
+};
+
+}  // namespace conformer::nn
+
+#endif  // CONFORMER_NN_LAYER_NORM_H_

@@ -1,0 +1,32 @@
+#include "nn/linear.h"
+
+#include <cmath>
+
+#include "nn/init.h"
+
+namespace conformer::nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, bool bias)
+    : in_features_(in_features), out_features_(out_features) {
+  weight_ = RegisterParameter(
+      "weight", XavierUniform({in_features, out_features}, in_features,
+                              out_features));
+  if (bias) {
+    const float bound = 1.0f / std::sqrt(static_cast<float>(in_features));
+    bias_ = RegisterParameter("bias", UniformInit({out_features}, bound));
+  }
+}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  CONFORMER_CHECK_EQ(x.size(-1), in_features_)
+      << "Linear expects trailing dim " << in_features_;
+  // Flatten leading dims so MatMul sees rank 2, then restore.
+  Shape out_shape = x.shape();
+  out_shape.back() = out_features_;
+  Tensor flat = Reshape(x, {-1, in_features_});
+  Tensor out = MatMul(flat, weight_);
+  if (bias_.defined()) out = Add(out, bias_);
+  return Reshape(out, std::move(out_shape));
+}
+
+}  // namespace conformer::nn

@@ -1,0 +1,30 @@
+// Fully connected layer.
+
+#ifndef CONFORMER_NN_LINEAR_H_
+#define CONFORMER_NN_LINEAR_H_
+
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace conformer::nn {
+
+/// \brief y = x W + b for x of shape [..., in_features].
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, bool bias = true);
+
+  Tensor Forward(const Tensor& x) const;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  Tensor weight_;  // [in, out]
+  Tensor bias_;    // [out] or undefined
+};
+
+}  // namespace conformer::nn
+
+#endif  // CONFORMER_NN_LINEAR_H_

@@ -1,0 +1,77 @@
+#include "nn/lstm.h"
+
+#include <cmath>
+
+#include "nn/init.h"
+
+namespace conformer::nn {
+
+LstmCell::LstmCell(int64_t input_size, int64_t hidden_size)
+    : input_size_(input_size), hidden_size_(hidden_size) {
+  const float bound = 1.0f / std::sqrt(static_cast<float>(hidden_size));
+  w_ih_ = RegisterParameter("w_ih",
+                            UniformInit({input_size, 4 * hidden_size}, bound));
+  w_hh_ = RegisterParameter("w_hh",
+                            UniformInit({hidden_size, 4 * hidden_size}, bound));
+  b_ih_ = RegisterParameter("b_ih", UniformInit({4 * hidden_size}, bound));
+  b_hh_ = RegisterParameter("b_hh", UniformInit({4 * hidden_size}, bound));
+}
+
+std::pair<Tensor, Tensor> LstmCell::Step(const Tensor& x, const Tensor& h,
+                                         const Tensor& c) const {
+  CONFORMER_CHECK_EQ(x.size(-1), input_size_);
+  const int64_t hs = hidden_size_;
+  Tensor gates = Add(Add(MatMul(x, w_ih_), b_ih_),
+                     Add(MatMul(h, w_hh_), b_hh_));  // [B, 4h]
+  Tensor i = Sigmoid(Slice(gates, 1, 0, hs));
+  Tensor f = Sigmoid(Slice(gates, 1, hs, 2 * hs));
+  Tensor g = Tanh(Slice(gates, 1, 2 * hs, 3 * hs));
+  Tensor o = Sigmoid(Slice(gates, 1, 3 * hs, 4 * hs));
+  Tensor c_next = Add(Mul(f, c), Mul(i, g));
+  Tensor h_next = Mul(o, Tanh(c_next));
+  return {h_next, c_next};
+}
+
+Lstm::Lstm(int64_t input_size, int64_t hidden_size, int64_t num_layers)
+    : hidden_size_(hidden_size) {
+  CONFORMER_CHECK_GE(num_layers, 1);
+  for (int64_t l = 0; l < num_layers; ++l) {
+    const int64_t in = l == 0 ? input_size : hidden_size;
+    cells_.push_back(RegisterModule(
+        "layer" + std::to_string(l), std::make_shared<LstmCell>(in, hidden_size)));
+  }
+}
+
+LstmOutput Lstm::Forward(const Tensor& x) const {
+  CONFORMER_CHECK_EQ(x.dim(), 3) << "Lstm expects [B, L, input]";
+  const int64_t batch = x.size(0);
+  const int64_t length = x.size(1);
+
+  std::vector<Tensor> h(cells_.size());
+  std::vector<Tensor> c(cells_.size());
+  for (size_t l = 0; l < cells_.size(); ++l) {
+    h[l] = Tensor::Zeros({batch, hidden_size_});
+    c[l] = Tensor::Zeros({batch, hidden_size_});
+  }
+
+  std::vector<Tensor> outputs;
+  outputs.reserve(length);
+  for (int64_t t = 0; t < length; ++t) {
+    Tensor input = Squeeze(Slice(x, 1, t, t + 1), 1);
+    for (size_t l = 0; l < cells_.size(); ++l) {
+      auto [h_next, c_next] = cells_[l]->Step(input, h[l], c[l]);
+      h[l] = h_next;
+      c[l] = c_next;
+      input = h[l];
+    }
+    outputs.push_back(input);
+  }
+
+  LstmOutput out;
+  out.output = StackTensors(outputs, 1);
+  out.last_hidden = StackTensors(h, 0);
+  out.last_cell = StackTensors(c, 0);
+  return out;
+}
+
+}  // namespace conformer::nn

@@ -1,0 +1,59 @@
+// Long short-term memory layer (Hochreiter & Schmidhuber), the other
+// recurrent unit the paper's related work leans on. Interface mirrors Gru.
+
+#ifndef CONFORMER_NN_LSTM_H_
+#define CONFORMER_NN_LSTM_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace conformer::nn {
+
+/// \brief Output of an LSTM forward pass.
+struct LstmOutput {
+  Tensor output;       ///< [B, L, hidden] — top-layer hidden states.
+  Tensor last_hidden;  ///< [num_layers, B, hidden].
+  Tensor last_cell;    ///< [num_layers, B, hidden].
+};
+
+/// \brief One LSTM layer (torch gate layout i, f, g, o).
+class LstmCell : public Module {
+ public:
+  LstmCell(int64_t input_size, int64_t hidden_size);
+
+  /// One step; returns (h', c').
+  std::pair<Tensor, Tensor> Step(const Tensor& x, const Tensor& h,
+                                 const Tensor& c) const;
+
+  int64_t hidden_size() const { return hidden_size_; }
+
+ private:
+  int64_t input_size_;
+  int64_t hidden_size_;
+  Tensor w_ih_;  // [input, 4*hidden]
+  Tensor w_hh_;  // [hidden, 4*hidden]
+  Tensor b_ih_;  // [4*hidden]
+  Tensor b_hh_;  // [4*hidden]
+};
+
+/// \brief Stacked LSTM over a [B, L, input] sequence.
+class Lstm : public Module {
+ public:
+  Lstm(int64_t input_size, int64_t hidden_size, int64_t num_layers = 1);
+
+  LstmOutput Forward(const Tensor& x) const;
+
+  int64_t hidden_size() const { return hidden_size_; }
+  int64_t num_layers() const { return static_cast<int64_t>(cells_.size()); }
+
+ private:
+  int64_t hidden_size_;
+  std::vector<std::shared_ptr<LstmCell>> cells_;
+};
+
+}  // namespace conformer::nn
+
+#endif  // CONFORMER_NN_LSTM_H_

@@ -1,0 +1,41 @@
+#include "nn/mlp.h"
+
+#include "tensor/ops.h"
+
+namespace conformer::nn {
+
+Tensor ApplyActivation(const Tensor& x, Activation activation) {
+  switch (activation) {
+    case Activation::kRelu:
+      return Relu(x);
+    case Activation::kGelu:
+      return Gelu(x);
+    case Activation::kTanh:
+      return Tanh(x);
+    case Activation::kNone:
+      return x;
+  }
+  CONFORMER_CHECK(false) << "unknown activation";
+  return x;
+}
+
+Mlp::Mlp(const std::vector<int64_t>& sizes, Activation activation)
+    : activation_(activation) {
+  CONFORMER_CHECK_GE(sizes.size(), 2u) << "Mlp needs at least in/out sizes";
+  for (size_t i = 0; i + 1 < sizes.size(); ++i) {
+    layers_.push_back(
+        RegisterModule("fc" + std::to_string(i),
+                       std::make_shared<Linear>(sizes[i], sizes[i + 1])));
+  }
+}
+
+Tensor Mlp::Forward(const Tensor& x) const {
+  Tensor h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->Forward(h);
+    if (i + 1 < layers_.size()) h = ApplyActivation(h, activation_);
+  }
+  return h;
+}
+
+}  // namespace conformer::nn

@@ -1,0 +1,37 @@
+// Multi-layer perceptron convenience module: a stack of Linear layers with
+// a chosen activation between them.
+
+#ifndef CONFORMER_NN_MLP_H_
+#define CONFORMER_NN_MLP_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace conformer::nn {
+
+enum class Activation { kRelu, kGelu, kTanh, kNone };
+
+/// \brief Linear stack: sizes {in, h1, ..., out}; `activation` is applied
+/// after every layer except the last.
+class Mlp : public Module {
+ public:
+  Mlp(const std::vector<int64_t>& sizes, Activation activation = Activation::kRelu);
+
+  Tensor Forward(const Tensor& x) const;
+
+  int64_t num_layers() const { return static_cast<int64_t>(layers_.size()); }
+
+ private:
+  Activation activation_;
+  std::vector<std::shared_ptr<Linear>> layers_;
+};
+
+/// Applies the named activation.
+Tensor ApplyActivation(const Tensor& x, Activation activation);
+
+}  // namespace conformer::nn
+
+#endif  // CONFORMER_NN_MLP_H_

@@ -1,0 +1,51 @@
+#include "nn/module.h"
+
+namespace conformer::nn {
+
+std::vector<Tensor> Module::Parameters() const {
+  std::vector<std::pair<std::string, Tensor>> named = NamedParameters();
+  std::vector<Tensor> out;
+  out.reserve(named.size());
+  for (auto& [name, tensor] : named) out.push_back(tensor);
+  return out;
+}
+
+std::vector<std::pair<std::string, Tensor>> Module::NamedParameters() const {
+  std::vector<std::pair<std::string, Tensor>> out;
+  CollectNamed("", &out);
+  return out;
+}
+
+void Module::CollectNamed(
+    const std::string& prefix,
+    std::vector<std::pair<std::string, Tensor>>* out) const {
+  for (const auto& [name, tensor] : params_) {
+    out->emplace_back(prefix.empty() ? name : prefix + "." + name, tensor);
+  }
+  for (const auto& [name, child] : children_) {
+    child->CollectNamed(prefix.empty() ? name : prefix + "." + name, out);
+  }
+}
+
+int64_t Module::NumParameters() const {
+  int64_t total = 0;
+  for (const Tensor& t : Parameters()) total += t.numel();
+  return total;
+}
+
+void Module::SetTraining(bool training) {
+  training_ = training;
+  for (auto& [name, child] : children_) child->SetTraining(training);
+}
+
+void Module::ZeroGrad() {
+  for (Tensor& t : Parameters()) t.ZeroGrad();
+}
+
+Tensor Module::RegisterParameter(const std::string& name, Tensor tensor) {
+  tensor.set_requires_grad(true);
+  params_.emplace_back(name, tensor);
+  return tensor;
+}
+
+}  // namespace conformer::nn

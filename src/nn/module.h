@@ -1,0 +1,69 @@
+// Base class for neural-network modules: owns the parameter / submodule
+// registry used by optimizers, serialization, and train/eval mode switching.
+
+#ifndef CONFORMER_NN_MODULE_H_
+#define CONFORMER_NN_MODULE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace conformer::nn {
+
+/// \brief Base for all layers and models.
+///
+/// Subclasses register their learnable tensors with RegisterParameter and
+/// their children with RegisterModule; Parameters()/NamedParameters() then
+/// walk the whole tree.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All learnable tensors of this module and its descendants.
+  std::vector<Tensor> Parameters() const;
+
+  /// Parameters with hierarchical dotted names ("encoder.attn.wq").
+  std::vector<std::pair<std::string, Tensor>> NamedParameters() const;
+
+  /// Total learnable element count.
+  int64_t NumParameters() const;
+
+  /// Switches train/eval mode for this module and all descendants
+  /// (affects dropout).
+  void SetTraining(bool training);
+  bool training() const { return training_; }
+
+  /// Zeroes every parameter gradient in the tree.
+  void ZeroGrad();
+
+ protected:
+  /// Registers `tensor` as a learnable leaf and returns it.
+  Tensor RegisterParameter(const std::string& name, Tensor tensor);
+
+  /// Registers a child module and returns the typed pointer.
+  template <typename M>
+  std::shared_ptr<M> RegisterModule(const std::string& name,
+                                    std::shared_ptr<M> module) {
+    children_.emplace_back(name, module);
+    return module;
+  }
+
+ private:
+  void CollectNamed(const std::string& prefix,
+                    std::vector<std::pair<std::string, Tensor>>* out) const;
+
+  std::vector<std::pair<std::string, Tensor>> params_;
+  std::vector<std::pair<std::string, std::shared_ptr<Module>>> children_;
+  bool training_ = true;
+};
+
+}  // namespace conformer::nn
+
+#endif  // CONFORMER_NN_MODULE_H_

@@ -1,0 +1,93 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+
+namespace conformer::nn {
+
+namespace {
+constexpr uint32_t kMagic = 0xC04F04E8;  // "Conformer" checkpoint marker.
+}  // namespace
+
+Status SaveModule(const Module& module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+
+  const auto named = module.NamedParameters();
+  const uint32_t magic = kMagic;
+  const uint64_t count = named.size();
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& [name, tensor] : named) {
+    const uint64_t name_len = name.size();
+    out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
+    out.write(name.data(), static_cast<std::streamsize>(name_len));
+    const uint64_t rank = tensor.shape().size();
+    out.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+    for (int64_t d : tensor.shape()) {
+      const int64_t dim = d;
+      out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+    }
+    out.write(reinterpret_cast<const char*>(tensor.data()),
+              static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Status LoadModule(Module* module, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+
+  uint32_t magic = 0;
+  uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!in || magic != kMagic) {
+    return Status::InvalidArgument("not a conformer checkpoint: " + path);
+  }
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+
+  std::map<std::string, Tensor> by_name;
+  for (auto& [name, tensor] : module->NamedParameters()) {
+    by_name.emplace(name, tensor);
+  }
+
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t name_len = 0;
+    in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
+    if (!in || name_len > 4096) {
+      return Status::IOError("corrupt checkpoint (name length): " + path);
+    }
+    std::string name(name_len, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(name_len));
+    uint64_t rank = 0;
+    in.read(reinterpret_cast<char*>(&rank), sizeof(rank));
+    if (!in || rank > 16) {
+      return Status::IOError("corrupt checkpoint (rank): " + path);
+    }
+    Shape shape(rank);
+    for (uint64_t d = 0; d < rank; ++d) {
+      in.read(reinterpret_cast<char*>(&shape[d]), sizeof(int64_t));
+    }
+    const int64_t numel = NumElements(shape);
+    std::vector<float> values(numel);
+    in.read(reinterpret_cast<char*>(values.data()),
+            static_cast<std::streamsize>(numel * sizeof(float)));
+    if (!in) return Status::IOError("corrupt checkpoint (data): " + path);
+
+    auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      return Status::NotFound("parameter '" + name + "' not in module");
+    }
+    if (it->second.shape() != shape) {
+      return Status::InvalidArgument(
+          "shape mismatch for '" + name + "': file " + ShapeToString(shape) +
+          " vs module " + ShapeToString(it->second.shape()));
+    }
+    it->second.CopyDataFrom(Tensor::FromVector(std::move(values), shape));
+  }
+  return Status::OK();
+}
+
+}  // namespace conformer::nn

@@ -1,0 +1,24 @@
+// Model checkpointing: saves / loads a module's named parameters to a simple
+// binary format (magic, count, then per-parameter name + shape + float data).
+
+#ifndef CONFORMER_NN_SERIALIZE_H_
+#define CONFORMER_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "nn/module.h"
+#include "util/status.h"
+
+namespace conformer::nn {
+
+/// Writes every named parameter of `module` to `path`.
+Status SaveModule(const Module& module, const std::string& path);
+
+/// Loads parameters by name into `module`. Fails if a stored name is missing
+/// from the module or shapes differ; parameters absent from the file are
+/// left untouched.
+Status LoadModule(Module* module, const std::string& path);
+
+}  // namespace conformer::nn
+
+#endif  // CONFORMER_NN_SERIALIZE_H_

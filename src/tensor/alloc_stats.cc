@@ -1,0 +1,29 @@
+#include "tensor/alloc_stats.h"
+
+#include <algorithm>
+
+namespace conformer {
+
+namespace {
+AllocStats g_stats;
+}  // namespace
+
+AllocStats GetAllocStats() { return g_stats; }
+
+void ResetAllocPeak() {
+  g_stats.peak_bytes = g_stats.current_bytes;
+  g_stats.total_allocs = 0;
+}
+
+namespace internal {
+
+void RecordAlloc(int64_t bytes) {
+  g_stats.current_bytes += bytes;
+  g_stats.peak_bytes = std::max(g_stats.peak_bytes, g_stats.current_bytes);
+  g_stats.total_allocs += 1;
+}
+
+void RecordFree(int64_t bytes) { g_stats.current_bytes -= bytes; }
+
+}  // namespace internal
+}  // namespace conformer

@@ -1,0 +1,59 @@
+#include "tensor/gradcheck.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace conformer {
+
+GradCheckResult CheckGradients(
+    const std::function<Tensor(const std::vector<Tensor>&)>& f,
+    std::vector<Tensor> inputs, double eps, double tolerance) {
+  GradCheckResult result;
+
+  // Analytic gradients.
+  for (Tensor& t : inputs) t.ZeroGrad();
+  Tensor out = f(inputs);
+  CONFORMER_CHECK_EQ(out.numel(), 1) << "gradcheck needs a scalar function";
+  out.Backward();
+  std::vector<std::vector<float>> analytic;
+  analytic.reserve(inputs.size());
+  for (Tensor& t : inputs) {
+    Tensor g = t.grad();
+    analytic.emplace_back(g.data(), g.data() + g.numel());
+  }
+
+  // Numeric gradients by central differences, one element at a time.
+  for (size_t ti = 0; ti < inputs.size(); ++ti) {
+    Tensor& t = inputs[ti];
+    if (!t.requires_grad()) continue;
+    for (int64_t i = 0; i < t.numel(); ++i) {
+      const float original = t.data()[i];
+      t.data()[i] = original + static_cast<float>(eps);
+      double plus = 0.0;
+      double minus = 0.0;
+      {
+        NoGradGuard guard;
+        plus = f(inputs).item();
+        t.data()[i] = original - static_cast<float>(eps);
+        minus = f(inputs).item();
+      }
+      t.data()[i] = original;
+      const double numeric = (plus - minus) / (2.0 * eps);
+      const double error = std::fabs(numeric - analytic[ti][i]);
+      const double scale = std::max({1.0, std::fabs(numeric),
+                                     std::fabs(static_cast<double>(analytic[ti][i]))});
+      result.max_abs_error = std::max(result.max_abs_error, error / scale);
+      if (error / scale > tolerance) {
+        std::ostringstream msg;
+        msg << "input " << ti << " element " << i << ": analytic "
+            << analytic[ti][i] << " vs numeric " << numeric;
+        result.passed = false;
+        result.message = msg.str();
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace conformer

@@ -1,0 +1,31 @@
+// Numerical gradient checking for tests: compares analytic backward results
+// against central finite differences.
+
+#ifndef CONFORMER_TENSOR_GRADCHECK_H_
+#define CONFORMER_TENSOR_GRADCHECK_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace conformer {
+
+/// \brief Outcome of a gradient check.
+struct GradCheckResult {
+  bool passed = true;
+  double max_abs_error = 0.0;
+  std::string message;  ///< Set when failed: which input/element diverged.
+};
+
+/// Checks d f(inputs) / d inputs for a scalar-valued `f`. Each input is
+/// perturbed elementwise by +/- eps (central differences). Inputs must have
+/// requires_grad set by the caller.
+GradCheckResult CheckGradients(
+    const std::function<Tensor(const std::vector<Tensor>&)>& f,
+    std::vector<Tensor> inputs, double eps = 1e-3, double tolerance = 5e-2);
+
+}  // namespace conformer
+
+#endif  // CONFORMER_TENSOR_GRADCHECK_H_

@@ -1,0 +1,122 @@
+#include "tensor/kernels.h"
+
+#include <cstring>
+
+namespace conformer::kernels {
+
+void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+          const float* a, const float* b, float* c, bool accumulate) {
+  if (!accumulate) std::memset(c, 0, sizeof(float) * m * n);
+  // Row-major loops ordered for unit-stride inner access where possible.
+  if (!trans_a && !trans_b) {
+    // a: m x k, b: k x n
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t p = 0; p < k; ++p) {
+        const float aip = a[i * k + p];
+        if (aip == 0.0f) continue;
+        const float* brow = b + p * n;
+        float* crow = c + i * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+      }
+    }
+  } else if (!trans_a && trans_b) {
+    // a: m x k, b: n x k
+    for (int64_t i = 0; i < m; ++i) {
+      const float* arow = a + i * k;
+      for (int64_t j = 0; j < n; ++j) {
+        const float* brow = b + j * k;
+        float acc = 0.0f;
+        for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        c[i * n + j] += acc;
+      }
+    }
+  } else if (trans_a && !trans_b) {
+    // a: k x m, b: k x n
+    for (int64_t p = 0; p < k; ++p) {
+      const float* arow = a + p * m;
+      const float* brow = b + p * n;
+      for (int64_t i = 0; i < m; ++i) {
+        const float api = arow[i];
+        if (api == 0.0f) continue;
+        float* crow = c + i * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += api * brow[j];
+      }
+    }
+  } else {
+    // a: k x m, b: n x k
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        float acc = 0.0f;
+        for (int64_t p = 0; p < k; ++p) acc += a[p * m + i] * b[j * k + p];
+        c[i * n + j] += acc;
+      }
+    }
+  }
+}
+
+void Axpy(int64_t n, float alpha, const float* x, float* out) {
+  for (int64_t i = 0; i < n; ++i) out[i] += alpha * x[i];
+}
+
+Shape BroadcastShape(const Shape& a, const Shape& b) {
+  const int64_t rank = std::max(a.size(), b.size());
+  Shape out(rank);
+  for (int64_t i = 0; i < rank; ++i) {
+    const int64_t ad = i < static_cast<int64_t>(rank - a.size())
+                           ? 1
+                           : a[i - (rank - a.size())];
+    const int64_t bd = i < static_cast<int64_t>(rank - b.size())
+                           ? 1
+                           : b[i - (rank - b.size())];
+    CONFORMER_CHECK(ad == bd || ad == 1 || bd == 1)
+        << "cannot broadcast " << ShapeToString(a) << " with "
+        << ShapeToString(b);
+    out[i] = std::max(ad, bd);
+  }
+  return out;
+}
+
+std::vector<int64_t> BroadcastStrides(const Shape& from, const Shape& to) {
+  const int64_t rank = static_cast<int64_t>(to.size());
+  const int64_t offset = rank - static_cast<int64_t>(from.size());
+  CONFORMER_CHECK_GE(offset, 0);
+  std::vector<int64_t> from_strides = ContiguousStrides(from);
+  std::vector<int64_t> strides(rank, 0);
+  for (int64_t i = 0; i < static_cast<int64_t>(from.size()); ++i) {
+    const int64_t d = i + offset;
+    if (from[i] == to[d]) {
+      strides[d] = from_strides[i];
+    } else {
+      CONFORMER_CHECK_EQ(from[i], 1)
+          << "shape " << ShapeToString(from) << " does not broadcast to "
+          << ShapeToString(to);
+      strides[d] = 0;
+    }
+  }
+  return strides;
+}
+
+void ReduceGradToShape(const float* grad, const Shape& grad_shape, float* out,
+                       const Shape& target_shape) {
+  if (grad_shape == target_shape) {
+    Axpy(NumElements(grad_shape), 1.0f, grad, out);
+    return;
+  }
+  const std::vector<int64_t> strides = BroadcastStrides(target_shape, grad_shape);
+  const int64_t rank = static_cast<int64_t>(grad_shape.size());
+  const int64_t n = NumElements(grad_shape);
+  std::vector<int64_t> index(rank, 0);
+  int64_t out_off = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    out[out_off] += grad[i];
+    for (int64_t d = rank - 1; d >= 0; --d) {
+      ++index[d];
+      out_off += strides[d];
+      if (index[d] < grad_shape[d]) break;
+      index[d] = 0;
+      out_off -= strides[d] * grad_shape[d];
+    }
+  }
+}
+
+}  // namespace conformer::kernels

@@ -1,0 +1,71 @@
+// Raw float-array compute kernels shared by op forward and backward passes.
+// These know nothing about autograd.
+
+#ifndef CONFORMER_TENSOR_KERNELS_H_
+#define CONFORMER_TENSOR_KERNELS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace conformer::kernels {
+
+/// C (m x n) += or = A (m x k) * B (k x n), row-major, with optional
+/// transposes interpreted on the logical matrices.
+void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+          const float* a, const float* b, float* c, bool accumulate);
+
+/// out[i] += alpha * x[i]
+void Axpy(int64_t n, float alpha, const float* x, float* out);
+
+/// The shape both operands broadcast to (numpy rules); CHECK-fails if
+/// incompatible.
+Shape BroadcastShape(const Shape& a, const Shape& b);
+
+/// Strides for reading a tensor of shape `from` as if it had shape `to`
+/// (stride 0 on broadcast dimensions). `from` must broadcast to `to`.
+std::vector<int64_t> BroadcastStrides(const Shape& from, const Shape& to);
+
+/// Applies `f(a_i, b_i)` elementwise with broadcasting; `out` must have
+/// NumElements(out_shape) entries.
+template <typename Fn>
+void BroadcastBinary(const float* a, const Shape& a_shape, const float* b,
+                     const Shape& b_shape, float* out, const Shape& out_shape,
+                     Fn f) {
+  const int64_t n = NumElements(out_shape);
+  if (a_shape == out_shape && b_shape == out_shape) {
+    for (int64_t i = 0; i < n; ++i) out[i] = f(a[i], b[i]);
+    return;
+  }
+  const std::vector<int64_t> a_strides = BroadcastStrides(a_shape, out_shape);
+  const std::vector<int64_t> b_strides = BroadcastStrides(b_shape, out_shape);
+  const std::vector<int64_t> out_strides = ContiguousStrides(out_shape);
+  const int64_t rank = static_cast<int64_t>(out_shape.size());
+  std::vector<int64_t> index(rank, 0);
+  int64_t a_off = 0;
+  int64_t b_off = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] = f(a[a_off], b[b_off]);
+    // Odometer increment with incremental offset updates.
+    for (int64_t d = rank - 1; d >= 0; --d) {
+      ++index[d];
+      a_off += a_strides[d];
+      b_off += b_strides[d];
+      if (index[d] < out_shape[d]) break;
+      index[d] = 0;
+      a_off -= a_strides[d] * out_shape[d];
+      b_off -= b_strides[d] * out_shape[d];
+    }
+  }
+}
+
+/// Sums `grad` (of shape `grad_shape`) down to `target_shape` (which must
+/// broadcast to `grad_shape`), writing into `out` (pre-zeroed by caller or
+/// accumulated; this function ACCUMULATES).
+void ReduceGradToShape(const float* grad, const Shape& grad_shape,
+                       float* out, const Shape& target_shape);
+
+}  // namespace conformer::kernels
+
+#endif  // CONFORMER_TENSOR_KERNELS_H_

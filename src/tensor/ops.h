@@ -1,0 +1,169 @@
+// Differentiable tensor operations. Every function returns a fresh tensor
+// and records an autograd node when recording is enabled (see NoGradGuard).
+//
+// Implementations are split across ops_*.cc by family:
+//   elementwise | matmul | reduce | shape | index | conv | nn
+
+#ifndef CONFORMER_TENSOR_OPS_H_
+#define CONFORMER_TENSOR_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/random.h"
+
+namespace conformer {
+
+// -- Elementwise binary (numpy broadcasting) ------------------------------
+
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Div(const Tensor& a, const Tensor& b);
+/// max(a, b) elementwise; gradient flows to the larger input (ties to `a`).
+Tensor Maximum(const Tensor& a, const Tensor& b);
+
+inline Tensor operator+(const Tensor& a, const Tensor& b) { return Add(a, b); }
+inline Tensor operator-(const Tensor& a, const Tensor& b) { return Sub(a, b); }
+inline Tensor operator*(const Tensor& a, const Tensor& b) { return Mul(a, b); }
+inline Tensor operator/(const Tensor& a, const Tensor& b) { return Div(a, b); }
+
+// -- Elementwise with scalar ----------------------------------------------
+
+Tensor AddScalar(const Tensor& a, float s);
+Tensor MulScalar(const Tensor& a, float s);
+/// a^p elementwise (a must be positive unless p is a small integer).
+Tensor PowScalar(const Tensor& a, float p);
+
+inline Tensor operator+(const Tensor& a, float s) { return AddScalar(a, s); }
+inline Tensor operator-(const Tensor& a, float s) { return AddScalar(a, -s); }
+inline Tensor operator*(const Tensor& a, float s) { return MulScalar(a, s); }
+inline Tensor operator/(const Tensor& a, float s) { return MulScalar(a, 1.0f / s); }
+inline Tensor operator*(float s, const Tensor& a) { return MulScalar(a, s); }
+
+// -- Elementwise unary ------------------------------------------------------
+
+Tensor Neg(const Tensor& a);
+Tensor Exp(const Tensor& a);
+/// Natural log; inputs must be positive.
+Tensor Log(const Tensor& a);
+Tensor Sqrt(const Tensor& a);
+Tensor Abs(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+Tensor Sigmoid(const Tensor& a);
+Tensor Relu(const Tensor& a);
+/// Gaussian error linear unit (tanh approximation).
+Tensor Gelu(const Tensor& a);
+/// log(1 + e^x), numerically stabilized.
+Tensor Softplus(const Tensor& a);
+Tensor Sin(const Tensor& a);
+Tensor Cos(const Tensor& a);
+/// Clamps values into [lo, hi]; gradient is zero outside the interval.
+Tensor Clamp(const Tensor& a, float lo, float hi);
+
+inline Tensor operator-(const Tensor& a) { return Neg(a); }
+
+// -- Matrix multiplication ---------------------------------------------------
+
+/// Batched matmul: [..., m, k] x [..., k, n] -> [..., m, n]. Leading batch
+/// dims broadcast. Rank-2 inputs work as plain matmul.
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+// -- Reductions -------------------------------------------------------------
+
+/// Sum over `dims` (all dims when empty). Negative dims allowed.
+Tensor Sum(const Tensor& a, std::vector<int64_t> dims = {}, bool keepdim = false);
+Tensor Mean(const Tensor& a, std::vector<int64_t> dims = {}, bool keepdim = false);
+/// Max over one dim; gradient routes to the (first) argmax.
+Tensor Max(const Tensor& a, int64_t dim, bool keepdim = false);
+Tensor Min(const Tensor& a, int64_t dim, bool keepdim = false);
+/// Population variance over `dims` (biased, matching LayerNorm's usage).
+Tensor Variance(const Tensor& a, std::vector<int64_t> dims, bool keepdim = false);
+
+// -- Shape manipulation -------------------------------------------------------
+
+/// Reshape to `shape`; one entry may be -1 (inferred). Data order preserved.
+Tensor Reshape(const Tensor& a, Shape shape);
+/// Permutes dimensions; `perm` is the new order of old dims.
+Tensor Permute(const Tensor& a, std::vector<int64_t> perm);
+/// Swaps two dimensions.
+Tensor Transpose(const Tensor& a, int64_t d0, int64_t d1);
+/// Slice along `dim`: elements [start, end) with the given step.
+Tensor Slice(const Tensor& a, int64_t dim, int64_t start, int64_t end,
+             int64_t step = 1);
+/// Concatenates along `dim`; all other dims must match.
+Tensor Concat(const std::vector<Tensor>& parts, int64_t dim);
+/// Stacks equal-shaped tensors along a new leading `dim`.
+Tensor StackTensors(const std::vector<Tensor>& parts, int64_t dim = 0);
+Tensor Unsqueeze(const Tensor& a, int64_t dim);
+Tensor Squeeze(const Tensor& a, int64_t dim);
+/// Pads `dim` with `before`/`after` constant values.
+Tensor Pad(const Tensor& a, int64_t dim, int64_t before, int64_t after,
+           float value = 0.0f);
+/// Pads `dim` by replicating the edge values (Autoformer's moving-average
+/// padding convention).
+Tensor ReplicatePad(const Tensor& a, int64_t dim, int64_t before, int64_t after);
+/// Materializes a broadcast to `shape`.
+Tensor BroadcastTo(const Tensor& a, const Shape& shape);
+/// Repeats the tensor `repeats[d]` times along each dim.
+Tensor Tile(const Tensor& a, const std::vector<int64_t>& repeats);
+/// Reverses the order of elements along `dim`.
+Tensor Flip(const Tensor& a, int64_t dim);
+/// Splits along `dim` into equal chunks of size `chunk` (must divide the
+/// dim size evenly).
+std::vector<Tensor> Split(const Tensor& a, int64_t dim, int64_t chunk);
+
+// -- Indexing -----------------------------------------------------------------
+
+/// Selects rows along `dim` by `indices` (may repeat / reorder). Gradient
+/// scatter-adds back.
+Tensor IndexSelect(const Tensor& a, int64_t dim, const std::vector<int64_t>& indices);
+/// Circular shift along `dim` by `shift` (positive rolls toward higher
+/// indices), like torch.roll.
+Tensor Roll(const Tensor& a, int64_t dim, int64_t shift);
+/// Per-batch gather along dim 1 of a [B, L, D] tensor: `indices` holds B*K
+/// row indices (batch-major); returns [B, K, D]. Gradient scatter-adds.
+Tensor BatchedIndexSelect(const Tensor& a, const std::vector<int64_t>& indices,
+                          int64_t k);
+
+// -- Convolution / pooling -------------------------------------------------------
+
+enum class PadMode { kZeros, kCircular, kReplicate };
+
+/// 1-D convolution. input [B, Cin, L], weight [Cout, Cin, K], optional bias
+/// [Cout]; stride 1; `padding` added on both sides with `mode`;
+/// `dilation` spaces the kernel taps (effective kernel (K-1)*dilation + 1).
+Tensor Conv1d(const Tensor& input, const Tensor& weight, const Tensor& bias,
+              int64_t padding, PadMode mode = PadMode::kZeros,
+              int64_t dilation = 1);
+/// 1-D average pooling over the last dim: input [..., L], window `kernel`,
+/// given stride. No implicit padding (compose with Pad/ReplicatePad).
+Tensor AvgPool1d(const Tensor& input, int64_t kernel, int64_t stride);
+/// 1-D max pooling over the last dim (gradient routes to the argmax).
+Tensor MaxPool1d(const Tensor& input, int64_t kernel, int64_t stride);
+/// Cumulative sum along `dim`.
+Tensor Cumsum(const Tensor& a, int64_t dim);
+
+// -- NN functionals ---------------------------------------------------------------
+
+/// Softmax over `dim` (numerically stabilized).
+Tensor Softmax(const Tensor& a, int64_t dim);
+Tensor LogSoftmax(const Tensor& a, int64_t dim);
+/// Inverted dropout; identity when `training` is false or p == 0.
+Tensor DropoutOp(const Tensor& a, float p, bool training, Rng* rng = nullptr);
+/// Mean squared error over all elements.
+Tensor MseLoss(const Tensor& pred, const Tensor& target);
+/// Mean absolute error over all elements.
+Tensor MaeLoss(const Tensor& pred, const Tensor& target);
+
+/// Adds `b` (must broadcast) — convenience for bias terms: a + b.
+inline Tensor AddBias(const Tensor& a, const Tensor& b) { return Add(a, b); }
+
+/// Elementwise a + b where the node is detached from `b`'s graph
+/// (treats `b` as a constant).
+Tensor AddDetached(const Tensor& a, const Tensor& b);
+
+}  // namespace conformer
+
+#endif  // CONFORMER_TENSOR_OPS_H_

@@ -1,0 +1,211 @@
+#include <algorithm>
+
+#include "tensor/kernels.h"
+#include "tensor/ops.h"
+
+namespace conformer {
+
+namespace {
+
+// Applies padding to [B, C, L] input according to `mode`.
+Tensor PadInput(const Tensor& input, int64_t padding, PadMode mode) {
+  if (padding == 0) return input;
+  switch (mode) {
+    case PadMode::kZeros:
+      return Pad(input, /*dim=*/2, padding, padding, 0.0f);
+    case PadMode::kReplicate:
+      return ReplicatePad(input, /*dim=*/2, padding, padding);
+    case PadMode::kCircular: {
+      const int64_t length = input.size(2);
+      CONFORMER_CHECK_LE(padding, length) << "circular pad wider than input";
+      Tensor head = Slice(input, 2, length - padding, length);
+      Tensor tail = Slice(input, 2, 0, padding);
+      return Concat({head, input, tail}, 2);
+    }
+  }
+  CONFORMER_CHECK(false) << "unreachable";
+  return input;
+}
+
+}  // namespace
+
+Tensor Conv1d(const Tensor& input, const Tensor& weight, const Tensor& bias,
+              int64_t padding, PadMode mode, int64_t dilation) {
+  CONFORMER_CHECK(input.defined() && weight.defined());
+  CONFORMER_CHECK_EQ(input.dim(), 3) << "Conv1d input must be [B, Cin, L]";
+  CONFORMER_CHECK_EQ(weight.dim(), 3) << "Conv1d weight must be [Cout, Cin, K]";
+  CONFORMER_CHECK_GE(dilation, 1);
+  const int64_t cin = input.size(1);
+  CONFORMER_CHECK_EQ(weight.size(1), cin) << "Conv1d channel mismatch";
+
+  const Tensor padded = PadInput(input, padding, mode);
+  const int64_t batch = padded.size(0);
+  const int64_t length = padded.size(2);
+  const int64_t cout = weight.size(0);
+  const int64_t kernel = weight.size(2);
+  const int64_t span = (kernel - 1) * dilation + 1;  // effective kernel
+  const int64_t out_len = length - span + 1;
+  CONFORMER_CHECK_GT(out_len, 0) << "Conv1d kernel longer than padded input";
+
+  // im2col: columns [B, out_len, Cin*K]; then out = columns x W^T.
+  // Built from differentiable primitives so the backward pass is free.
+  std::vector<Tensor> taps;
+  taps.reserve(kernel);
+  for (int64_t k = 0; k < kernel; ++k) {
+    // [B, Cin, out_len] window starting at dilated offset k.
+    taps.push_back(Slice(padded, 2, k * dilation, k * dilation + out_len));
+  }
+  // [B, Cin, K, out_len] -> [B, out_len, Cin, K] -> [B, out_len, Cin*K]
+  Tensor stacked = StackTensors(taps, /*dim=*/2);
+  Tensor columns = Reshape(Permute(stacked, {0, 3, 1, 2}),
+                           {batch, out_len, cin * kernel});
+  // weight [Cout, Cin, K] -> [Cin*K, Cout]
+  Tensor wmat = Transpose(Reshape(weight, {cout, cin * kernel}), 0, 1);
+  Tensor out = MatMul(columns, wmat);  // [B, out_len, Cout]
+  if (bias.defined()) {
+    CONFORMER_CHECK_EQ(bias.numel(), cout);
+    out = Add(out, Reshape(bias, {1, 1, cout}));
+  }
+  return Permute(out, {0, 2, 1});  // [B, Cout, out_len]
+}
+
+Tensor AvgPool1d(const Tensor& input, int64_t kernel, int64_t stride) {
+  CONFORMER_CHECK(input.defined());
+  CONFORMER_CHECK_GE(input.dim(), 1);
+  CONFORMER_CHECK(kernel >= 1 && stride >= 1);
+  const int64_t rank = input.dim();
+  const int64_t length = input.size(rank - 1);
+  CONFORMER_CHECK_GE(length, kernel) << "AvgPool1d window longer than input";
+  const int64_t out_len = (length - kernel) / stride + 1;
+
+  int64_t outer = 1;
+  for (int64_t i = 0; i < rank - 1; ++i) outer *= input.size(i);
+
+  Shape out_shape = input.shape();
+  out_shape[rank - 1] = out_len;
+  std::vector<float> out(outer * out_len);
+  const float* ad = input.data();
+  const float inv_k = 1.0f / static_cast<float>(kernel);
+  for (int64_t o = 0; o < outer; ++o) {
+    const float* row = ad + o * length;
+    for (int64_t j = 0; j < out_len; ++j) {
+      float acc = 0.0f;
+      const float* window = row + j * stride;
+      for (int64_t k = 0; k < kernel; ++k) acc += window[k];
+      out[o * out_len + j] = acc * inv_k;
+    }
+  }
+
+  Tensor a_in = input;
+  auto backward = [a_in, outer, length, out_len, kernel, stride,
+                   inv_k](TensorImpl& self) mutable {
+    std::vector<float> delta(a_in.numel(), 0.0f);
+    const float* gd = self.grad.data();
+    for (int64_t o = 0; o < outer; ++o) {
+      float* row = delta.data() + o * length;
+      for (int64_t j = 0; j < out_len; ++j) {
+        const float g = gd[o * out_len + j] * inv_k;
+        float* window = row + j * stride;
+        for (int64_t k = 0; k < kernel; ++k) window[k] += g;
+      }
+    }
+    a_in.impl()->AccumulateGrad(delta.data(), a_in.numel());
+  };
+  return internal::MakeOpResult(std::move(out_shape), std::move(out), {input},
+                                std::move(backward), "AvgPool1d");
+}
+
+Tensor MaxPool1d(const Tensor& input, int64_t kernel, int64_t stride) {
+  CONFORMER_CHECK(input.defined());
+  CONFORMER_CHECK_GE(input.dim(), 1);
+  CONFORMER_CHECK(kernel >= 1 && stride >= 1);
+  const int64_t rank = input.dim();
+  const int64_t length = input.size(rank - 1);
+  CONFORMER_CHECK_GE(length, kernel) << "MaxPool1d window longer than input";
+  const int64_t out_len = (length - kernel) / stride + 1;
+
+  int64_t outer = 1;
+  for (int64_t i = 0; i < rank - 1; ++i) outer *= input.size(i);
+
+  Shape out_shape = input.shape();
+  out_shape[rank - 1] = out_len;
+  std::vector<float> out(outer * out_len);
+  std::vector<int64_t> argmax(outer * out_len);
+  const float* ad = input.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    const float* row = ad + o * length;
+    for (int64_t j = 0; j < out_len; ++j) {
+      const int64_t start = j * stride;
+      float best = row[start];
+      int64_t arg = start;
+      for (int64_t k = 1; k < kernel; ++k) {
+        if (row[start + k] > best) {
+          best = row[start + k];
+          arg = start + k;
+        }
+      }
+      out[o * out_len + j] = best;
+      argmax[o * out_len + j] = arg;
+    }
+  }
+
+  Tensor a_in = input;
+  auto backward = [a_in, argmax, outer, length, out_len](TensorImpl& self) mutable {
+    std::vector<float> delta(a_in.numel(), 0.0f);
+    const float* gd = self.grad.data();
+    for (int64_t o = 0; o < outer; ++o) {
+      for (int64_t j = 0; j < out_len; ++j) {
+        delta[o * length + argmax[o * out_len + j]] += gd[o * out_len + j];
+      }
+    }
+    a_in.impl()->AccumulateGrad(delta.data(), a_in.numel());
+  };
+  return internal::MakeOpResult(std::move(out_shape), std::move(out), {input},
+                                std::move(backward), "MaxPool1d");
+}
+
+Tensor Cumsum(const Tensor& a, int64_t dim) {
+  CONFORMER_CHECK(a.defined());
+  const Shape& shape = a.shape();
+  const int64_t rank = static_cast<int64_t>(shape.size());
+  if (dim < 0) dim += rank;
+  CONFORMER_CHECK(dim >= 0 && dim < rank);
+  const int64_t n = shape[dim];
+  int64_t outer = 1;
+  for (int64_t i = 0; i < dim; ++i) outer *= shape[i];
+  int64_t inner = 1;
+  for (int64_t i = dim + 1; i < rank; ++i) inner *= shape[i];
+
+  std::vector<float> out(a.numel());
+  const float* ad = a.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t i = 0; i < inner; ++i) {
+      float acc = 0.0f;
+      for (int64_t j = 0; j < n; ++j) {
+        acc += ad[(o * n + j) * inner + i];
+        out[(o * n + j) * inner + i] = acc;
+      }
+    }
+  }
+
+  Tensor a_in = a;
+  auto backward = [a_in, outer, inner, n](TensorImpl& self) mutable {
+    // d/dx_j sum contributions: reverse cumulative sum of the out-grad.
+    std::vector<float> delta(a_in.numel());
+    const float* gd = self.grad.data();
+    for (int64_t o = 0; o < outer; ++o) {
+      for (int64_t i = 0; i < inner; ++i) {
+        float acc = 0.0f;
+        for (int64_t j = n - 1; j >= 0; --j) {
+          acc += gd[(o * n + j) * inner + i];
+          delta[(o * n + j) * inner + i] = acc;
+        }
+      }
+    }
+    a_in.impl()->AccumulateGrad(delta.data(), a_in.numel());
+  };
+  return internal::MakeOpResult(a.shape(), std::move(out), {a},
+                                std::move(backward), "Cumsum");
+}
+
+}  // namespace conformer

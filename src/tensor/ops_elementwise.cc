@@ -1,0 +1,249 @@
+#include <cmath>
+
+#include "tensor/kernels.h"
+#include "tensor/ops.h"
+
+namespace conformer {
+
+namespace {
+
+// Shared plumbing for broadcasting binary ops. `f` computes the value;
+// `dfda` / `dfdb` compute local partials from (a_i, b_i, out_i).
+template <typename Fn, typename DfA, typename DfB>
+Tensor BinaryOp(const Tensor& a, const Tensor& b, Fn f, DfA dfda, DfB dfdb,
+                const char* name) {
+  CONFORMER_CHECK(a.defined() && b.defined()) << name << " on undefined tensor";
+  const Shape out_shape = kernels::BroadcastShape(a.shape(), b.shape());
+  std::vector<float> out(NumElements(out_shape));
+  kernels::BroadcastBinary(a.data(), a.shape(), b.data(), b.shape(), out.data(),
+                           out_shape, f);
+  Tensor a_in = a;
+  Tensor b_in = b;
+  auto backward = [a_in, b_in, out_shape, dfda, dfdb](TensorImpl& self) mutable {
+    const int64_t n = NumElements(out_shape);
+    // Local gradient wrt each input, then reduce over broadcast dims.
+    std::vector<float> local(n);
+    if (a_in.requires_grad() || a_in.impl()->node != nullptr) {
+      kernels::BroadcastBinary(a_in.data(), a_in.shape(), b_in.data(),
+                               b_in.shape(), local.data(), out_shape, dfda);
+      for (int64_t i = 0; i < n; ++i) local[i] *= self.grad[i];
+      if (a_in.shape() == out_shape) {
+        a_in.impl()->AccumulateGrad(local.data(), n);
+      } else {
+        std::vector<float> reduced(a_in.numel(), 0.0f);
+        kernels::ReduceGradToShape(local.data(), out_shape, reduced.data(),
+                                   a_in.shape());
+        a_in.impl()->AccumulateGrad(reduced.data(), a_in.numel());
+      }
+    }
+    if (b_in.requires_grad() || b_in.impl()->node != nullptr) {
+      kernels::BroadcastBinary(a_in.data(), a_in.shape(), b_in.data(),
+                               b_in.shape(), local.data(), out_shape, dfdb);
+      for (int64_t i = 0; i < n; ++i) local[i] *= self.grad[i];
+      if (b_in.shape() == out_shape) {
+        b_in.impl()->AccumulateGrad(local.data(), n);
+      } else {
+        std::vector<float> reduced(b_in.numel(), 0.0f);
+        kernels::ReduceGradToShape(local.data(), out_shape, reduced.data(),
+                                   b_in.shape());
+        b_in.impl()->AccumulateGrad(reduced.data(), b_in.numel());
+      }
+    }
+  };
+  return internal::MakeOpResult(out_shape, std::move(out), {a, b},
+                                std::move(backward), name);
+}
+
+// Shared plumbing for unary ops: `f` computes out_i from a_i, `df` computes
+// d out_i / d a_i from (a_i, out_i).
+template <typename Fn, typename Df>
+Tensor UnaryOp(const Tensor& a, Fn f, Df df, const char* name) {
+  CONFORMER_CHECK(a.defined()) << name << " on undefined tensor";
+  const int64_t n = a.numel();
+  std::vector<float> out(n);
+  const float* ad = a.data();
+  for (int64_t i = 0; i < n; ++i) out[i] = f(ad[i]);
+  Tensor a_in = a;
+  auto backward = [a_in, df](TensorImpl& self) mutable {
+    const int64_t n = static_cast<int64_t>(self.data.size());
+    std::vector<float> delta(n);
+    const float* ad = a_in.data();
+    for (int64_t i = 0; i < n; ++i) {
+      delta[i] = self.grad[i] * df(ad[i], self.data[i]);
+    }
+    a_in.impl()->AccumulateGrad(delta.data(), n);
+  };
+  return internal::MakeOpResult(a.shape(), std::move(out), {a},
+                                std::move(backward), name);
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x + y; },
+      [](float, float) { return 1.0f; }, [](float, float) { return 1.0f; },
+      "Add");
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x - y; },
+      [](float, float) { return 1.0f; }, [](float, float) { return -1.0f; },
+      "Sub");
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x * y; },
+      [](float, float y) { return y; }, [](float x, float) { return x; },
+      "Mul");
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x / y; },
+      [](float, float y) { return 1.0f / y; },
+      [](float x, float y) { return -x / (y * y); }, "Div");
+}
+
+Tensor Maximum(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x >= y ? x : y; },
+      [](float x, float y) { return x >= y ? 1.0f : 0.0f; },
+      [](float x, float y) { return x >= y ? 0.0f : 1.0f; }, "Maximum");
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return UnaryOp(
+      a, [s](float x) { return x + s; }, [](float, float) { return 1.0f; },
+      "AddScalar");
+}
+
+Tensor MulScalar(const Tensor& a, float s) {
+  return UnaryOp(
+      a, [s](float x) { return x * s; }, [s](float, float) { return s; },
+      "MulScalar");
+}
+
+Tensor PowScalar(const Tensor& a, float p) {
+  return UnaryOp(
+      a, [p](float x) { return std::pow(x, p); },
+      [p](float x, float) { return p * std::pow(x, p - 1.0f); }, "PowScalar");
+}
+
+Tensor Neg(const Tensor& a) { return MulScalar(a, -1.0f); }
+
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::exp(x); },
+      [](float, float y) { return y; }, "Exp");
+}
+
+Tensor Log(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::log(x); },
+      [](float x, float) { return 1.0f / x; }, "Log");
+}
+
+Tensor Sqrt(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::sqrt(x); },
+      [](float, float y) { return 0.5f / y; }, "Sqrt");
+}
+
+Tensor Abs(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::fabs(x); },
+      [](float x, float) { return x >= 0.0f ? 1.0f : -1.0f; }, "Abs");
+}
+
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; }, "Tanh");
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(
+      a,
+      [](float x) {
+        // Stable in both tails.
+        if (x >= 0.0f) {
+          const float z = std::exp(-x);
+          return 1.0f / (1.0f + z);
+        }
+        const float z = std::exp(x);
+        return z / (1.0f + z);
+      },
+      [](float, float y) { return y * (1.0f - y); }, "Sigmoid");
+}
+
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; }, "Relu");
+}
+
+Tensor Gelu(const Tensor& a) {
+  // tanh approximation: 0.5 x (1 + tanh(sqrt(2/pi) (x + 0.044715 x^3))).
+  constexpr float kC = 0.7978845608f;  // sqrt(2/pi)
+  constexpr float kB = 0.044715f;
+  return UnaryOp(
+      a,
+      [](float x) {
+        const float inner = kC * (x + kB * x * x * x);
+        return 0.5f * x * (1.0f + std::tanh(inner));
+      },
+      [](float x, float) {
+        const float inner = kC * (x + kB * x * x * x);
+        const float t = std::tanh(inner);
+        const float dinner = kC * (1.0f + 3.0f * kB * x * x);
+        return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * dinner;
+      },
+      "Gelu");
+}
+
+Tensor Softplus(const Tensor& a) {
+  return UnaryOp(
+      a,
+      [](float x) {
+        // log(1+e^x) = max(x,0) + log1p(e^{-|x|})
+        return std::max(x, 0.0f) + std::log1p(std::exp(-std::fabs(x)));
+      },
+      [](float x, float) {
+        if (x >= 0.0f) {
+          const float z = std::exp(-x);
+          return 1.0f / (1.0f + z);
+        }
+        const float z = std::exp(x);
+        return z / (1.0f + z);
+      },
+      "Softplus");
+}
+
+Tensor Sin(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::sin(x); },
+      [](float x, float) { return std::cos(x); }, "Sin");
+}
+
+Tensor Cos(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::cos(x); },
+      [](float x, float) { return -std::sin(x); }, "Cos");
+}
+
+Tensor Clamp(const Tensor& a, float lo, float hi) {
+  return UnaryOp(
+      a,
+      [lo, hi](float x) { return x < lo ? lo : (x > hi ? hi : x); },
+      [lo, hi](float x, float) { return (x >= lo && x <= hi) ? 1.0f : 0.0f; },
+      "Clamp");
+}
+
+Tensor AddDetached(const Tensor& a, const Tensor& b) {
+  return Add(a, b.Detach());
+}
+
+}  // namespace conformer

@@ -1,0 +1,107 @@
+#include <algorithm>
+
+#include "tensor/ops.h"
+
+namespace conformer {
+
+Tensor IndexSelect(const Tensor& a, int64_t dim,
+                   const std::vector<int64_t>& indices) {
+  CONFORMER_CHECK(a.defined());
+  const Shape& in_shape = a.shape();
+  const int64_t rank = static_cast<int64_t>(in_shape.size());
+  if (dim < 0) dim += rank;
+  CONFORMER_CHECK(dim >= 0 && dim < rank);
+  const int64_t size = in_shape[dim];
+  for (int64_t idx : indices) {
+    CONFORMER_CHECK(idx >= 0 && idx < size)
+        << "index " << idx << " out of range [0, " << size << ")";
+  }
+
+  int64_t outer = 1;
+  for (int64_t i = 0; i < dim; ++i) outer *= in_shape[i];
+  int64_t inner = 1;
+  for (int64_t i = dim + 1; i < rank; ++i) inner *= in_shape[i];
+  const int64_t count = static_cast<int64_t>(indices.size());
+
+  Shape out_shape = in_shape;
+  out_shape[dim] = count;
+  std::vector<float> out(NumElements(out_shape));
+  const float* ad = a.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t c = 0; c < count; ++c) {
+      const float* src = ad + (o * size + indices[c]) * inner;
+      std::copy(src, src + inner, out.begin() + (o * count + c) * inner);
+    }
+  }
+
+  Tensor a_in = a;
+  std::vector<int64_t> idx = indices;
+  auto backward = [a_in, idx, outer, inner, size, count](TensorImpl& self) mutable {
+    // Scatter-add: repeated indices accumulate.
+    std::vector<float> delta(a_in.numel(), 0.0f);
+    const float* gd = self.grad.data();
+    for (int64_t o = 0; o < outer; ++o) {
+      for (int64_t c = 0; c < count; ++c) {
+        float* dst = delta.data() + (o * size + idx[c]) * inner;
+        const float* src = gd + (o * count + c) * inner;
+        for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
+      }
+    }
+    a_in.impl()->AccumulateGrad(delta.data(), a_in.numel());
+  };
+  return internal::MakeOpResult(std::move(out_shape), std::move(out), {a},
+                                std::move(backward), "IndexSelect");
+}
+
+Tensor BatchedIndexSelect(const Tensor& a, const std::vector<int64_t>& indices,
+                          int64_t k) {
+  CONFORMER_CHECK(a.defined());
+  CONFORMER_CHECK_EQ(a.dim(), 3) << "BatchedIndexSelect expects [B, L, D]";
+  const int64_t batch = a.size(0);
+  const int64_t length = a.size(1);
+  const int64_t depth = a.size(2);
+  CONFORMER_CHECK_EQ(static_cast<int64_t>(indices.size()), batch * k);
+  for (int64_t idx : indices) {
+    CONFORMER_CHECK(idx >= 0 && idx < length) << "index out of range";
+  }
+
+  std::vector<float> out(batch * k * depth);
+  const float* ad = a.data();
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t c = 0; c < k; ++c) {
+      const float* src = ad + (b * length + indices[b * k + c]) * depth;
+      std::copy(src, src + depth, out.begin() + (b * k + c) * depth);
+    }
+  }
+
+  Tensor a_in = a;
+  std::vector<int64_t> idx = indices;
+  auto backward = [a_in, idx, batch, length, depth, k](TensorImpl& self) mutable {
+    std::vector<float> delta(a_in.numel(), 0.0f);
+    const float* gd = self.grad.data();
+    for (int64_t b = 0; b < batch; ++b) {
+      for (int64_t c = 0; c < k; ++c) {
+        float* dst = delta.data() + (b * length + idx[b * k + c]) * depth;
+        const float* src = gd + (b * k + c) * depth;
+        for (int64_t i = 0; i < depth; ++i) dst[i] += src[i];
+      }
+    }
+    a_in.impl()->AccumulateGrad(delta.data(), a_in.numel());
+  };
+  return internal::MakeOpResult({batch, k, depth}, std::move(out), {a},
+                                std::move(backward), "BatchedIndexSelect");
+}
+
+Tensor Roll(const Tensor& a, int64_t dim, int64_t shift) {
+  CONFORMER_CHECK(a.defined());
+  const int64_t size = a.size(dim);
+  shift %= size;
+  if (shift < 0) shift += size;
+  std::vector<int64_t> indices(size);
+  for (int64_t i = 0; i < size; ++i) {
+    indices[i] = (i - shift % size + size) % size;
+  }
+  return IndexSelect(a, dim, indices);
+}
+
+}  // namespace conformer

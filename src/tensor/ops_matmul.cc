@@ -1,0 +1,109 @@
+#include "tensor/kernels.h"
+#include "tensor/ops.h"
+
+namespace conformer {
+
+namespace {
+
+// Splits a rank>=2 shape into (batch dims, m, n).
+void SplitMatmulShape(const Shape& shape, Shape* batch, int64_t* rows,
+                      int64_t* cols) {
+  const int64_t rank = static_cast<int64_t>(shape.size());
+  CONFORMER_CHECK_GE(rank, 2) << "matmul operand must have rank >= 2";
+  batch->assign(shape.begin(), shape.end() - 2);
+  *rows = shape[rank - 2];
+  *cols = shape[rank - 1];
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  CONFORMER_CHECK(a.defined() && b.defined());
+  Shape a_batch;
+  Shape b_batch;
+  int64_t m = 0;
+  int64_t ka = 0;
+  int64_t kb = 0;
+  int64_t n = 0;
+  SplitMatmulShape(a.shape(), &a_batch, &m, &ka);
+  SplitMatmulShape(b.shape(), &b_batch, &kb, &n);
+  CONFORMER_CHECK_EQ(ka, kb) << "matmul inner dims differ: "
+                             << ShapeToString(a.shape()) << " x "
+                             << ShapeToString(b.shape());
+  const int64_t k = ka;
+  const Shape batch = kernels::BroadcastShape(a_batch, b_batch);
+  const int64_t num_batches = NumElements(batch);
+
+  Shape out_shape = batch;
+  out_shape.push_back(m);
+  out_shape.push_back(n);
+  std::vector<float> out(NumElements(out_shape));
+
+  // Map each output batch index to the (possibly broadcast) input batch.
+  const std::vector<int64_t> a_strides = kernels::BroadcastStrides(a_batch, batch);
+  const std::vector<int64_t> b_strides = kernels::BroadcastStrides(b_batch, batch);
+  const int64_t brank = static_cast<int64_t>(batch.size());
+
+  // Captures by value: this lambda is reused inside the backward closure,
+  // which outlives the enclosing scope.
+  auto for_each_batch = [batch, a_strides, b_strides, brank,
+                         num_batches](auto&& body) {
+    std::vector<int64_t> index(brank, 0);
+    int64_t a_off = 0;
+    int64_t b_off = 0;
+    for (int64_t i = 0; i < num_batches; ++i) {
+      body(i, a_off, b_off);
+      for (int64_t d = brank - 1; d >= 0; --d) {
+        ++index[d];
+        a_off += a_strides[d];
+        b_off += b_strides[d];
+        if (index[d] < batch[d]) break;
+        index[d] = 0;
+        a_off -= a_strides[d] * batch[d];
+        b_off -= b_strides[d] * batch[d];
+      }
+    }
+  };
+
+  {
+    const float* ad = a.data();
+    const float* bd = b.data();
+    float* od = out.data();
+    for_each_batch([&](int64_t i, int64_t a_off, int64_t b_off) {
+      kernels::Gemm(false, false, m, n, k, ad + a_off * m * k,
+                    bd + b_off * k * n, od + i * m * n, /*accumulate=*/false);
+    });
+  }
+
+  Tensor a_in = a;
+  Tensor b_in = b;
+  auto backward = [a_in, b_in, m, n, k, for_each_batch](TensorImpl& self) mutable {
+    const bool need_a = a_in.requires_grad() || a_in.impl()->node != nullptr;
+    const bool need_b = b_in.requires_grad() || b_in.impl()->node != nullptr;
+    const float* gd = self.grad.data();
+    const float* ad = a_in.data();
+    const float* bd = b_in.data();
+    // dA = dOut * B^T, dB = A^T * dOut, accumulated per broadcast batch.
+    std::vector<float> da;
+    std::vector<float> db;
+    if (need_a) da.assign(a_in.numel(), 0.0f);
+    if (need_b) db.assign(b_in.numel(), 0.0f);
+    for_each_batch([&](int64_t i, int64_t a_off, int64_t b_off) {
+      const float* g = gd + i * m * n;
+      if (need_a) {
+        kernels::Gemm(false, true, m, k, n, g, bd + b_off * k * n,
+                      da.data() + a_off * m * k, /*accumulate=*/true);
+      }
+      if (need_b) {
+        kernels::Gemm(true, false, k, n, m, ad + a_off * m * k, g,
+                      db.data() + b_off * k * n, /*accumulate=*/true);
+      }
+    });
+    if (need_a) a_in.impl()->AccumulateGrad(da.data(), a_in.numel());
+    if (need_b) b_in.impl()->AccumulateGrad(db.data(), b_in.numel());
+  };
+  return internal::MakeOpResult(std::move(out_shape), std::move(out), {a, b},
+                                std::move(backward), "MatMul");
+}
+
+}  // namespace conformer

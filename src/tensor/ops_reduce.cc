@@ -1,0 +1,200 @@
+#include <algorithm>
+#include <limits>
+
+#include "tensor/kernels.h"
+#include "tensor/ops.h"
+
+namespace conformer {
+
+namespace {
+
+// Normalizes (possibly negative / empty meaning "all") dims, sorted unique.
+std::vector<int64_t> NormalizeDims(std::vector<int64_t> dims, int64_t rank) {
+  if (dims.empty()) {
+    dims.resize(rank);
+    for (int64_t i = 0; i < rank; ++i) dims[i] = i;
+    return dims;
+  }
+  for (int64_t& d : dims) {
+    if (d < 0) d += rank;
+    CONFORMER_CHECK(d >= 0 && d < rank) << "reduce dim out of range";
+  }
+  std::sort(dims.begin(), dims.end());
+  dims.erase(std::unique(dims.begin(), dims.end()), dims.end());
+  return dims;
+}
+
+Shape ReducedShape(const Shape& shape, const std::vector<int64_t>& dims,
+                   bool keepdim) {
+  Shape out;
+  size_t di = 0;
+  for (int64_t i = 0; i < static_cast<int64_t>(shape.size()); ++i) {
+    if (di < dims.size() && dims[di] == i) {
+      ++di;
+      if (keepdim) out.push_back(1);
+    } else {
+      out.push_back(shape[i]);
+    }
+  }
+  return out;
+}
+
+// Shape with reduced dims kept as size-1 (used for broadcasting gradients
+// back regardless of `keepdim`).
+Shape KeepdimShape(const Shape& shape, const std::vector<int64_t>& dims) {
+  Shape out = shape;
+  for (int64_t d : dims) out[d] = 1;
+  return out;
+}
+
+}  // namespace
+
+Tensor Sum(const Tensor& a, std::vector<int64_t> dims, bool keepdim) {
+  CONFORMER_CHECK(a.defined());
+  const Shape& in_shape = a.shape();
+  const int64_t rank = static_cast<int64_t>(in_shape.size());
+  dims = NormalizeDims(std::move(dims), rank);
+  const Shape out_shape = ReducedShape(in_shape, dims, keepdim);
+  const Shape keep_shape = KeepdimShape(in_shape, dims);
+
+  std::vector<float> out(NumElements(out_shape), 0.0f);
+  // Accumulate via broadcast-strided iteration over the input.
+  {
+    const std::vector<int64_t> out_strides =
+        kernels::BroadcastStrides(keep_shape, in_shape);
+    const int64_t n = a.numel();
+    const float* ad = a.data();
+    std::vector<int64_t> index(rank, 0);
+    int64_t out_off = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      out[out_off] += ad[i];
+      for (int64_t d = rank - 1; d >= 0; --d) {
+        ++index[d];
+        out_off += out_strides[d];
+        if (index[d] < in_shape[d]) break;
+        index[d] = 0;
+        out_off -= out_strides[d] * in_shape[d];
+      }
+    }
+  }
+
+  Tensor a_in = a;
+  auto backward = [a_in, keep_shape](TensorImpl& self) mutable {
+    // Gradient broadcasts the output gradient back over reduced dims.
+    const Shape& in_shape = a_in.shape();
+    const int64_t rank = static_cast<int64_t>(in_shape.size());
+    const std::vector<int64_t> g_strides =
+        kernels::BroadcastStrides(keep_shape, in_shape);
+    const int64_t n = a_in.numel();
+    std::vector<float> delta(n);
+    const float* gd = self.grad.data();
+    std::vector<int64_t> index(rank, 0);
+    int64_t g_off = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      delta[i] = gd[g_off];
+      for (int64_t d = rank - 1; d >= 0; --d) {
+        ++index[d];
+        g_off += g_strides[d];
+        if (index[d] < in_shape[d]) break;
+        index[d] = 0;
+        g_off -= g_strides[d] * in_shape[d];
+      }
+    }
+    a_in.impl()->AccumulateGrad(delta.data(), n);
+  };
+  return internal::MakeOpResult(out_shape, std::move(out), {a},
+                                std::move(backward), "Sum");
+}
+
+Tensor Mean(const Tensor& a, std::vector<int64_t> dims, bool keepdim) {
+  CONFORMER_CHECK(a.defined());
+  const int64_t rank = a.dim();
+  std::vector<int64_t> norm = NormalizeDims(dims, rank);
+  int64_t count = 1;
+  for (int64_t d : norm) count *= a.shape()[d];
+  Tensor s = Sum(a, std::move(norm), keepdim);
+  return MulScalar(s, 1.0f / static_cast<float>(count));
+}
+
+Tensor Variance(const Tensor& a, std::vector<int64_t> dims, bool keepdim) {
+  Tensor mu = Mean(a, dims, /*keepdim=*/true);
+  Tensor centered = Sub(a, mu);
+  return Mean(Mul(centered, centered), dims, keepdim);
+}
+
+namespace {
+
+// Max/Min over one dim share this implementation. `cmp(candidate, best)`
+// returns true when the candidate should replace the current best.
+template <typename Cmp>
+Tensor ExtremeOverDim(const Tensor& a, int64_t dim, bool keepdim, Cmp cmp,
+                      float init, const char* name) {
+  CONFORMER_CHECK(a.defined());
+  const Shape& in_shape = a.shape();
+  const int64_t rank = static_cast<int64_t>(in_shape.size());
+  if (dim < 0) dim += rank;
+  CONFORMER_CHECK(dim >= 0 && dim < rank) << name << " dim out of range";
+
+  const int64_t reduce_n = in_shape[dim];
+  int64_t outer = 1;
+  for (int64_t i = 0; i < dim; ++i) outer *= in_shape[i];
+  int64_t inner = 1;
+  for (int64_t i = dim + 1; i < rank; ++i) inner *= in_shape[i];
+
+  std::vector<float> out(outer * inner, init);
+  std::vector<int64_t> argbest(outer * inner, 0);
+  const float* ad = a.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t r = 0; r < reduce_n; ++r) {
+      const float* row = ad + (o * reduce_n + r) * inner;
+      for (int64_t i = 0; i < inner; ++i) {
+        float& best = out[o * inner + i];
+        if (r == 0 || cmp(row[i], best)) {
+          best = row[i];
+          argbest[o * inner + i] = r;
+        }
+      }
+    }
+  }
+
+  Shape out_shape;
+  for (int64_t i = 0; i < rank; ++i) {
+    if (i == dim) {
+      if (keepdim) out_shape.push_back(1);
+    } else {
+      out_shape.push_back(in_shape[i]);
+    }
+  }
+
+  Tensor a_in = a;
+  auto backward = [a_in, argbest, dim, reduce_n, outer,
+                   inner](TensorImpl& self) mutable {
+    std::vector<float> delta(a_in.numel(), 0.0f);
+    const float* gd = self.grad.data();
+    for (int64_t o = 0; o < outer; ++o) {
+      for (int64_t i = 0; i < inner; ++i) {
+        const int64_t r = argbest[o * inner + i];
+        delta[(o * reduce_n + r) * inner + i] = gd[o * inner + i];
+      }
+    }
+    a_in.impl()->AccumulateGrad(delta.data(), a_in.numel());
+  };
+  return internal::MakeOpResult(std::move(out_shape), std::move(out), {a},
+                                std::move(backward), name);
+}
+
+}  // namespace
+
+Tensor Max(const Tensor& a, int64_t dim, bool keepdim) {
+  return ExtremeOverDim(
+      a, dim, keepdim, [](float c, float b) { return c > b; },
+      -std::numeric_limits<float>::infinity(), "Max");
+}
+
+Tensor Min(const Tensor& a, int64_t dim, bool keepdim) {
+  return ExtremeOverDim(
+      a, dim, keepdim, [](float c, float b) { return c < b; },
+      std::numeric_limits<float>::infinity(), "Min");
+}
+
+}  // namespace conformer

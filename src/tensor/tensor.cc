@@ -1,0 +1,264 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "tensor/alloc_stats.h"
+
+namespace conformer {
+
+int64_t NumElements(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) n *= d;
+  return n;
+}
+
+std::vector<int64_t> ContiguousStrides(const Shape& shape) {
+  std::vector<int64_t> strides(shape.size(), 1);
+  for (int64_t i = static_cast<int64_t>(shape.size()) - 2; i >= 0; --i) {
+    strides[i] = strides[i + 1] * shape[i + 1];
+  }
+  return strides;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << shape[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+TensorImpl::TensorImpl(Shape shape_in, std::vector<float> values)
+    : data(std::move(values)), shape(std::move(shape_in)) {
+  CONFORMER_CHECK_EQ(static_cast<int64_t>(data.size()), NumElements(shape))
+      << "data size does not match shape " << ShapeToString(shape);
+  internal::RecordAlloc(static_cast<int64_t>(data.size()) * sizeof(float));
+}
+
+TensorImpl::~TensorImpl() {
+  internal::RecordFree(static_cast<int64_t>(data.size()) * sizeof(float));
+}
+
+void TensorImpl::AccumulateGrad(const float* delta, int64_t n) {
+  CONFORMER_CHECK_EQ(n, static_cast<int64_t>(data.size()));
+  if (grad.empty()) grad.assign(data.size(), 0.0f);
+  for (int64_t i = 0; i < n; ++i) grad[i] += delta[i];
+}
+
+// -- Factories ----------------------------------------------------------
+
+Tensor Tensor::Zeros(const Shape& shape) {
+  return Tensor(std::make_shared<TensorImpl>(
+      shape, std::vector<float>(NumElements(shape), 0.0f)));
+}
+
+Tensor Tensor::Ones(const Shape& shape) { return Full(shape, 1.0f); }
+
+Tensor Tensor::Full(const Shape& shape, float value) {
+  return Tensor(std::make_shared<TensorImpl>(
+      shape, std::vector<float>(NumElements(shape), value)));
+}
+
+Tensor Tensor::FromVector(std::vector<float> values, const Shape& shape) {
+  return Tensor(std::make_shared<TensorImpl>(shape, std::move(values)));
+}
+
+Tensor Tensor::Arange(int64_t n, float start, float step) {
+  std::vector<float> values(n);
+  for (int64_t i = 0; i < n; ++i) values[i] = start + step * static_cast<float>(i);
+  return FromVector(std::move(values), {n});
+}
+
+Tensor Tensor::Randn(const Shape& shape, Rng* rng) {
+  Rng& r = rng != nullptr ? *rng : GlobalRng();
+  std::vector<float> values(NumElements(shape));
+  r.FillNormal(&values);
+  return FromVector(std::move(values), shape);
+}
+
+Tensor Tensor::Rand(const Shape& shape, float lo, float hi, Rng* rng) {
+  Rng& r = rng != nullptr ? *rng : GlobalRng();
+  std::vector<float> values(NumElements(shape));
+  for (float& v : values) v = static_cast<float>(r.Uniform(lo, hi));
+  return FromVector(std::move(values), shape);
+}
+
+Tensor Tensor::Eye(int64_t n) {
+  Tensor t = Zeros({n, n});
+  for (int64_t i = 0; i < n; ++i) t.data()[i * n + i] = 1.0f;
+  return t;
+}
+
+// -- Introspection ------------------------------------------------------
+
+const Shape& Tensor::shape() const {
+  CONFORMER_CHECK(defined()) << "shape() on an undefined tensor";
+  return impl_->shape;
+}
+
+int64_t Tensor::size(int64_t d) const {
+  const Shape& s = shape();
+  int64_t rank = static_cast<int64_t>(s.size());
+  if (d < 0) d += rank;
+  CONFORMER_CHECK(d >= 0 && d < rank)
+      << "dim " << d << " out of range for shape " << ShapeToString(s);
+  return s[d];
+}
+
+const float* Tensor::data() const {
+  CONFORMER_CHECK(defined());
+  return impl_->data.data();
+}
+
+float* Tensor::data() {
+  CONFORMER_CHECK(defined());
+  return impl_->data.data();
+}
+
+float Tensor::item() const {
+  CONFORMER_CHECK_EQ(numel(), 1) << "item() requires a single-element tensor";
+  return impl_->data[0];
+}
+
+float Tensor::at(std::initializer_list<int64_t> index) const {
+  const Shape& s = shape();
+  CONFORMER_CHECK_EQ(static_cast<int64_t>(index.size()),
+                     static_cast<int64_t>(s.size()));
+  std::vector<int64_t> strides = ContiguousStrides(s);
+  int64_t offset = 0;
+  int64_t d = 0;
+  for (int64_t i : index) {
+    CONFORMER_CHECK(i >= 0 && i < s[d])
+        << "index " << i << " out of range in dim " << d;
+    offset += i * strides[d];
+    ++d;
+  }
+  return impl_->data[offset];
+}
+
+namespace {
+void AppendSlice(std::ostringstream& out, const float* data, const Shape& shape,
+                 const std::vector<int64_t>& strides, int64_t dim,
+                 int64_t offset, int64_t max_per_dim) {
+  if (dim == static_cast<int64_t>(shape.size())) {
+    out << data[offset];
+    return;
+  }
+  out << "[";
+  int64_t n = shape[dim];
+  int64_t shown = std::min(n, max_per_dim);
+  for (int64_t i = 0; i < shown; ++i) {
+    if (i > 0) out << ", ";
+    AppendSlice(out, data, shape, strides, dim + 1, offset + i * strides[dim],
+                max_per_dim);
+  }
+  if (shown < n) out << ", ...";
+  out << "]";
+}
+}  // namespace
+
+std::string Tensor::ToString(int64_t max_per_dim) const {
+  if (!defined()) return "Tensor(undefined)";
+  std::ostringstream out;
+  out << "Tensor" << ShapeToString(shape()) << " ";
+  AppendSlice(out, data(), shape(), ContiguousStrides(shape()), 0, 0,
+              max_per_dim);
+  return out.str();
+}
+
+// -- Autograd -----------------------------------------------------------
+
+bool Tensor::requires_grad() const { return defined() && impl_->requires_grad; }
+
+Tensor& Tensor::set_requires_grad(bool value) {
+  CONFORMER_CHECK(defined());
+  impl_->requires_grad = value;
+  return *this;
+}
+
+bool Tensor::has_grad() const { return defined() && !impl_->grad.empty(); }
+
+Tensor Tensor::grad() const {
+  CONFORMER_CHECK(defined());
+  if (impl_->grad.empty()) return Tensor::Zeros(impl_->shape);
+  return Tensor::FromVector(impl_->grad, impl_->shape);
+}
+
+float* Tensor::grad_data() {
+  CONFORMER_CHECK(defined());
+  if (impl_->grad.empty()) impl_->grad.assign(impl_->data.size(), 0.0f);
+  return impl_->grad.data();
+}
+
+void Tensor::ZeroGrad() {
+  CONFORMER_CHECK(defined());
+  impl_->grad.clear();
+}
+
+Tensor Tensor::Detach() const {
+  CONFORMER_CHECK(defined());
+  // Fresh impl with copied values: no tape, no leaf status.
+  auto impl = std::make_shared<TensorImpl>(impl_->shape, impl_->data);
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Clone() const {
+  CONFORMER_CHECK(defined());
+  return Tensor::FromVector(impl_->data, impl_->shape);
+}
+
+void Tensor::CopyDataFrom(const Tensor& src) {
+  CONFORMER_CHECK(defined() && src.defined());
+  CONFORMER_CHECK_EQ(numel(), src.numel());
+  impl_->data = src.impl_->data;
+}
+
+// -- Recording plumbing --------------------------------------------------
+
+namespace {
+thread_local bool g_recording_enabled = true;
+}  // namespace
+
+NoGradGuard::NoGradGuard() : previous_(g_recording_enabled) {
+  g_recording_enabled = false;
+}
+
+NoGradGuard::~NoGradGuard() { g_recording_enabled = previous_; }
+
+bool GradRecordingEnabled() { return g_recording_enabled; }
+
+namespace internal {
+
+bool ShouldRecord(const std::vector<Tensor>& inputs) {
+  if (!g_recording_enabled) return false;
+  for (const Tensor& t : inputs) {
+    if (t.defined() && (t.requires_grad() || t.impl()->node != nullptr)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Tensor MakeOpResult(Shape shape, std::vector<float> values,
+                    std::vector<Tensor> inputs,
+                    std::function<void(TensorImpl&)> backward,
+                    const char* op_name) {
+  auto impl = std::make_shared<TensorImpl>(std::move(shape), std::move(values));
+  if (ShouldRecord(inputs)) {
+    auto node = std::make_shared<AutogradNode>();
+    node->op_name = op_name;
+    node->backward = std::move(backward);
+    node->inputs.reserve(inputs.size());
+    for (const Tensor& t : inputs) node->inputs.push_back(t.impl());
+    impl->node = std::move(node);
+    impl->requires_grad = true;
+  }
+  return Tensor(std::move(impl));
+}
+
+}  // namespace internal
+}  // namespace conformer

@@ -1,0 +1,76 @@
+#include "train/backtest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace conformer::train {
+
+BacktestResult Backtest(models::Forecaster* model,
+                        const data::WindowDataset& dataset, int64_t stride,
+                        int64_t max_windows, int64_t batch_size) {
+  CONFORMER_CHECK(model != nullptr);
+  CONFORMER_CHECK_GE(stride, 1);
+  CONFORMER_CHECK_GE(batch_size, 1);
+  model->SetTraining(false);
+  NoGradGuard guard;
+
+  const int64_t pred_len = model->window().pred_len;
+  std::vector<int64_t> origins;
+  for (int64_t i = 0; i < dataset.size(); i += stride) origins.push_back(i);
+  if (max_windows > 0 &&
+      static_cast<int64_t>(origins.size()) > max_windows) {
+    origins.resize(max_windows);
+  }
+
+  BacktestResult result;
+  result.per_step_mse.assign(pred_len, 0.0);
+  result.per_step_mae.assign(pred_len, 0.0);
+  std::vector<int64_t> per_step_count(pred_len, 0);
+
+  for (size_t begin = 0; begin < origins.size();
+       begin += static_cast<size_t>(batch_size)) {
+    const size_t end =
+        std::min(begin + static_cast<size_t>(batch_size), origins.size());
+    std::vector<int64_t> indices(origins.begin() + begin, origins.begin() + end);
+    data::Batch batch = dataset.GetBatch(indices);
+    Tensor pred = model->Forward(batch);
+    const int64_t total = batch.y.size(1);
+    Tensor target = Slice(batch.y, 1, total - pred_len, total);
+
+    const int64_t b = pred.size(0);
+    const int64_t d = pred.size(2);
+    for (int64_t i = 0; i < b; ++i) {
+      for (int64_t t = 0; t < pred_len; ++t) {
+        for (int64_t c = 0; c < d; ++c) {
+          const double diff = pred.at({i, t, c}) - target.at({i, t, c});
+          result.per_step_mse[t] += diff * diff;
+          result.per_step_mae[t] += std::fabs(diff);
+          ++per_step_count[t];
+        }
+      }
+    }
+    result.windows += b;
+  }
+
+  double total_sq = 0.0;
+  double total_abs = 0.0;
+  int64_t total_count = 0;
+  for (int64_t t = 0; t < pred_len; ++t) {
+    total_sq += result.per_step_mse[t];
+    total_abs += result.per_step_mae[t];
+    total_count += per_step_count[t];
+    if (per_step_count[t] > 0) {
+      result.per_step_mse[t] /= static_cast<double>(per_step_count[t]);
+      result.per_step_mae[t] /= static_cast<double>(per_step_count[t]);
+    }
+  }
+  if (total_count > 0) {
+    result.mse = total_sq / static_cast<double>(total_count);
+    result.mae = total_abs / static_cast<double>(total_count);
+  }
+  return result;
+}
+
+}  // namespace conformer::train

@@ -1,0 +1,37 @@
+// Rolling-origin backtesting: evaluates a trained forecaster across many
+// forecast origins and reports how the error grows along the horizon — the
+// operational complement to the paper's aggregate MSE/MAE tables (its
+// "errors grow slower for Conformer as Ly grows" claim is exactly a
+// per-horizon-step statement).
+
+#ifndef CONFORMER_TRAIN_BACKTEST_H_
+#define CONFORMER_TRAIN_BACKTEST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/forecaster.h"
+#include "data/window_dataset.h"
+
+namespace conformer::train {
+
+/// \brief Error profile of a backtest run.
+struct BacktestResult {
+  std::vector<double> per_step_mse;  ///< MSE at forecast step 1..pred_len.
+  std::vector<double> per_step_mae;
+  double mse = 0.0;                  ///< Aggregate over all steps/windows.
+  double mae = 0.0;
+  int64_t windows = 0;               ///< Forecast origins evaluated.
+};
+
+/// Rolls the forecast origin through `dataset` with the given stride,
+/// forecasting each window and accumulating per-step errors.
+/// `max_windows` caps the number of origins (0 = all).
+BacktestResult Backtest(models::Forecaster* model,
+                        const data::WindowDataset& dataset,
+                        int64_t stride = 1, int64_t max_windows = 0,
+                        int64_t batch_size = 32);
+
+}  // namespace conformer::train
+
+#endif  // CONFORMER_TRAIN_BACKTEST_H_

@@ -1,0 +1,78 @@
+// First-order optimizers operating on a module's parameter list.
+
+#ifndef CONFORMER_TRAIN_OPTIMIZER_H_
+#define CONFORMER_TRAIN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace conformer::train {
+
+/// \brief Base optimizer: owns the parameter handles, applies Step() from
+/// their accumulated gradients, and clears them with ZeroGrad().
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update from the current gradients.
+  virtual void Step() = 0;
+
+  void ZeroGrad();
+
+  /// Rescales the base learning rate (for schedules).
+  virtual void set_learning_rate(float lr) = 0;
+  virtual float learning_rate() const = 0;
+
+ protected:
+  std::vector<Tensor> params_;
+};
+
+/// \brief Plain SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, float lr, float momentum = 0.0f);
+
+  void Step() override;
+  void set_learning_rate(float lr) override { lr_ = lr; }
+  float learning_rate() const override { return lr_; }
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+/// \brief Adam (Kingma & Ba). The paper trains every model with Adam at
+/// lr = 1e-4 (Section V-A3).
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, float lr = 1e-4f, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+
+  void Step() override;
+  void set_learning_rate(float lr) override { lr_ = lr; }
+  float learning_rate() const override { return lr_; }
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  int64_t step_count_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+/// Scales all gradients so their global L2 norm is at most `max_norm`;
+/// returns the pre-clip norm.
+double ClipGradNorm(std::vector<Tensor>& params, double max_norm);
+
+}  // namespace conformer::train
+
+#endif  // CONFORMER_TRAIN_OPTIMIZER_H_

@@ -1,0 +1,116 @@
+#include "train/trainer.h"
+
+#include <limits>
+
+#include "train/optimizer.h"
+#include "util/logging.h"
+
+namespace conformer::train {
+
+namespace {
+
+// Snapshot / restore of parameter values for best-weights early stopping.
+std::vector<std::vector<float>> SnapshotParams(const std::vector<Tensor>& params) {
+  std::vector<std::vector<float>> snap;
+  snap.reserve(params.size());
+  for (const Tensor& p : params) {
+    snap.emplace_back(p.data(), p.data() + p.numel());
+  }
+  return snap;
+}
+
+void RestoreParams(std::vector<Tensor>& params,
+                   const std::vector<std::vector<float>>& snap) {
+  for (size_t i = 0; i < params.size(); ++i) {
+    std::copy(snap[i].begin(), snap[i].end(), params[i].data());
+  }
+}
+
+}  // namespace
+
+FitResult Trainer::Fit(models::Forecaster* model,
+                       const data::WindowDataset& train,
+                       const data::WindowDataset& val) const {
+  CONFORMER_CHECK(model != nullptr);
+  std::vector<Tensor> params = model->Parameters();
+  Adam optimizer(params, config_.learning_rate);
+  Rng rng(config_.seed);
+
+  FitResult result;
+  double best_val = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<float>> best_snapshot;
+  int64_t bad_epochs = 0;
+
+  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    if (epoch > 0 && config_.lr_decay != 1.0f) {
+      optimizer.set_learning_rate(optimizer.learning_rate() * config_.lr_decay);
+    }
+    model->SetTraining(true);
+    data::BatchIterator it(train, config_.batch_size, /*shuffle=*/true, &rng);
+    double loss_sum = 0.0;
+    int64_t batches = 0;
+    data::Batch batch;
+    while (it.Next(&batch)) {
+      optimizer.ZeroGrad();
+      Tensor loss = model->Loss(batch);
+      loss.Backward();
+      if (config_.clip_norm > 0.0f) ClipGradNorm(params, config_.clip_norm);
+      optimizer.Step();
+      loss_sum += loss.item();
+      ++batches;
+      if (config_.max_train_batches > 0 && batches >= config_.max_train_batches) {
+        break;
+      }
+    }
+    result.train_losses.push_back(batches > 0 ? loss_sum / batches : 0.0);
+
+    const EvalMetrics val_metrics = Evaluate(model, val);
+    result.val_mses.push_back(val_metrics.mse);
+    result.epochs_run = epoch + 1;
+    if (config_.verbose) {
+      CONFORMER_LOG(Info) << model->name() << " epoch " << epoch + 1
+                          << " train_loss=" << result.train_losses.back()
+                          << " val_mse=" << val_metrics.mse;
+    }
+
+    if (val_metrics.mse < best_val) {
+      best_val = val_metrics.mse;
+      best_snapshot = SnapshotParams(params);
+      bad_epochs = 0;
+    } else {
+      ++bad_epochs;
+      if (bad_epochs >= config_.patience) {
+        result.early_stopped = true;
+        break;
+      }
+    }
+  }
+
+  if (!best_snapshot.empty()) RestoreParams(params, best_snapshot);
+  result.best_val_mse = best_val;
+  return result;
+}
+
+EvalMetrics Trainer::Evaluate(models::Forecaster* model,
+                              const data::WindowDataset& dataset) const {
+  CONFORMER_CHECK(model != nullptr);
+  model->SetTraining(false);
+  NoGradGuard guard;
+  MetricAccumulator acc;
+  data::BatchIterator it(dataset, config_.batch_size, /*shuffle=*/false);
+  data::Batch batch;
+  int64_t batches = 0;
+  while (it.Next(&batch)) {
+    Tensor pred = model->Forward(batch);
+    const int64_t total = batch.y.size(1);
+    Tensor target = Slice(batch.y, 1, total - model->window().pred_len, total);
+    acc.Add(pred, target);
+    ++batches;
+    if (config_.max_eval_batches > 0 && batches >= config_.max_eval_batches) {
+      break;
+    }
+  }
+  return EvalMetrics{acc.mse(), acc.mae()};
+}
+
+}  // namespace conformer::train

@@ -1,0 +1,64 @@
+// Training loop: Adam, gradient clipping, early stopping on validation MSE
+// with best-weights restore — the protocol of Section V-A3.
+
+#ifndef CONFORMER_TRAIN_TRAINER_H_
+#define CONFORMER_TRAIN_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/forecaster.h"
+#include "data/window_dataset.h"
+#include "train/metrics.h"
+
+namespace conformer::train {
+
+/// \brief Knobs of one training run.
+struct TrainConfig {
+  int64_t epochs = 10;        ///< Paper: early stopping within 10 epochs.
+  int64_t batch_size = 32;
+  float learning_rate = 1e-4f;
+  /// Per-epoch learning-rate multiplier (Informer's protocol halves the LR
+  /// each epoch; 1.0 keeps it constant).
+  float lr_decay = 1.0f;
+  int64_t patience = 3;       ///< Epochs without val improvement tolerated.
+  float clip_norm = 5.0f;     ///< 0 disables clipping.
+  /// Caps batches per epoch / per evaluation (0 = no cap). The scaled-down
+  /// bench configs rely on these to keep single-core runs tractable.
+  int64_t max_train_batches = 0;
+  int64_t max_eval_batches = 0;
+  uint64_t seed = 42;
+  bool verbose = false;
+};
+
+/// \brief Outcome of Trainer::Fit.
+struct FitResult {
+  int64_t epochs_run = 0;
+  double best_val_mse = 0.0;
+  bool early_stopped = false;
+  std::vector<double> train_losses;  ///< Mean loss per epoch.
+  std::vector<double> val_mses;      ///< Validation MSE per epoch.
+};
+
+class Trainer {
+ public:
+  explicit Trainer(TrainConfig config) : config_(config) {}
+
+  /// Trains `model` and restores the best-validation weights before
+  /// returning.
+  FitResult Fit(models::Forecaster* model, const data::WindowDataset& train,
+                const data::WindowDataset& val) const;
+
+  /// MSE/MAE of `model` on `dataset` (standardized space, as in the paper).
+  EvalMetrics Evaluate(models::Forecaster* model,
+                       const data::WindowDataset& dataset) const;
+
+  const TrainConfig& config() const { return config_; }
+
+ private:
+  TrainConfig config_;
+};
+
+}  // namespace conformer::train
+
+#endif  // CONFORMER_TRAIN_TRAINER_H_

@@ -1,0 +1,96 @@
+#include "util/civil_time.h"
+
+#include <cstdio>
+
+namespace conformer {
+
+int64_t DaysFromCivil(int y, int m, int d) {
+  // Howard Hinnant's days_from_civil.
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);            // [0, 399]
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;  // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;           // [0, 146096]
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int* year, int* month, int* day) {
+  // Howard Hinnant's civil_from_days.
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);  // [0, 146096]
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);  // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                       // [0, 11]
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;               // [1, 31]
+  const unsigned m = mp + (mp < 10 ? 3 : -9);                    // [1, 12]
+  *year = static_cast<int>(y + (m <= 2));
+  *month = static_cast<int>(m);
+  *day = static_cast<int>(d);
+}
+
+CivilTime CivilFromUnixSeconds(int64_t seconds) {
+  int64_t days = seconds / 86400;
+  int64_t rem = seconds % 86400;
+  if (rem < 0) {
+    rem += 86400;
+    days -= 1;
+  }
+  CivilTime ct;
+  CivilFromDays(days, &ct.year, &ct.month, &ct.day);
+  ct.hour = static_cast<int>(rem / 3600);
+  ct.minute = static_cast<int>((rem % 3600) / 60);
+  ct.second = static_cast<int>(rem % 60);
+  return ct;
+}
+
+int64_t UnixSecondsFromCivil(const CivilTime& ct) {
+  return DaysFromCivil(ct.year, ct.month, ct.day) * 86400 + ct.hour * 3600 +
+         ct.minute * 60 + ct.second;
+}
+
+int DayOfWeek(int64_t unix_seconds) {
+  int64_t days = unix_seconds / 86400;
+  if (unix_seconds % 86400 < 0) days -= 1;
+  // 1970-01-01 was a Thursday (index 3 with Monday = 0).
+  int64_t dow = (days + 3) % 7;
+  if (dow < 0) dow += 7;
+  return static_cast<int>(dow);
+}
+
+int DayOfYear(int64_t unix_seconds) {
+  CivilTime ct = CivilFromUnixSeconds(unix_seconds);
+  int64_t start = DaysFromCivil(ct.year, 1, 1);
+  int64_t today = DaysFromCivil(ct.year, ct.month, ct.day);
+  return static_cast<int>(today - start) + 1;
+}
+
+bool IsLeapYear(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+Result<int64_t> ParseTimestamp(const std::string& text) {
+  CivilTime ct;
+  int n = std::sscanf(text.c_str(), "%d-%d-%d %d:%d:%d", &ct.year, &ct.month,
+                      &ct.day, &ct.hour, &ct.minute, &ct.second);
+  if (n != 3 && n != 5 && n != 6) {
+    return Status::InvalidArgument("cannot parse timestamp: '" + text + "'");
+  }
+  if (ct.month < 1 || ct.month > 12 || ct.day < 1 || ct.day > 31 ||
+      ct.hour < 0 || ct.hour > 23 || ct.minute < 0 || ct.minute > 59 ||
+      ct.second < 0 || ct.second > 59) {
+    return Status::InvalidArgument("timestamp out of range: '" + text + "'");
+  }
+  return UnixSecondsFromCivil(ct);
+}
+
+std::string FormatTimestamp(int64_t unix_seconds) {
+  CivilTime ct = CivilFromUnixSeconds(unix_seconds);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d", ct.year,
+                ct.month, ct.day, ct.hour, ct.minute, ct.second);
+  return std::string(buf);
+}
+
+}  // namespace conformer

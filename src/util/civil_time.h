@@ -1,0 +1,59 @@
+// Civil (calendar) time utilities. The multiscale-dynamics block of the
+// Conformer input representation (Eq. 3-4) embeds timestamps at several
+// temporal resolutions (minute / hour / day / week / month), so we need a
+// small proleptic-Gregorian calendar that converts between Unix seconds and
+// calendar fields without relying on the system timezone database.
+
+#ifndef CONFORMER_UTIL_CIVIL_TIME_H_
+#define CONFORMER_UTIL_CIVIL_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace conformer {
+
+/// \brief A broken-down UTC calendar time.
+struct CivilTime {
+  int year = 1970;
+  int month = 1;   ///< 1-12
+  int day = 1;     ///< 1-31
+  int hour = 0;    ///< 0-23
+  int minute = 0;  ///< 0-59
+  int second = 0;  ///< 0-59
+
+  bool operator==(const CivilTime& other) const = default;
+};
+
+/// Days since 1970-01-01 for the given date (proleptic Gregorian; negative
+/// before the epoch). Uses Howard Hinnant's algorithm.
+int64_t DaysFromCivil(int year, int month, int day);
+
+/// Inverse of DaysFromCivil.
+void CivilFromDays(int64_t days, int* year, int* month, int* day);
+
+/// Unix seconds -> calendar fields (UTC).
+CivilTime CivilFromUnixSeconds(int64_t seconds);
+
+/// Calendar fields -> Unix seconds (UTC).
+int64_t UnixSecondsFromCivil(const CivilTime& ct);
+
+/// Day of week, 0 = Monday ... 6 = Sunday.
+int DayOfWeek(int64_t unix_seconds);
+
+/// Day of year, 1-based.
+int DayOfYear(int64_t unix_seconds);
+
+/// True for Gregorian leap years.
+bool IsLeapYear(int year);
+
+/// Parses "YYYY-MM-DD HH:MM[:SS]" or "YYYY-MM-DD" into Unix seconds.
+Result<int64_t> ParseTimestamp(const std::string& text);
+
+/// Formats Unix seconds as "YYYY-MM-DD HH:MM:SS".
+std::string FormatTimestamp(int64_t unix_seconds);
+
+}  // namespace conformer
+
+#endif  // CONFORMER_UTIL_CIVIL_TIME_H_

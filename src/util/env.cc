@@ -1,0 +1,22 @@
+#include "util/env.h"
+
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace conformer {
+
+std::string GetEnv(const std::string& name, const std::string& fallback) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr || value[0] == '\0') return fallback;
+  return value;
+}
+
+int64_t GetEnvInt(const std::string& name, int64_t fallback) {
+  const std::string text = GetEnv(name);
+  if (text.empty()) return fallback;
+  Result<int64_t> parsed = ParseInt(text);
+  return parsed.ok() ? parsed.value() : fallback;
+}
+
+}  // namespace conformer

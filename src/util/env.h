@@ -1,0 +1,20 @@
+// Environment-variable helpers for bench scaling knobs
+// (e.g. CONFORMER_BENCH_SCALE=full).
+
+#ifndef CONFORMER_UTIL_ENV_H_
+#define CONFORMER_UTIL_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace conformer {
+
+/// Returns the value of `name` or `fallback` if unset/empty.
+std::string GetEnv(const std::string& name, const std::string& fallback = "");
+
+/// Integer environment variable with fallback (also used on parse failure).
+int64_t GetEnvInt(const std::string& name, int64_t fallback);
+
+}  // namespace conformer
+
+#endif  // CONFORMER_UTIL_ENV_H_

@@ -1,0 +1,35 @@
+// Small dense linear algebra for closed-form estimators: Cholesky
+// factorization and SPD solves (used by the ridge-regression fit of the
+// linear/VAR baseline).
+
+#ifndef CONFORMER_UTIL_LINALG_H_
+#define CONFORMER_UTIL_LINALG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace conformer {
+
+/// In-place Cholesky factorization of a symmetric positive-definite matrix
+/// A (n x n, row-major): A = L L^T with L written into the lower triangle.
+/// Fails if A is not (numerically) positive definite.
+Status CholeskyFactor(std::vector<double>* a, int64_t n);
+
+/// Solves L L^T x = b for one right-hand side, given the factor from
+/// CholeskyFactor; overwrites b with x.
+void CholeskySolveInPlace(const std::vector<double>& l, int64_t n,
+                          std::vector<double>* b);
+
+/// Solves the ridge-regularized least squares (X^T X + ridge I) W = X^T Y
+/// for X (rows x features, row-major) and Y (rows x outputs). Returns W
+/// (features x outputs, row-major).
+Result<std::vector<double>> RidgeLeastSquares(const std::vector<double>& x,
+                                              int64_t rows, int64_t features,
+                                              const std::vector<double>& y,
+                                              int64_t outputs, double ridge);
+
+}  // namespace conformer
+
+#endif  // CONFORMER_UTIL_LINALG_H_

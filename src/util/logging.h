@@ -1,0 +1,77 @@
+// Minimal glog-style logging and CHECK macros.
+//
+// CONFORMER_CHECK* macros abort on failure: they guard invariants whose
+// violation indicates a bug (e.g. tensor shape mismatches), not a runtime
+// condition the caller should handle (those return Status instead).
+
+#ifndef CONFORMER_UTIL_LOGGING_H_
+#define CONFORMER_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace conformer {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Sets the minimum level that is actually emitted (default: kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();  // Emits the message; aborts for kFatal.
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows streamed values when the level is below the threshold.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+// Turns the streamed LogMessage expression into void so it can sit on the
+// right-hand side of `cond ? (void)0 : ...` (the glog dangling-else fix).
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+
+#define CONFORMER_LOG(level)                                               \
+  ::conformer::internal::LogMessage(::conformer::LogLevel::k##level,       \
+                                    __FILE__, __LINE__)                    \
+      .stream()
+
+#define CONFORMER_CHECK(cond)                                              \
+  (cond) ? (void)0                                                         \
+         : ::conformer::internal::Voidify() &                              \
+               ::conformer::internal::LogMessage(                          \
+                   ::conformer::LogLevel::kFatal, __FILE__, __LINE__)      \
+                       .stream()                                           \
+                   << "Check failed: " #cond " "
+
+#define CONFORMER_CHECK_EQ(a, b) CONFORMER_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CONFORMER_CHECK_NE(a, b) CONFORMER_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CONFORMER_CHECK_LT(a, b) CONFORMER_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CONFORMER_CHECK_LE(a, b) CONFORMER_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CONFORMER_CHECK_GT(a, b) CONFORMER_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CONFORMER_CHECK_GE(a, b) CONFORMER_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+}  // namespace conformer
+
+#endif  // CONFORMER_UTIL_LOGGING_H_

@@ -1,0 +1,59 @@
+#include "util/random.h"
+
+#include <cmath>
+
+namespace conformer {
+
+double Rng::Uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(gen_);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(gen_);
+}
+
+double Rng::Normal() { return std::normal_distribution<double>(0.0, 1.0)(gen_); }
+
+double Rng::Normal(double mean, double stddev) {
+  return std::normal_distribution<double>(mean, stddev)(gen_);
+}
+
+int64_t Rng::UniformInt(int64_t n) {
+  return std::uniform_int_distribution<int64_t>(0, n - 1)(gen_);
+}
+
+bool Rng::Bernoulli(double p) {
+  return std::bernoulli_distribution(p)(gen_);
+}
+
+double Rng::StudentT(double dof) {
+  return std::student_t_distribution<double>(dof)(gen_);
+}
+
+void Rng::FillNormal(std::vector<float>* out) {
+  std::normal_distribution<double> dist(0.0, 1.0);
+  for (float& v : *out) v = static_cast<float>(dist(gen_));
+}
+
+std::vector<int64_t> Rng::Permutation(int64_t n) {
+  std::vector<int64_t> perm(n);
+  for (int64_t i = 0; i < n; ++i) perm[i] = i;
+  for (int64_t i = n - 1; i > 0; --i) {
+    int64_t j = UniformInt(i + 1);
+    std::swap(perm[i], perm[j]);
+  }
+  return perm;
+}
+
+namespace {
+Rng* GlobalRngInstance() {
+  static Rng* rng = new Rng(42);
+  return rng;
+}
+}  // namespace
+
+Rng& GlobalRng() { return *GlobalRngInstance(); }
+
+void SeedGlobalRng(uint64_t seed) { *GlobalRngInstance() = Rng(seed); }
+
+}  // namespace conformer

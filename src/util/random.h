@@ -1,0 +1,53 @@
+// Deterministic random number generation. All stochastic components (weight
+// init, dropout, LSH hashing, synthetic data) draw from an explicit Rng so
+// experiments are reproducible from a single seed.
+
+#ifndef CONFORMER_UTIL_RANDOM_H_
+#define CONFORMER_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace conformer {
+
+/// \brief A seeded pseudo-random generator wrapping std::mt19937_64.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : gen_(seed) {}
+
+  /// Uniform in [0, 1).
+  double Uniform();
+  /// Uniform in [lo, hi).
+  double Uniform(double lo, double hi);
+  /// Standard normal draw.
+  double Normal();
+  /// Normal with the given mean / stddev.
+  double Normal(double mean, double stddev);
+  /// Uniform integer in [0, n).
+  int64_t UniformInt(int64_t n);
+  /// Bernoulli draw with probability `p` of true.
+  bool Bernoulli(double p);
+  /// Student-t draw with `dof` degrees of freedom (heavy-tailed noise).
+  double StudentT(double dof);
+
+  /// Fills `out` with standard normal draws.
+  void FillNormal(std::vector<float>* out);
+
+  /// A random permutation of {0, ..., n-1}.
+  std::vector<int64_t> Permutation(int64_t n);
+
+  std::mt19937_64& gen() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+/// \brief Process-wide generator used where threading a Rng through would be
+/// disproportionate (e.g. default weight init). Re-seedable for tests.
+Rng& GlobalRng();
+void SeedGlobalRng(uint64_t seed);
+
+}  // namespace conformer
+
+#endif  // CONFORMER_UTIL_RANDOM_H_

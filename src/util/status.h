@@ -1,0 +1,109 @@
+// Status / Result error model, following the Arrow / RocksDB idiom: fallible
+// user-facing operations return a Status (or Result<T>), while programming
+// errors use the CHECK macros in util/check.h.
+
+#ifndef CONFORMER_UTIL_STATUS_H_
+#define CONFORMER_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace conformer {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIOError,
+  kOutOfRange,
+  kAlreadyExists,
+  kUnimplemented,
+  kInternal,
+};
+
+/// \brief Outcome of a fallible operation: a code plus a human-readable
+/// message. `Status::OK()` is the success value.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Accessing `value()` on an error Result is a programming error and aborts
+/// (via the CHECK in the .h include chain being unavailable here we use a
+/// plain branch; see ValueOrDie semantics below).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}        // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; must only be called when ok().
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  /// Returns the value or `fallback` when this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+/// Returns a StatusCode's canonical name, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+/// Propagates an error Status out of the enclosing function.
+#define CONFORMER_RETURN_IF_ERROR(expr)                 \
+  do {                                                  \
+    ::conformer::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                          \
+  } while (false)
+
+}  // namespace conformer
+
+#endif  // CONFORMER_UTIL_STATUS_H_

@@ -1,0 +1,39 @@
+// Small string helpers used by the CSV loader, configuration parsing, and
+// the bench table printers.
+
+#ifndef CONFORMER_UTIL_STRING_UTIL_H_
+#define CONFORMER_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace conformer {
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> Split(const std::string& text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string Strip(const std::string& text);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// True if `text` starts with / ends with the given prefix / suffix.
+bool StartsWith(const std::string& text, const std::string& prefix);
+bool EndsWith(const std::string& text, const std::string& suffix);
+
+/// ASCII lower-casing.
+std::string ToLower(const std::string& text);
+
+/// Strict parses (whole string must be consumed).
+Result<double> ParseDouble(const std::string& text);
+Result<int64_t> ParseInt(const std::string& text);
+
+/// Formats a double with `digits` fractional digits, e.g. 0.2124 -> "0.2124".
+std::string FormatFixed(double value, int digits);
+
+}  // namespace conformer
+
+#endif  // CONFORMER_UTIL_STRING_UTIL_H_

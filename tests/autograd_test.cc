@@ -1,0 +1,455 @@
+// Gradient correctness: numerical gradient checks for every differentiable
+// op, plus tape-mechanics tests (accumulation, detach, no-grad, reuse).
+
+#include <gtest/gtest.h>
+
+#include "tensor/gradcheck.h"
+#include "tensor/ops.h"
+
+namespace conformer {
+namespace {
+
+using Inputs = std::vector<Tensor>;
+
+Tensor Leaf(const Shape& shape, uint64_t seed) {
+  Rng rng(seed);
+  Tensor t = Tensor::Randn(shape, &rng);
+  t.set_requires_grad(true);
+  return t;
+}
+
+// Positive-valued leaf for Log/Sqrt.
+Tensor PositiveLeaf(const Shape& shape, uint64_t seed) {
+  Rng rng(seed);
+  Tensor t = Tensor::Rand(shape, 0.5f, 2.0f, &rng);
+  t.set_requires_grad(true);
+  return t;
+}
+
+void ExpectGradOk(const std::function<Tensor(const Inputs&)>& f,
+                  Inputs inputs) {
+  GradCheckResult r = CheckGradients(f, std::move(inputs));
+  EXPECT_TRUE(r.passed) << r.message << " (max err " << r.max_abs_error << ")";
+}
+
+// -- basic mechanics --------------------------------------------------------
+
+TEST(AutogradTest, ScalarChain) {
+  Tensor x = Tensor::Full({1}, 3.0f);
+  x.set_requires_grad(true);
+  Tensor y = MulScalar(x, 2.0f) + 1.0f;  // y = 2x + 1
+  Tensor loss = Mul(y, y);               // (2x+1)^2, d/dx = 4(2x+1) = 28
+  Sum(loss).Backward();
+  EXPECT_NEAR(x.grad().item(), 28.0f, 1e-4);
+}
+
+TEST(AutogradTest, GradAccumulatesAcrossBackwards) {
+  Tensor x = Tensor::Full({1}, 1.0f);
+  x.set_requires_grad(true);
+  Sum(MulScalar(x, 3.0f)).Backward();
+  EXPECT_NEAR(x.grad().item(), 3.0f, 1e-6);
+  Sum(MulScalar(x, 3.0f)).Backward();
+  EXPECT_NEAR(x.grad().item(), 6.0f, 1e-6);  // accumulated
+  x.ZeroGrad();
+  EXPECT_FALSE(x.has_grad());
+}
+
+TEST(AutogradTest, ReusedTensorGetsBothPaths) {
+  Tensor x = Tensor::Full({1}, 2.0f);
+  x.set_requires_grad(true);
+  Tensor y = Add(Mul(x, x), x);  // x^2 + x, d/dx = 2x + 1 = 5
+  Sum(y).Backward();
+  EXPECT_NEAR(x.grad().item(), 5.0f, 1e-4);
+}
+
+TEST(AutogradTest, DetachBlocksGradient) {
+  Tensor x = Tensor::Full({1}, 2.0f);
+  x.set_requires_grad(true);
+  Tensor y = Mul(x.Detach(), x);  // treated as c * x
+  Sum(y).Backward();
+  EXPECT_NEAR(x.grad().item(), 2.0f, 1e-6);
+}
+
+TEST(AutogradTest, NoGradGuardDisablesTape) {
+  Tensor x = Leaf({3}, 1);
+  {
+    NoGradGuard guard;
+    Tensor y = Mul(x, x);
+    EXPECT_FALSE(y.requires_grad());
+    EXPECT_EQ(y.impl()->node, nullptr);
+  }
+  Tensor z = Mul(x, x);
+  EXPECT_TRUE(z.requires_grad());
+}
+
+TEST(AutogradTest, ConstantsProduceNoTape) {
+  Tensor a = Tensor::Ones({2});
+  Tensor b = Tensor::Ones({2});
+  Tensor c = Add(a, b);
+  EXPECT_FALSE(c.requires_grad());
+}
+
+TEST(AutogradTest, BackwardRequiresScalar) {
+  Tensor x = Leaf({2}, 2);
+  Tensor y = Mul(x, x);
+  EXPECT_DEATH(y.Backward(), "scalar");
+}
+
+TEST(AutogradTest, DiamondGraph) {
+  // z = (x*2) + (x*3); dz/dx = 5 per element.
+  Tensor x = Leaf({4}, 3);
+  Tensor z = Add(MulScalar(x, 2.0f), MulScalar(x, 3.0f));
+  Sum(z).Backward();
+  for (int64_t i = 0; i < 4; ++i) EXPECT_NEAR(x.grad().data()[i], 5.0f, 1e-5);
+}
+
+// -- elementwise gradchecks ---------------------------------------------------
+
+TEST(GradCheckTest, AddBroadcast) {
+  ExpectGradOk([](const Inputs& in) { return Sum(Mul(Add(in[0], in[1]), in[2])); },
+               {Leaf({2, 3}, 1), Leaf({3}, 2), Leaf({2, 3}, 3)});
+}
+
+TEST(GradCheckTest, SubBroadcastColumn) {
+  ExpectGradOk(
+      [](const Inputs& in) { return Sum(Mul(Sub(in[0], in[1]), in[0])); },
+      {Leaf({3, 2}, 4), Leaf({3, 1}, 5)});
+}
+
+TEST(GradCheckTest, MulDiv) {
+  ExpectGradOk(
+      [](const Inputs& in) { return Sum(Div(Mul(in[0], in[1]), in[2])); },
+      {Leaf({2, 2}, 6), Leaf({2, 2}, 7), PositiveLeaf({2, 2}, 8)});
+}
+
+TEST(GradCheckTest, Maximum) {
+  ExpectGradOk([](const Inputs& in) { return Sum(Maximum(in[0], in[1])); },
+               {Leaf({8}, 9), Leaf({8}, 10)});
+}
+
+TEST(GradCheckTest, Unaries) {
+  ExpectGradOk([](const Inputs& in) { return Sum(Tanh(in[0])); }, {Leaf({6}, 11)});
+  ExpectGradOk([](const Inputs& in) { return Sum(Sigmoid(in[0])); }, {Leaf({6}, 12)});
+  ExpectGradOk([](const Inputs& in) { return Sum(Exp(in[0])); }, {Leaf({6}, 13)});
+  ExpectGradOk([](const Inputs& in) { return Sum(Log(in[0])); },
+               {PositiveLeaf({6}, 14)});
+  ExpectGradOk([](const Inputs& in) { return Sum(Sqrt(in[0])); },
+               {PositiveLeaf({6}, 15)});
+  ExpectGradOk([](const Inputs& in) { return Sum(Gelu(in[0])); }, {Leaf({6}, 16)});
+  ExpectGradOk([](const Inputs& in) { return Sum(Softplus(in[0])); },
+               {Leaf({6}, 17)});
+  ExpectGradOk([](const Inputs& in) { return Sum(Sin(in[0])); }, {Leaf({6}, 18)});
+  ExpectGradOk([](const Inputs& in) { return Sum(Cos(in[0])); }, {Leaf({6}, 19)});
+}
+
+TEST(GradCheckTest, PowScalar) {
+  ExpectGradOk([](const Inputs& in) { return Sum(PowScalar(in[0], 3.0f)); },
+               {PositiveLeaf({5}, 20)});
+}
+
+// -- matmul -------------------------------------------------------------------
+
+TEST(GradCheckTest, MatMulRank2) {
+  ExpectGradOk([](const Inputs& in) { return Sum(MatMul(in[0], in[1])); },
+               {Leaf({3, 4}, 21), Leaf({4, 2}, 22)});
+}
+
+TEST(GradCheckTest, MatMulBatched) {
+  ExpectGradOk([](const Inputs& in) { return Sum(MatMul(in[0], in[1])); },
+               {Leaf({2, 3, 4}, 23), Leaf({2, 4, 2}, 24)});
+}
+
+TEST(GradCheckTest, MatMulBroadcastBatch) {
+  ExpectGradOk([](const Inputs& in) { return Sum(MatMul(in[0], in[1])); },
+               {Leaf({3, 4}, 25), Leaf({2, 4, 2}, 26)});
+}
+
+TEST(GradCheckTest, MatMulWeightedOutput) {
+  // Non-uniform output gradient exercises dOut routing.
+  ExpectGradOk(
+      [](const Inputs& in) {
+        Tensor out = MatMul(in[0], in[1]);
+        return Sum(Mul(out, out));
+      },
+      {Leaf({2, 3}, 27), Leaf({3, 2}, 28)});
+}
+
+// -- reductions -----------------------------------------------------------------
+
+TEST(GradCheckTest, SumOverDims) {
+  ExpectGradOk(
+      [](const Inputs& in) {
+        Tensor s = Sum(in[0], {1});            // [2, 4] -> [2]
+        return Sum(Mul(s, s));
+      },
+      {Leaf({2, 4}, 29)});
+}
+
+TEST(GradCheckTest, MeanKeepdim) {
+  ExpectGradOk(
+      [](const Inputs& in) {
+        Tensor m = Mean(in[0], {0}, true);
+        return Sum(Mul(m, m));
+      },
+      {Leaf({3, 2}, 30)});
+}
+
+TEST(GradCheckTest, VarianceComposite) {
+  ExpectGradOk([](const Inputs& in) { return Sum(Variance(in[0], {1})); },
+               {Leaf({2, 5}, 31)});
+}
+
+TEST(GradCheckTest, MaxRoutesToArgmax) {
+  ExpectGradOk([](const Inputs& in) { return Sum(Max(in[0], 1)); },
+               {Leaf({3, 4}, 32)});
+}
+
+// -- shape ops ---------------------------------------------------------------------
+
+TEST(GradCheckTest, ReshapePermute) {
+  ExpectGradOk(
+      [](const Inputs& in) {
+        Tensor r = Permute(Reshape(in[0], {2, 3, 2}), {2, 0, 1});
+        return Sum(Mul(r, r));
+      },
+      {Leaf({12}, 33)});
+}
+
+TEST(GradCheckTest, SliceAndConcat) {
+  ExpectGradOk(
+      [](const Inputs& in) {
+        Tensor head = Slice(in[0], 0, 0, 2);
+        Tensor tail = Slice(in[0], 0, 2, 4);
+        Tensor swapped = Concat({tail, head}, 0);
+        return Sum(Mul(swapped, swapped));
+      },
+      {Leaf({4, 3}, 34)});
+}
+
+TEST(GradCheckTest, StridedSlice) {
+  ExpectGradOk(
+      [](const Inputs& in) {
+        Tensor s = Slice(in[0], 1, 0, 6, 2);
+        return Sum(Mul(s, s));
+      },
+      {Leaf({2, 6}, 35)});
+}
+
+TEST(GradCheckTest, PadAndTile) {
+  ExpectGradOk(
+      [](const Inputs& in) {
+        Tensor p = Pad(in[0], 0, 1, 1, 0.5f);
+        Tensor t = Tile(in[0], {2, 1});
+        return Add(Sum(Mul(p, p)), Sum(t));
+      },
+      {Leaf({2, 2}, 36)});
+}
+
+TEST(GradCheckTest, ReplicatePad) {
+  ExpectGradOk(
+      [](const Inputs& in) {
+        Tensor p = ReplicatePad(in[0], 1, 2, 2);
+        return Sum(Mul(p, p));
+      },
+      {Leaf({1, 4}, 37)});
+}
+
+TEST(GradCheckTest, BroadcastTo) {
+  ExpectGradOk(
+      [](const Inputs& in) {
+        Tensor b = BroadcastTo(in[0], {4, 3});
+        return Sum(Mul(b, b));
+      },
+      {Leaf({1, 3}, 38)});
+}
+
+// -- indexing -----------------------------------------------------------------------
+
+TEST(GradCheckTest, IndexSelectWithRepeats) {
+  ExpectGradOk(
+      [](const Inputs& in) {
+        Tensor s = IndexSelect(in[0], 0, {0, 2, 2, 1});
+        return Sum(Mul(s, s));
+      },
+      {Leaf({3, 2}, 39)});
+}
+
+TEST(GradCheckTest, Roll) {
+  ExpectGradOk(
+      [](const Inputs& in) {
+        Tensor r = Roll(in[0], 1, 2);
+        return Sum(Mul(r, in[0]));
+      },
+      {Leaf({2, 5}, 40)});
+}
+
+TEST(GradCheckTest, BatchedIndexSelect) {
+  ExpectGradOk(
+      [](const Inputs& in) {
+        Tensor s = BatchedIndexSelect(in[0], {1, 1, 0, 2}, 2);
+        return Sum(Mul(s, s));
+      },
+      {Leaf({2, 3, 2}, 41)});
+}
+
+// -- conv / pool -------------------------------------------------------------------
+
+TEST(GradCheckTest, Conv1dZeroPad) {
+  ExpectGradOk(
+      [](const Inputs& in) {
+        Tensor y = Conv1d(in[0], in[1], in[2], 1);
+        return Sum(Mul(y, y));
+      },
+      {Leaf({2, 2, 5}, 42), Leaf({3, 2, 3}, 43), Leaf({3}, 44)});
+}
+
+TEST(GradCheckTest, Conv1dCircular) {
+  ExpectGradOk(
+      [](const Inputs& in) {
+        Tensor y = Conv1d(in[0], in[1], Tensor(), 1, PadMode::kCircular);
+        return Sum(Mul(y, y));
+      },
+      {Leaf({1, 2, 6}, 45), Leaf({2, 2, 3}, 46)});
+}
+
+TEST(GradCheckTest, MaxPool) {
+  ExpectGradOk(
+      [](const Inputs& in) {
+        Tensor y = MaxPool1d(in[0], 2, 2);
+        return Sum(Mul(y, y));
+      },
+      {Leaf({2, 8}, 70)});
+}
+
+TEST(GradCheckTest, Cumsum) {
+  ExpectGradOk(
+      [](const Inputs& in) {
+        Tensor y = Cumsum(in[0], 1);
+        return Sum(Mul(y, y));
+      },
+      {Leaf({2, 5}, 71)});
+}
+
+TEST(GradCheckTest, DilatedConv) {
+  ExpectGradOk(
+      [](const Inputs& in) {
+        Tensor y = Conv1d(in[0], in[1], Tensor(), 2, PadMode::kZeros,
+                          /*dilation=*/2);
+        return Sum(Mul(y, y));
+      },
+      {Leaf({1, 2, 7}, 72), Leaf({2, 2, 3}, 73)});
+}
+
+TEST(GradCheckTest, AvgPool) {
+  ExpectGradOk(
+      [](const Inputs& in) {
+        Tensor y = AvgPool1d(in[0], 3, 2);
+        return Sum(Mul(y, y));
+      },
+      {Leaf({2, 9}, 47)});
+}
+
+// -- nn functionals -----------------------------------------------------------------
+
+TEST(GradCheckTest, Softmax) {
+  ExpectGradOk(
+      [](const Inputs& in) {
+        Tensor y = Softmax(in[0], -1);
+        return Sum(Mul(y, in[1]));
+      },
+      {Leaf({3, 4}, 48), Leaf({3, 4}, 49)});
+}
+
+TEST(GradCheckTest, SoftmaxMiddleDim) {
+  ExpectGradOk(
+      [](const Inputs& in) {
+        Tensor y = Softmax(in[0], 1);
+        return Sum(Mul(y, in[1]));
+      },
+      {Leaf({2, 3, 2}, 50), Leaf({2, 3, 2}, 51)});
+}
+
+TEST(GradCheckTest, LogSoftmax) {
+  ExpectGradOk(
+      [](const Inputs& in) {
+        Tensor y = LogSoftmax(in[0], -1);
+        return Sum(Mul(y, in[1]));
+      },
+      {Leaf({2, 5}, 52), Leaf({2, 5}, 53)});
+}
+
+TEST(GradCheckTest, MseMae) {
+  ExpectGradOk(
+      [](const Inputs& in) { return MseLoss(in[0], Tensor::Zeros({2, 3})); },
+      {Leaf({2, 3}, 54)});
+  // MAE is non-differentiable at 0; random leaves avoid exact zeros.
+  ExpectGradOk(
+      [](const Inputs& in) { return MaeLoss(in[0], Tensor::Zeros({2, 3})); },
+      {Leaf({2, 3}, 55)});
+}
+
+// -- composites mirroring model structure --------------------------------------------
+
+TEST(GradCheckTest, TwoLayerMlp) {
+  ExpectGradOk(
+      [](const Inputs& in) {
+        Tensor h = Tanh(Add(MatMul(in[0], in[1]), in[2]));
+        Tensor out = MatMul(h, in[3]);
+        return Sum(Mul(out, out));
+      },
+      {Leaf({4, 3}, 56), Leaf({3, 5}, 57), Leaf({5}, 58), Leaf({5, 2}, 59)});
+}
+
+TEST(GradCheckTest, AttentionShaped) {
+  // softmax(QK^T) V with small sizes.
+  ExpectGradOk(
+      [](const Inputs& in) {
+        Tensor scores = MatMul(in[0], Transpose(in[1], -1, -2));
+        Tensor w = Softmax(MulScalar(scores, 0.5f), -1);
+        return Sum(Mul(MatMul(w, in[2]), in[3]));
+      },
+      {Leaf({1, 3, 2}, 60), Leaf({1, 3, 2}, 61), Leaf({1, 3, 2}, 62),
+       Leaf({1, 3, 2}, 63)});
+}
+
+TEST(AutogradTest, AddDetachedTreatsSecondArgAsConstant) {
+  Tensor x = Tensor::Full({2}, 2.0f).set_requires_grad(true);
+  Tensor y = AddDetached(MulScalar(x, 3.0f), Mul(x, x));
+  Sum(y).Backward();
+  // Gradient only flows through the 3x path: d/dx = 3 (not 3 + 2x).
+  for (int64_t i = 0; i < 2; ++i) {
+    EXPECT_NEAR(x.grad().data()[i], 3.0f, 1e-5);
+  }
+}
+
+TEST(AutogradTest, CumsumChainsWithOtherOps) {
+  Tensor x = Tensor::Full({3}, 1.0f).set_requires_grad(true);
+  // sum(cumsum(x)) = 3*x0 + 2*x1 + 1*x2.
+  Sum(Cumsum(x, 0)).Backward();
+  EXPECT_NEAR(x.grad().data()[0], 3.0f, 1e-6);
+  EXPECT_NEAR(x.grad().data()[1], 2.0f, 1e-6);
+  EXPECT_NEAR(x.grad().data()[2], 1.0f, 1e-6);
+}
+
+TEST(GradCheckTest, FlipAndSplit) {
+  ExpectGradOk(
+      [](const Inputs& in) {
+        Tensor f = Flip(in[0], 1);
+        std::vector<Tensor> parts = Split(in[0], 1, 2);
+        return Add(Sum(Mul(f, f)), Sum(Mul(parts[0], parts[1])));
+      },
+      {Leaf({2, 4}, 80)});
+}
+
+TEST(AutogradTest, RetainGraphAllowsSecondBackward) {
+  Tensor x = Leaf({1}, 64);
+  Tensor y = Mul(x, x);
+  Tensor s = Sum(y);
+  s.Backward(/*retain_graph=*/true);
+  const float g1 = x.grad().item();
+  s.Backward();
+  EXPECT_NEAR(x.grad().item(), 2.0f * g1, 1e-5);
+}
+
+}  // namespace
+}  // namespace conformer

@@ -1,0 +1,345 @@
+// Baseline models: forward contracts, gradient flow, registry coverage.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/deepar.h"
+#include "baselines/gru_forecaster.h"
+#include "baselines/linear_forecaster.h"
+#include "baselines/lstnet.h"
+#include "baselines/naive.h"
+#include "baselines/nbeats.h"
+#include "baselines/registry.h"
+#include "baselines/transformer_forecaster.h"
+#include "baselines/ts2vec.h"
+#include "data/dataset_registry.h"
+
+namespace conformer::models {
+namespace {
+
+data::WindowConfig SmallWindow() {
+  return {.input_len = 16, .label_len = 8, .pred_len = 8};
+}
+
+data::Batch SmallBatch() {
+  data::TimeSeries ts = data::MakeDataset("etth1", 0.07, 31).value();
+  data::DatasetSplits splits = data::MakeSplits(ts, SmallWindow());
+  return splits.train.GetRange(0, 4);
+}
+
+// Parameterized over all registry names: every model obeys the Forecaster
+// contract.
+class RegistryModelTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RegistryModelTest, ForwardShapeContract) {
+  data::Batch batch = SmallBatch();
+  auto model = MakeForecaster(GetParam(), SmallWindow(), batch.x.size(2));
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  Tensor pred = model.value()->Forward(batch);
+  EXPECT_EQ(pred.shape(), (Shape{4, 8, batch.x.size(2)}));
+}
+
+TEST_P(RegistryModelTest, LossIsFiniteAndTrainsParameters) {
+  data::Batch batch = SmallBatch();
+  auto model = MakeForecaster(GetParam(), SmallWindow(), batch.x.size(2));
+  ASSERT_TRUE(model.ok());
+  Tensor loss = model.value()->Loss(batch);
+  EXPECT_TRUE(std::isfinite(loss.item()));
+  loss.Backward();
+  int64_t with_grad = 0;
+  for (Tensor& p : model.value()->Parameters()) with_grad += p.has_grad();
+  if (model.value()->NumParameters() > 0) {
+    EXPECT_GT(with_grad, 0);
+  } else {
+    SUCCEED() << "parameter-free reference model";
+  }
+}
+
+TEST_P(RegistryModelTest, EvalIsDeterministic) {
+  data::Batch batch = SmallBatch();
+  auto model = MakeForecaster(GetParam(), SmallWindow(), batch.x.size(2));
+  ASSERT_TRUE(model.ok());
+  model.value()->SetTraining(false);
+  NoGradGuard guard;
+  Tensor a = model.value()->Forward(batch);
+  Tensor b = model.value()->Forward(batch);
+  for (int64_t i = 0; i < a.numel(); ++i) EXPECT_EQ(a.data()[i], b.data()[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, RegistryModelTest,
+                         ::testing::ValuesIn(AvailableModels()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+TEST(RegistryTest, UnknownNameFails) {
+  auto r = MakeForecaster("not_a_model", SmallWindow(), 3);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RegistryTest, NamesRoundTrip) {
+  data::Batch batch = SmallBatch();
+  auto informer = MakeForecaster("informer", SmallWindow(), batch.x.size(2));
+  ASSERT_TRUE(informer.ok());
+  EXPECT_EQ(informer.value()->name(), "Informer");
+  auto conformer = MakeForecaster("conformer", SmallWindow(), batch.x.size(2));
+  ASSERT_TRUE(conformer.ok());
+  EXPECT_EQ(conformer.value()->name(), "Conformer");
+}
+
+// -- model-specific behaviour ------------------------------------------------
+
+TEST(GruForecasterTest, LearnsConstantSeries) {
+  // A constant (standardized to zero) series: a few steps of training should
+  // push predictions toward zero.
+  data::WindowConfig cfg = SmallWindow();
+  GruForecaster model(cfg, 2, 8, 1);
+
+  std::vector<int64_t> ts(64);
+  std::vector<float> vals(64 * 2, 0.0f);
+  for (int64_t i = 0; i < 64; ++i) ts[i] = i * 3600;
+  data::TimeSeries series("zeros", std::move(ts), std::move(vals), 2);
+  data::WindowDataset ds(series, cfg);
+  data::Batch batch = ds.GetRange(0, 8);
+
+  // Initial predictions are nonzero; train a few steps with plain SGD.
+  std::vector<Tensor> params = model.Parameters();
+  for (int step = 0; step < 30; ++step) {
+    for (Tensor& p : params) p.ZeroGrad();
+    Tensor loss = model.Loss(batch);
+    loss.Backward();
+    for (Tensor& p : params) {
+      if (!p.has_grad()) continue;
+      for (int64_t j = 0; j < p.numel(); ++j) {
+        p.data()[j] -= 0.1f * p.grad_data()[j];
+      }
+    }
+  }
+  EXPECT_LT(model.Loss(batch).item(), 0.01f);
+}
+
+TEST(LstNetTest, RequiresInputLongerThanKernel) {
+  EXPECT_DEATH(LstNet({.input_len = 4, .label_len = 2, .pred_len = 2}, 3,
+                      8, /*kernel=*/6, 8),
+               "");
+}
+
+TEST(NBeatsTest, BlocksRefineResidually) {
+  data::Batch batch = SmallBatch();
+  NBeats one_block(SmallWindow(), batch.x.size(2), 1, 16);
+  NBeats three_blocks(SmallWindow(), batch.x.size(2), 3, 16);
+  EXPECT_GT(three_blocks.NumParameters(), one_block.NumParameters() * 2);
+}
+
+TEST(Ts2VecTest, ContrastiveLossDecreasesUnderTraining) {
+  data::Batch batch = SmallBatch();
+  Ts2Vec model(SmallWindow(), batch.x.size(2), 8);
+  std::vector<Tensor> params = model.Parameters();
+  const float initial = model.Loss(batch).item();
+  for (int step = 0; step < 20; ++step) {
+    for (Tensor& p : params) p.ZeroGrad();
+    model.Loss(batch).Backward();
+    for (Tensor& p : params) {
+      if (!p.has_grad()) continue;
+      for (int64_t j = 0; j < p.numel(); ++j) {
+        p.data()[j] -= 0.05f * p.grad_data()[j];
+      }
+    }
+  }
+  EXPECT_LT(model.Loss(batch).item(), initial);
+}
+
+TEST(NaiveTest, RepeatsLastValue) {
+  data::Batch batch = SmallBatch();
+  NaiveForecaster model(SmallWindow(), batch.x.size(2));
+  Tensor pred = model.Forward(batch);
+  const int64_t lx = batch.x.size(1);
+  for (int64_t t = 0; t < 8; ++t) {
+    EXPECT_EQ(pred.at({0, t, 0}), batch.x.at({0, lx - 1, 0}));
+  }
+}
+
+TEST(NaiveTest, SeasonalRepeatsOnePeriodBack) {
+  data::Batch batch = SmallBatch();
+  SeasonalNaiveForecaster model(SmallWindow(), batch.x.size(2), /*period=*/4);
+  Tensor pred = model.Forward(batch);
+  const int64_t lx = batch.x.size(1);
+  // Step 0 copies x[lx-4]; step 5 copies x[lx-4+1].
+  EXPECT_EQ(pred.at({0, 0, 0}), batch.x.at({0, lx - 4, 0}));
+  EXPECT_EQ(pred.at({0, 5, 1}), batch.x.at({0, lx - 3, 1}));
+}
+
+TEST(NaiveTest, SeasonalPeriodClampedToWindow) {
+  SeasonalNaiveForecaster model(SmallWindow(), 2, /*period=*/9999);
+  EXPECT_EQ(model.period(), SmallWindow().input_len);
+}
+
+TEST(NaiveTest, PerfectOnExactlyPeriodicData) {
+  // A period-4 series is forecast exactly by seasonal-naive with period 4.
+  const data::WindowConfig cfg{.input_len = 8, .label_len = 4, .pred_len = 4};
+  std::vector<int64_t> stamps(40);
+  std::vector<float> vals(40);
+  for (int64_t i = 0; i < 40; ++i) {
+    stamps[i] = i * 3600;
+    vals[i] = static_cast<float>(i % 4);
+  }
+  data::TimeSeries ts("periodic", std::move(stamps), std::move(vals), 1);
+  data::WindowDataset ds(ts, cfg);
+  SeasonalNaiveForecaster model(cfg, 1, 4);
+  data::Batch batch = ds.GetRange(0, 4);
+  const int64_t total = batch.y.size(1);
+  Tensor target = Slice(batch.y, 1, total - 4, total);
+  Tensor diff = Sub(model.Forward(batch), target);
+  EXPECT_NEAR(Mean(Mul(diff, diff)).item(), 0.0f, 1e-10);
+}
+
+TEST(LinearForecasterTest, ClosedFormFitBeatsRandomInit) {
+  data::TimeSeries ts = data::MakeDataset("etth1", 0.07, 33).value();
+  data::DatasetSplits splits = data::MakeSplits(ts, SmallWindow());
+  LinearForecaster model(SmallWindow(), ts.dims());
+
+  auto mse_on = [&](const data::WindowDataset& ds) {
+    NoGradGuard guard;
+    data::Batch batch = ds.GetRange(0, std::min<int64_t>(ds.size(), 32));
+    const int64_t total = batch.y.size(1);
+    Tensor target = Slice(batch.y, 1, total - 8, total);
+    Tensor diff = Sub(model.Forward(batch), target);
+    return Mean(Mul(diff, diff)).item();
+  };
+
+  const float before = mse_on(splits.test);
+  ASSERT_TRUE(model.FitLeastSquares(splits.train).ok());
+  const float after = mse_on(splits.test);
+  EXPECT_LT(after, before);
+  EXPECT_LT(after, 1.5f);  // sane error on standardized data
+}
+
+TEST(LinearForecasterTest, ClosedFormInterpolatesNoiselessLinearData) {
+  // Target = previous value (identity dynamics): the least-squares fit
+  // should achieve near-zero training error.
+  const data::WindowConfig cfg{.input_len = 8, .label_len = 4, .pred_len = 2};
+  std::vector<int64_t> stamps(80);
+  std::vector<float> vals(80);
+  for (int64_t i = 0; i < 80; ++i) {
+    stamps[i] = i * 3600;
+    vals[i] = std::sin(0.3f * static_cast<float>(i));
+  }
+  data::TimeSeries ts("sine", std::move(stamps), std::move(vals), 1);
+  data::WindowDataset ds(ts, cfg);
+  LinearForecaster model(cfg, 1);
+  ASSERT_TRUE(model.FitLeastSquares(ds, 1e-8).ok());
+  NoGradGuard guard;
+  data::Batch batch = ds.GetRange(0, ds.size());
+  const int64_t total = batch.y.size(1);
+  Tensor target = Slice(batch.y, 1, total - cfg.pred_len, total);
+  Tensor diff = Sub(model.Forward(batch), target);
+  EXPECT_LT(Mean(Mul(diff, diff)).item(), 1e-4f);
+}
+
+TEST(LinearForecasterTest, FitFailsOnTinyDataset) {
+  const data::WindowConfig cfg{.input_len = 4, .label_len = 2, .pred_len = 2};
+  std::vector<int64_t> stamps(7);
+  std::vector<float> vals(7, 1.0f);
+  for (int64_t i = 0; i < 7; ++i) stamps[i] = i;
+  data::TimeSeries ts("tiny", std::move(stamps), std::move(vals), 1);
+  data::WindowDataset ds(ts, cfg);  // 2 windows
+  LinearForecaster model(cfg, 1);
+  // 2 windows >= 2 passes the row check but the fit itself must at least
+  // not crash; with ridge it succeeds.
+  EXPECT_TRUE(model.FitLeastSquares(ds, 1.0).ok());
+}
+
+TEST(DeepArTest, NllDecreasesWithBetterFit) {
+  data::Batch batch = SmallBatch();
+  DeepAr model(SmallWindow(), batch.x.size(2), 8, 1);
+  std::vector<Tensor> params = model.Parameters();
+  const float initial = model.Loss(batch).item();
+  for (int step = 0; step < 25; ++step) {
+    for (Tensor& p : params) p.ZeroGrad();
+    model.Loss(batch).Backward();
+    for (Tensor& p : params) {
+      if (!p.has_grad()) continue;
+      for (int64_t j = 0; j < p.numel(); ++j) {
+        p.data()[j] -= 0.02f * p.grad_data()[j];
+      }
+    }
+  }
+  EXPECT_LT(model.Loss(batch).item(), initial);
+}
+
+TEST(DeepArTest, BandsWidenWithCoverage) {
+  data::Batch batch = SmallBatch();
+  DeepAr model(SmallWindow(), batch.x.size(2), 8, 1);
+  flow::UncertaintyBand narrow = model.PredictWithUncertainty(batch, 64, 0.5);
+  flow::UncertaintyBand wide = model.PredictWithUncertainty(batch, 64, 0.95);
+  double narrow_width = 0.0;
+  double wide_width = 0.0;
+  for (int64_t i = 0; i < narrow.mean.numel(); ++i) {
+    narrow_width += narrow.upper.data()[i] - narrow.lower.data()[i];
+    wide_width += wide.upper.data()[i] - wide.lower.data()[i];
+  }
+  EXPECT_GT(wide_width, narrow_width);
+}
+
+TEST(DeepArTest, SigmaIsPositive) {
+  data::Batch batch = SmallBatch();
+  DeepAr model(SmallWindow(), batch.x.size(2), 8, 1);
+  // Indirectly: NLL must be finite even for extreme inputs.
+  EXPECT_TRUE(std::isfinite(model.Loss(batch).item()));
+}
+
+TEST(TransformerForecasterTest, NamedConfigsMatchPaperSettings) {
+  EXPECT_EQ(LongformerConfig().kind, attention::AttentionKind::kSlidingWindow);
+  EXPECT_TRUE(InformerConfig().distill);
+  EXPECT_TRUE(AutoformerConfig().decomposition);
+  EXPECT_FALSE(AutoformerConfig().positional);
+  EXPECT_EQ(ReformerConfig().attn.lsh_chunk, 24);
+  EXPECT_EQ(LogTransConfig().kind, attention::AttentionKind::kLogSparse);
+}
+
+TEST(TransformerForecasterTest, DistillingHalvesMemoryLength) {
+  // Informer-style encoder with 3 layers pools twice: the model must still
+  // produce the full-length forecast.
+  TransformerConfig config = InformerConfig();
+  config.d_model = 8;
+  config.n_heads = 2;
+  config.enc_layers = 3;
+  data::Batch batch = SmallBatch();
+  TransformerForecaster model(config, SmallWindow(), batch.x.size(2));
+  EXPECT_EQ(model.Forward(batch).shape(), (Shape{4, 8, batch.x.size(2)}));
+}
+
+TEST(ForecasterTest, ZeroLabelLengthWorks) {
+  // DecoderInput degenerates to all zeros when label_len == 0; the models
+  // must still produce the full horizon.
+  data::TimeSeries ts = data::MakeDataset("etth1", 0.07, 32).value();
+  data::WindowConfig cfg{.input_len = 16, .label_len = 0, .pred_len = 8};
+  data::DatasetSplits splits = data::MakeSplits(ts, cfg);
+  data::Batch batch = splits.train.GetRange(0, 2);
+  for (const std::string name : {"informer", "conformer"}) {
+    models::ModelHyperParams params;
+    params.d_model = 8;
+    params.n_heads = 2;
+    params.ma_kernel = 5;
+    auto model = models::MakeForecaster(name, cfg, ts.dims(), params);
+    ASSERT_TRUE(model.ok()) << name;
+    Tensor pred = model.value()->Forward(batch);
+    EXPECT_EQ(pred.shape(), (Shape{2, 8, ts.dims()})) << name;
+    EXPECT_TRUE(std::isfinite(model.value()->Loss(batch).item())) << name;
+  }
+}
+
+TEST(ForecasterTest, TargetBlockIsSuffix) {
+  data::Batch batch = SmallBatch();
+  GruForecaster model(SmallWindow(), batch.x.size(2), 8, 1);
+  Tensor loss_direct = MseLoss(model.Forward(batch),
+                               Slice(batch.y, 1, batch.y.size(1) - 8,
+                                     batch.y.size(1)));
+  Tensor loss_api = model.Loss(batch);
+  EXPECT_NEAR(loss_direct.item(), loss_api.item(), 1e-5);
+}
+
+}  // namespace
+}  // namespace conformer::models

@@ -1,0 +1,203 @@
+// FFT correctness against the naive DFT oracle, plus auto-correlation
+// properties used by the Conformer input representation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "fft/autocorrelation.h"
+#include "fft/fft.h"
+#include "util/random.h"
+
+namespace conformer::fft {
+namespace {
+
+using Complex = std::complex<double>;
+
+TEST(FftTest, NextPowerOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1);
+  EXPECT_EQ(NextPowerOfTwo(2), 2);
+  EXPECT_EQ(NextPowerOfTwo(3), 4);
+  EXPECT_EQ(NextPowerOfTwo(96), 128);
+  EXPECT_EQ(NextPowerOfTwo(1024), 1024);
+}
+
+TEST(FftTest, MatchesNaiveDft) {
+  Rng rng(1);
+  for (int64_t n : {2, 4, 8, 32, 128}) {
+    std::vector<Complex> signal(n);
+    for (auto& x : signal) x = {rng.Normal(), rng.Normal()};
+    std::vector<Complex> expected = NaiveDft(signal, false);
+    std::vector<Complex> actual = signal;
+    Transform(&actual, false);
+    for (int64_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(actual[i].real(), expected[i].real(), 1e-8) << "n=" << n;
+      EXPECT_NEAR(actual[i].imag(), expected[i].imag(), 1e-8) << "n=" << n;
+    }
+  }
+}
+
+TEST(FftTest, InverseMatchesNaive) {
+  Rng rng(7);
+  std::vector<Complex> signal(16);
+  for (auto& x : signal) x = {rng.Normal(), rng.Normal()};
+  std::vector<Complex> expected = NaiveDft(signal, true);
+  std::vector<Complex> actual = signal;
+  Transform(&actual, true);
+  for (size_t i = 0; i < signal.size(); ++i) {
+    EXPECT_NEAR(actual[i].real(), expected[i].real(), 1e-9);
+    EXPECT_NEAR(actual[i].imag(), expected[i].imag(), 1e-9);
+  }
+}
+
+TEST(FftTest, InverseRoundTrip) {
+  Rng rng(2);
+  std::vector<Complex> signal(64);
+  for (auto& x : signal) x = {rng.Normal(), rng.Normal()};
+  std::vector<Complex> copy = signal;
+  Transform(&copy, false);
+  Transform(&copy, true);
+  for (size_t i = 0; i < signal.size(); ++i) {
+    EXPECT_NEAR(copy[i].real(), signal[i].real(), 1e-9);
+    EXPECT_NEAR(copy[i].imag(), signal[i].imag(), 1e-9);
+  }
+}
+
+TEST(FftTest, ImpulseHasFlatSpectrum) {
+  std::vector<Complex> impulse(16, {0.0, 0.0});
+  impulse[0] = {1.0, 0.0};
+  Transform(&impulse, false);
+  for (const auto& x : impulse) {
+    EXPECT_NEAR(x.real(), 1.0, 1e-12);
+    EXPECT_NEAR(x.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(FftTest, PureToneHasSingleBin) {
+  const int64_t n = 64;
+  const int64_t freq = 5;
+  std::vector<Complex> tone(n);
+  for (int64_t t = 0; t < n; ++t) {
+    const double angle = 2.0 * std::numbers::pi * freq * t / n;
+    tone[t] = {std::cos(angle), 0.0};
+  }
+  Transform(&tone, false);
+  for (int64_t k = 0; k < n; ++k) {
+    const double mag = std::abs(tone[k]);
+    if (k == freq || k == n - freq) {
+      EXPECT_NEAR(mag, n / 2.0, 1e-8);
+    } else {
+      EXPECT_NEAR(mag, 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(FftTest, LinearityHolds) {
+  Rng rng(8);
+  std::vector<Complex> a(32), b(32), combo(32);
+  for (int64_t i = 0; i < 32; ++i) {
+    a[i] = {rng.Normal(), 0.0};
+    b[i] = {rng.Normal(), 0.0};
+    combo[i] = 2.0 * a[i] + 3.0 * b[i];
+  }
+  Transform(&a, false);
+  Transform(&b, false);
+  Transform(&combo, false);
+  for (int64_t i = 0; i < 32; ++i) {
+    const Complex expected = 2.0 * a[i] + 3.0 * b[i];
+    EXPECT_NEAR(combo[i].real(), expected.real(), 1e-8);
+    EXPECT_NEAR(combo[i].imag(), expected.imag(), 1e-8);
+  }
+}
+
+TEST(FftTest, RealFftPadsToPowerOfTwo) {
+  std::vector<double> signal(50, 1.0);
+  auto spectrum = RealFft(signal);
+  EXPECT_EQ(spectrum.size(), 64u);
+  EXPECT_NEAR(spectrum[0].real(), 50.0, 1e-9);  // DC = sum
+}
+
+TEST(FftTest, RejectsNonPowerOfTwo) {
+  std::vector<Complex> bad(6);
+  EXPECT_DEATH(Transform(&bad, false), "power of two");
+}
+
+// -- auto-correlation -------------------------------------------------------
+
+TEST(AutoCorrTest, LagZeroIsEnergy) {
+  std::vector<double> signal = {1.0, -2.0, 3.0, 0.5};
+  auto ac = AutoCorrelation(signal);
+  EXPECT_NEAR(ac[0], 1.0 + 4.0 + 9.0 + 0.25, 1e-9);
+}
+
+TEST(AutoCorrTest, MatchesDirectComputation) {
+  Rng rng(3);
+  std::vector<double> signal(32);
+  for (auto& x : signal) x = rng.Normal();
+  auto ac = AutoCorrelation(signal);  // power-of-two path (FFT)
+  for (int64_t lag = 0; lag < 32; ++lag) {
+    double expected = 0.0;
+    for (int64_t t = 0; t < 32; ++t) {
+      expected += signal[t] * signal[(t + lag) % 32];
+    }
+    EXPECT_NEAR(ac[lag], expected, 1e-8) << "lag=" << lag;
+  }
+}
+
+TEST(AutoCorrTest, NonPowerOfTwoFallbackConsistent) {
+  Rng rng(4);
+  std::vector<double> signal(30);  // triggers the direct O(n^2) path
+  for (auto& x : signal) x = rng.Normal();
+  auto ac = AutoCorrelation(signal);
+  double expected = 0.0;
+  for (int64_t t = 0; t < 30; ++t) expected += signal[t] * signal[(t + 7) % 30];
+  EXPECT_NEAR(ac[7], expected, 1e-9);
+}
+
+TEST(AutoCorrTest, PeriodicSignalPeaksAtPeriod) {
+  const int64_t n = 128;
+  const int64_t period = 16;
+  std::vector<double> signal(n);
+  for (int64_t t = 0; t < n; ++t) {
+    signal[t] = std::sin(2.0 * std::numbers::pi * t / period);
+  }
+  auto ac = AutoCorrelation(signal);
+  auto lags = TopKLags(ac, 1);
+  EXPECT_EQ(lags[0] % period, 0) << "top lag " << lags[0];
+}
+
+TEST(AutoCorrTest, CrossCorrelationOfSelfIsAutoCorrelation) {
+  Rng rng(5);
+  std::vector<double> a(16);
+  for (auto& x : a) x = rng.Normal();
+  auto cross = CrossCorrelation(a, a);
+  auto ac = AutoCorrelation(a);
+  for (int64_t i = 0; i < 16; ++i) EXPECT_NEAR(cross[i], ac[i], 1e-8);
+}
+
+TEST(AutoCorrTest, CrossCorrelationFindsShift) {
+  const int64_t n = 64;
+  Rng rng(6);
+  std::vector<double> a(n);
+  for (auto& x : a) x = rng.Normal();
+  std::vector<double> b(n);
+  for (int64_t t = 0; t < n; ++t) b[t] = a[(t + 5) % n];
+  auto cross = CrossCorrelation(a, b);
+  int64_t best = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    if (cross[i] > cross[best]) best = i;
+  }
+  EXPECT_EQ(best, 5);
+}
+
+TEST(AutoCorrTest, TopKLagsExcludesZeroAndSorts) {
+  std::vector<double> corr = {100.0, 1.0, 9.0, 3.0, 7.0};
+  auto lags = TopKLags(corr, 3);
+  EXPECT_EQ(lags, (std::vector<int64_t>{2, 4, 3}));
+  auto all = TopKLags(corr, 10);  // clamped to n-1
+  EXPECT_EQ(all.size(), 4u);
+}
+
+}  // namespace
+}  // namespace conformer::fft

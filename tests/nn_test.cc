@@ -1,0 +1,414 @@
+// Layer-level tests: shapes, parameter registration, gradient flow,
+// train/eval behaviour, serialization round-trips.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+
+#include "nn/conv1d.h"
+#include "nn/dropout.h"
+#include "nn/embedding.h"
+#include "nn/gru.h"
+#include "nn/layer_norm.h"
+#include "nn/lstm.h"
+#include "nn/mlp.h"
+#include "nn/linear.h"
+#include "nn/serialize.h"
+#include "tensor/gradcheck.h"
+#include "tensor/ops.h"
+
+namespace conformer::nn {
+namespace {
+
+TEST(ModuleTest, ParameterRegistrationIsRecursive) {
+  Linear inner(4, 3);
+  EXPECT_EQ(inner.Parameters().size(), 2u);  // weight + bias
+  EXPECT_EQ(inner.NumParameters(), 4 * 3 + 3);
+}
+
+TEST(ModuleTest, NamedParametersHaveDottedPaths) {
+  Gru gru(4, 8, 2);
+  bool found = false;
+  for (const auto& [name, t] : gru.NamedParameters()) {
+    if (name == "layer1.w_hh") {
+      found = true;
+      EXPECT_EQ(t.shape(), (Shape{8, 24}));
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ModuleTest, SetTrainingPropagates) {
+  DataEmbedding emb(3, 5, 8);
+  emb.SetTraining(false);
+  EXPECT_FALSE(emb.training());
+  emb.SetTraining(true);
+  EXPECT_TRUE(emb.training());
+}
+
+TEST(ModuleTest, ZeroGradClearsAll) {
+  Linear lin(3, 2);
+  Tensor x = Tensor::Randn({4, 3});
+  Sum(lin.Forward(x)).Backward();
+  bool any = false;
+  for (Tensor& p : lin.Parameters()) any = any || p.has_grad();
+  EXPECT_TRUE(any);
+  lin.ZeroGrad();
+  for (Tensor& p : lin.Parameters()) EXPECT_FALSE(p.has_grad());
+}
+
+// -- Linear ---------------------------------------------------------------
+
+TEST(LinearTest, ShapesAndLeadingDims) {
+  Linear lin(5, 3);
+  EXPECT_EQ(lin.Forward(Tensor::Randn({7, 5})).shape(), (Shape{7, 3}));
+  EXPECT_EQ(lin.Forward(Tensor::Randn({2, 4, 5})).shape(), (Shape{2, 4, 3}));
+}
+
+TEST(LinearTest, NoBiasOption) {
+  Linear lin(4, 2, /*bias=*/false);
+  EXPECT_EQ(lin.Parameters().size(), 1u);
+  Tensor zero_out = lin.Forward(Tensor::Zeros({1, 4}));
+  EXPECT_EQ(zero_out.at({0, 0}), 0.0f);
+}
+
+TEST(LinearTest, GradFlowsToParams) {
+  Linear lin(3, 2);
+  Tensor x = Tensor::Randn({4, 3});
+  Sum(lin.Forward(x)).Backward();
+  for (Tensor& p : lin.Parameters()) EXPECT_TRUE(p.has_grad());
+}
+
+TEST(LinearTest, GradCheck) {
+  Linear lin(3, 2);
+  std::vector<Tensor> params = lin.Parameters();
+  GradCheckResult r = CheckGradients(
+      [&](const std::vector<Tensor>&) {
+        Tensor x = Tensor::Arange(6, -1.0f, 0.4f);
+        Tensor out = lin.Forward(Reshape(x, {2, 3}));
+        return Sum(Mul(out, out));
+      },
+      params);
+  EXPECT_TRUE(r.passed) << r.message;
+}
+
+// -- Conv1dLayer ------------------------------------------------------------
+
+TEST(Conv1dLayerTest, SamePaddingKeepsLength) {
+  Conv1dLayer conv(2, 4, 3, 1, PadMode::kCircular);
+  EXPECT_EQ(conv.Forward(Tensor::Randn({3, 2, 10})).shape(), (Shape{3, 4, 10}));
+}
+
+TEST(Conv1dLayerTest, ValidPaddingShrinks) {
+  Conv1dLayer conv(1, 1, 4, 0);
+  EXPECT_EQ(conv.Forward(Tensor::Randn({1, 1, 10})).shape(), (Shape{1, 1, 7}));
+}
+
+// -- LayerNorm -----------------------------------------------------------------
+
+TEST(LayerNormTest, NormalizesLastDim) {
+  LayerNorm norm(8);
+  Tensor x = MulScalar(Tensor::Randn({4, 8}), 10.0f) + 5.0f;
+  Tensor y = norm.Forward(x);
+  for (int64_t i = 0; i < 4; ++i) {
+    double mean = 0.0;
+    for (int64_t j = 0; j < 8; ++j) mean += y.at({i, j});
+    mean /= 8.0;
+    double var = 0.0;
+    for (int64_t j = 0; j < 8; ++j) {
+      var += (y.at({i, j}) - mean) * (y.at({i, j}) - mean);
+    }
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var / 8.0, 1.0, 1e-2);
+  }
+}
+
+TEST(LayerNormTest, GradCheckThroughStats) {
+  LayerNorm norm(4);
+  Tensor x = Tensor::Randn({2, 4});
+  x.set_requires_grad(true);
+  GradCheckResult r = CheckGradients(
+      [&](const std::vector<Tensor>& in) {
+        return Sum(Mul(norm.Forward(in[0]), norm.Forward(in[0])));
+      },
+      {x});
+  EXPECT_TRUE(r.passed) << r.message;
+}
+
+// -- Dropout ----------------------------------------------------------------------
+
+TEST(DropoutTest, RespectsTrainingMode) {
+  Dropout drop(0.9f);
+  Tensor x = Tensor::Ones({100});
+  drop.SetTraining(false);
+  Tensor eval_out = drop.Forward(x);
+  for (int64_t i = 0; i < 100; ++i) EXPECT_EQ(eval_out.data()[i], 1.0f);
+  drop.SetTraining(true);
+  Tensor train_out = drop.Forward(x);
+  int64_t zeros = 0;
+  for (int64_t i = 0; i < 100; ++i) zeros += train_out.data()[i] == 0.0f;
+  EXPECT_GT(zeros, 50);
+}
+
+// -- GRU ------------------------------------------------------------------------------
+
+TEST(GruTest, OutputShapes) {
+  Gru gru(3, 6, 2);
+  GruOutput out = gru.Forward(Tensor::Randn({4, 5, 3}));
+  EXPECT_EQ(out.output.shape(), (Shape{4, 5, 6}));
+  EXPECT_EQ(out.last_hidden.shape(), (Shape{2, 4, 6}));
+  EXPECT_EQ(out.first_hidden.shape(), (Shape{2, 4, 6}));
+}
+
+TEST(GruTest, LastOutputMatchesLastHiddenTopLayer) {
+  Gru gru(2, 4, 2);
+  GruOutput out = gru.Forward(Tensor::Randn({1, 7, 2}));
+  for (int64_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(out.output.at({0, 6, j}), out.last_hidden.at({1, 0, j}), 1e-6);
+  }
+}
+
+TEST(GruTest, FirstHiddenMatchesFirstOutput) {
+  Gru gru(2, 4, 1);
+  GruOutput out = gru.Forward(Tensor::Randn({1, 5, 2}));
+  for (int64_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(out.output.at({0, 0, j}), out.first_hidden.at({0, 0, j}), 1e-6);
+  }
+}
+
+TEST(GruTest, HiddenStaysBounded) {
+  // GRU states are convex combinations of tanh outputs: |h| <= 1.
+  Gru gru(1, 3, 1);
+  GruOutput out = gru.Forward(MulScalar(Tensor::Randn({2, 50, 1}), 100.0f));
+  for (int64_t i = 0; i < out.output.numel(); ++i) {
+    EXPECT_LE(std::fabs(out.output.data()[i]), 1.0f + 1e-5);
+  }
+}
+
+TEST(GruTest, GradFlowsThroughTime) {
+  Gru gru(2, 3, 1);
+  Tensor x = Tensor::Randn({1, 4, 2});
+  x.set_requires_grad(true);
+  GruOutput out = gru.Forward(x);
+  Sum(out.output).Backward();
+  // The earliest timestep must receive gradient through the recurrence.
+  Tensor g = x.grad();
+  float first_step_norm = 0.0f;
+  for (int64_t j = 0; j < 2; ++j) first_step_norm += std::fabs(g.at({0, 0, j}));
+  EXPECT_GT(first_step_norm, 0.0f);
+}
+
+TEST(GruTest, GradCheckSmall) {
+  Gru gru(2, 2, 1);
+  std::vector<Tensor> params = gru.Parameters();
+  GradCheckResult r = CheckGradients(
+      [&](const std::vector<Tensor>&) {
+        Rng rng(11);
+        NoGradGuard* no = nullptr;  // (params vary; input fixed per call)
+        (void)no;
+        Tensor x = Tensor::FromVector({0.1f, -0.2f, 0.3f, 0.4f, -0.5f, 0.6f},
+                                      {1, 3, 2});
+        GruOutput out = gru.Forward(x);
+        return Sum(Mul(out.output, out.output));
+      },
+      params, /*eps=*/1e-2, /*tolerance=*/8e-2);
+  EXPECT_TRUE(r.passed) << r.message;
+}
+
+// -- LSTM -----------------------------------------------------------------------
+
+TEST(LstmTest, OutputShapes) {
+  Lstm lstm(3, 6, 2);
+  LstmOutput out = lstm.Forward(Tensor::Randn({4, 5, 3}));
+  EXPECT_EQ(out.output.shape(), (Shape{4, 5, 6}));
+  EXPECT_EQ(out.last_hidden.shape(), (Shape{2, 4, 6}));
+  EXPECT_EQ(out.last_cell.shape(), (Shape{2, 4, 6}));
+}
+
+TEST(LstmTest, LastOutputMatchesTopHidden) {
+  Lstm lstm(2, 4, 1);
+  LstmOutput out = lstm.Forward(Tensor::Randn({1, 6, 2}));
+  for (int64_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(out.output.at({0, 5, j}), out.last_hidden.at({0, 0, j}), 1e-6);
+  }
+}
+
+TEST(LstmTest, HiddenStaysBounded) {
+  Lstm lstm(1, 3, 1);
+  LstmOutput out = lstm.Forward(MulScalar(Tensor::Randn({2, 40, 1}), 50.0f));
+  for (int64_t i = 0; i < out.output.numel(); ++i) {
+    EXPECT_LE(std::fabs(out.output.data()[i]), 1.0f + 1e-5);
+  }
+}
+
+TEST(LstmTest, GradFlowsThroughTime) {
+  Lstm lstm(2, 3, 1);
+  Tensor x = Tensor::Randn({1, 5, 2});
+  x.set_requires_grad(true);
+  Sum(lstm.Forward(x).output).Backward();
+  Tensor g = x.grad();
+  float first = 0.0f;
+  for (int64_t j = 0; j < 2; ++j) first += std::fabs(g.at({0, 0, j}));
+  EXPECT_GT(first, 0.0f);
+}
+
+TEST(LstmTest, GradCheckSmall) {
+  Lstm lstm(2, 2, 1);
+  std::vector<Tensor> params = lstm.Parameters();
+  GradCheckResult r = CheckGradients(
+      [&](const std::vector<Tensor>&) {
+        Tensor x = Tensor::FromVector({0.2f, -0.1f, 0.4f, 0.3f, -0.6f, 0.5f},
+                                      {1, 3, 2});
+        LstmOutput out = lstm.Forward(x);
+        return Sum(Mul(out.output, out.output));
+      },
+      params, /*eps=*/1e-2, /*tolerance=*/8e-2);
+  EXPECT_TRUE(r.passed) << r.message;
+}
+
+// -- Embeddings -------------------------------------------------------------------------
+
+TEST(EmbeddingTest, LookupShape) {
+  Embedding emb(10, 4);
+  Tensor out = emb.Forward({1, 5, 5, 9});
+  EXPECT_EQ(out.shape(), (Shape{4, 4}));
+  // Repeated index returns identical rows.
+  for (int64_t j = 0; j < 4; ++j) EXPECT_EQ(out.at({1, j}), out.at({2, j}));
+}
+
+TEST(EmbeddingTest, GradAccumulatesOnRepeats) {
+  Embedding emb(5, 2);
+  Tensor out = emb.Forward({3, 3, 3});
+  Sum(out).Backward();
+  Tensor g = emb.Parameters()[0].grad();
+  EXPECT_NEAR(g.at({3, 0}), 3.0f, 1e-6);
+  EXPECT_NEAR(g.at({0, 0}), 0.0f, 1e-6);
+}
+
+TEST(PositionalEncodingTest, ValuesMatchFormula) {
+  PositionalEncoding pe(4);
+  Tensor enc = pe.Forward(3);
+  EXPECT_EQ(enc.shape(), (Shape{1, 3, 4}));
+  EXPECT_NEAR(enc.at({0, 0, 0}), 0.0f, 1e-6);       // sin(0)
+  EXPECT_NEAR(enc.at({0, 0, 1}), 1.0f, 1e-6);       // cos(0)
+  EXPECT_NEAR(enc.at({0, 1, 0}), std::sin(1.0), 1e-5);
+  EXPECT_NEAR(enc.at({0, 2, 1}), std::cos(2.0), 1e-5);
+}
+
+TEST(DataEmbeddingTest, ShapeAndPositionalToggle) {
+  DataEmbedding with_pos(3, 5, 8, 0.0f, /*use_positional=*/true);
+  DataEmbedding without_pos(3, 5, 8, 0.0f, /*use_positional=*/false);
+  Tensor x = Tensor::Randn({2, 6, 3});
+  Tensor marks = Tensor::Randn({2, 6, 5});
+  EXPECT_EQ(with_pos.Forward(x, marks).shape(), (Shape{2, 6, 8}));
+  EXPECT_EQ(without_pos.Forward(x, marks).shape(), (Shape{2, 6, 8}));
+}
+
+// -- Mlp --------------------------------------------------------------------------------
+
+TEST(MlpTest, ShapesAndLayerCount) {
+  Mlp mlp({5, 8, 8, 2});
+  EXPECT_EQ(mlp.num_layers(), 3);
+  EXPECT_EQ(mlp.Forward(Tensor::Randn({4, 5})).shape(), (Shape{4, 2}));
+}
+
+TEST(MlpTest, NoneActivationIsAffine) {
+  // A 2-layer MLP with no activation composes to one affine map: doubling
+  // the input (minus bias effects) must behave linearly. Check additivity
+  // on the linear part: f(x) - f(0) is linear.
+  Mlp mlp({3, 4, 2}, Activation::kNone);
+  NoGradGuard guard;
+  Tensor zero = Tensor::Zeros({1, 3});
+  Tensor x = Tensor::Randn({1, 3});
+  Tensor fx = Sub(mlp.Forward(x), mlp.Forward(zero));
+  Tensor f2x = Sub(mlp.Forward(MulScalar(x, 2.0f)), mlp.Forward(zero));
+  for (int64_t i = 0; i < fx.numel(); ++i) {
+    EXPECT_NEAR(f2x.data()[i], 2.0f * fx.data()[i], 1e-4);
+  }
+}
+
+TEST(MlpTest, GradientsFlowThroughAllLayers) {
+  Mlp mlp({3, 4, 4, 1}, Activation::kGelu);
+  Sum(mlp.Forward(Tensor::Randn({2, 3}))).Backward();
+  for (Tensor& p : mlp.Parameters()) EXPECT_TRUE(p.has_grad());
+}
+
+TEST(MlpTest, ActivationsDiffer) {
+  Tensor x = Tensor::FromVector({-1.0f, 2.0f}, {2});
+  EXPECT_EQ(ApplyActivation(x, Activation::kRelu).at({0}), 0.0f);
+  EXPECT_NEAR(ApplyActivation(x, Activation::kTanh).at({1}), std::tanh(2.0f),
+              1e-6);
+  EXPECT_EQ(ApplyActivation(x, Activation::kNone).at({0}), -1.0f);
+}
+
+// -- serialization -------------------------------------------------------------------------
+
+TEST(SerializeTest, RoundTrip) {
+  const std::string path = "/tmp/conformer_serialize_test.bin";
+  Linear src(4, 3);
+  ASSERT_TRUE(SaveModule(src, path).ok());
+
+  Linear dst(4, 3);
+  // Make sure dst differs first.
+  dst.Parameters()[0].data()[0] = 1234.0f;
+  ASSERT_TRUE(LoadModule(&dst, path).ok());
+  std::vector<Tensor> src_params = src.Parameters();
+  std::vector<Tensor> dst_params = dst.Parameters();
+  for (size_t i = 0; i < src_params.size(); ++i) {
+    for (int64_t j = 0; j < src_params[i].numel(); ++j) {
+      EXPECT_EQ(src_params[i].data()[j], dst_params[i].data()[j]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ShapeMismatchFails) {
+  const std::string path = "/tmp/conformer_serialize_mismatch.bin";
+  Linear src(4, 3);
+  ASSERT_TRUE(SaveModule(src, path).ok());
+  Linear wrong(4, 5);
+  Status s = LoadModule(&wrong, path);
+  EXPECT_FALSE(s.ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileFails) {
+  Linear m(2, 2);
+  EXPECT_FALSE(LoadModule(&m, "/tmp/does_not_exist_conformer.bin").ok());
+}
+
+TEST(SerializeTest, TruncatedFileFails) {
+  // Failure injection: cut a valid checkpoint mid-tensor.
+  const std::string path = "/tmp/conformer_truncated.bin";
+  Linear src(6, 5);
+  ASSERT_TRUE(SaveModule(src, path).ok());
+  // Read it back, truncate to 60% of its size, rewrite.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  bytes.resize(bytes.size() * 3 / 5);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+
+  Linear dst(6, 5);
+  Status s = LoadModule(&dst, path);
+  EXPECT_FALSE(s.ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, GarbageFileFails) {
+  const std::string path = "/tmp/conformer_garbage.bin";
+  FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("not a checkpoint", f);
+  std::fclose(f);
+  Linear m(2, 2);
+  EXPECT_FALSE(LoadModule(&m, path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace conformer::nn

@@ -1,0 +1,700 @@
+// Forward-value tests for the tensor library (gradients are covered in
+// autograd_test.cc).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/alloc_stats.h"
+#include "tensor/kernels.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace conformer {
+namespace {
+
+TEST(ShapeTest, NumElements) {
+  EXPECT_EQ(NumElements({}), 1);
+  EXPECT_EQ(NumElements({3}), 3);
+  EXPECT_EQ(NumElements({2, 3, 4}), 24);
+}
+
+TEST(ShapeTest, ContiguousStrides) {
+  EXPECT_EQ(ContiguousStrides({2, 3, 4}), (std::vector<int64_t>{12, 4, 1}));
+  EXPECT_EQ(ContiguousStrides({5}), (std::vector<int64_t>{1}));
+}
+
+TEST(TensorTest, Factories) {
+  Tensor z = Tensor::Zeros({2, 3});
+  EXPECT_EQ(z.numel(), 6);
+  for (int64_t i = 0; i < 6; ++i) EXPECT_EQ(z.data()[i], 0.0f);
+
+  Tensor o = Tensor::Ones({4});
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(o.data()[i], 1.0f);
+
+  Tensor f = Tensor::Full({2}, 3.5f);
+  EXPECT_EQ(f.data()[0], 3.5f);
+
+  Tensor a = Tensor::Arange(4, 1.0f, 0.5f);
+  EXPECT_EQ(a.at({2}), 2.0f);
+
+  Tensor e = Tensor::Eye(3);
+  EXPECT_EQ(e.at({1, 1}), 1.0f);
+  EXPECT_EQ(e.at({0, 1}), 0.0f);
+}
+
+TEST(TensorTest, RandnDeterministicWithSeed) {
+  Rng r1(5);
+  Rng r2(5);
+  Tensor a = Tensor::Randn({10}, &r1);
+  Tensor b = Tensor::Randn({10}, &r2);
+  for (int64_t i = 0; i < 10; ++i) EXPECT_EQ(a.data()[i], b.data()[i]);
+}
+
+TEST(TensorTest, ItemAndAt) {
+  Tensor t = Tensor::FromVector({1, 2, 3, 4, 5, 6}, {2, 3});
+  EXPECT_EQ(t.at({0, 0}), 1.0f);
+  EXPECT_EQ(t.at({1, 2}), 6.0f);
+  EXPECT_EQ(Tensor::Full({1}, 7.0f).item(), 7.0f);
+}
+
+TEST(TensorTest, CloneIsDeep) {
+  Tensor a = Tensor::Ones({3});
+  Tensor b = a.Clone();
+  b.data()[0] = 5.0f;
+  EXPECT_EQ(a.data()[0], 1.0f);
+}
+
+TEST(TensorTest, HandleSharesBuffer) {
+  Tensor a = Tensor::Ones({3});
+  Tensor b = a;  // same impl
+  b.data()[0] = 5.0f;
+  EXPECT_EQ(a.data()[0], 5.0f);
+}
+
+TEST(TensorTest, ToStringMentionsShape) {
+  Tensor t = Tensor::Zeros({2, 2});
+  EXPECT_NE(t.ToString().find("[2, 2]"), std::string::npos);
+}
+
+// -- broadcasting ----------------------------------------------------------
+
+TEST(BroadcastTest, Shapes) {
+  EXPECT_EQ(kernels::BroadcastShape({2, 3}, {3}), (Shape{2, 3}));
+  EXPECT_EQ(kernels::BroadcastShape({4, 1}, {1, 5}), (Shape{4, 5}));
+  EXPECT_EQ(kernels::BroadcastShape({1}, {2, 2}), (Shape{2, 2}));
+}
+
+TEST(BroadcastTest, Strides) {
+  EXPECT_EQ(kernels::BroadcastStrides({3}, {2, 3}),
+            (std::vector<int64_t>{0, 1}));
+  EXPECT_EQ(kernels::BroadcastStrides({4, 1}, {4, 5}),
+            (std::vector<int64_t>{1, 0}));
+}
+
+// -- elementwise -----------------------------------------------------------
+
+TEST(ElementwiseTest, AddSameShape) {
+  Tensor a = Tensor::FromVector({1, 2, 3}, {3});
+  Tensor b = Tensor::FromVector({10, 20, 30}, {3});
+  Tensor c = a + b;
+  EXPECT_EQ(c.at({0}), 11.0f);
+  EXPECT_EQ(c.at({2}), 33.0f);
+}
+
+TEST(ElementwiseTest, AddBroadcastRow) {
+  Tensor a = Tensor::FromVector({1, 2, 3, 4, 5, 6}, {2, 3});
+  Tensor row = Tensor::FromVector({10, 20, 30}, {3});
+  Tensor c = Add(a, row);
+  EXPECT_EQ(c.at({0, 0}), 11.0f);
+  EXPECT_EQ(c.at({1, 2}), 36.0f);
+}
+
+TEST(ElementwiseTest, MulBroadcastColumn) {
+  Tensor a = Tensor::FromVector({1, 2, 3, 4}, {2, 2});
+  Tensor col = Tensor::FromVector({10, 100}, {2, 1});
+  Tensor c = Mul(a, col);
+  EXPECT_EQ(c.at({0, 1}), 20.0f);
+  EXPECT_EQ(c.at({1, 0}), 300.0f);
+}
+
+TEST(ElementwiseTest, SubDivNeg) {
+  Tensor a = Tensor::FromVector({4, 9}, {2});
+  Tensor b = Tensor::FromVector({2, 3}, {2});
+  EXPECT_EQ((a - b).at({1}), 6.0f);
+  EXPECT_EQ((a / b).at({0}), 2.0f);
+  EXPECT_EQ((-a).at({0}), -4.0f);
+}
+
+TEST(ElementwiseTest, ScalarOps) {
+  Tensor a = Tensor::FromVector({1, 2}, {2});
+  EXPECT_EQ((a + 1.0f).at({0}), 2.0f);
+  EXPECT_EQ((a * 3.0f).at({1}), 6.0f);
+  EXPECT_EQ((a - 1.0f).at({0}), 0.0f);
+  EXPECT_EQ((2.0f * a).at({1}), 4.0f);
+  EXPECT_NEAR(PowScalar(a, 2.0f).at({1}), 4.0f, 1e-6);
+}
+
+TEST(ElementwiseTest, UnaryValues) {
+  Tensor x = Tensor::FromVector({-1.0f, 0.0f, 2.0f}, {3});
+  EXPECT_NEAR(Exp(x).at({2}), std::exp(2.0f), 1e-5);
+  EXPECT_NEAR(Tanh(x).at({0}), std::tanh(-1.0f), 1e-6);
+  EXPECT_EQ(Relu(x).at({0}), 0.0f);
+  EXPECT_EQ(Relu(x).at({2}), 2.0f);
+  EXPECT_EQ(Abs(x).at({0}), 1.0f);
+  EXPECT_NEAR(Sigmoid(Tensor::Zeros({1})).item(), 0.5f, 1e-6);
+  EXPECT_NEAR(Sin(x).at({2}), std::sin(2.0f), 1e-6);
+  EXPECT_NEAR(Cos(x).at({0}), std::cos(-1.0f), 1e-6);
+}
+
+TEST(ElementwiseTest, SigmoidExtremesStable) {
+  Tensor x = Tensor::FromVector({-100.0f, 100.0f}, {2});
+  Tensor y = Sigmoid(x);
+  EXPECT_NEAR(y.at({0}), 0.0f, 1e-6);
+  EXPECT_NEAR(y.at({1}), 1.0f, 1e-6);
+  EXPECT_FALSE(std::isnan(y.at({0})));
+}
+
+TEST(ElementwiseTest, SoftplusStable) {
+  Tensor x = Tensor::FromVector({-80.0f, 0.0f, 80.0f}, {3});
+  Tensor y = Softplus(x);
+  EXPECT_NEAR(y.at({0}), 0.0f, 1e-4);
+  EXPECT_NEAR(y.at({1}), std::log(2.0f), 1e-5);
+  EXPECT_NEAR(y.at({2}), 80.0f, 1e-4);
+}
+
+TEST(ElementwiseTest, Clamp) {
+  Tensor x = Tensor::FromVector({-2, 0.5f, 3}, {3});
+  Tensor y = Clamp(x, 0.0f, 1.0f);
+  EXPECT_EQ(y.at({0}), 0.0f);
+  EXPECT_EQ(y.at({1}), 0.5f);
+  EXPECT_EQ(y.at({2}), 1.0f);
+}
+
+TEST(ElementwiseTest, Maximum) {
+  Tensor a = Tensor::FromVector({1, 5}, {2});
+  Tensor b = Tensor::FromVector({3, 2}, {2});
+  Tensor m = Maximum(a, b);
+  EXPECT_EQ(m.at({0}), 3.0f);
+  EXPECT_EQ(m.at({1}), 5.0f);
+}
+
+// -- matmul ------------------------------------------------------------------
+
+TEST(MatMulTest, Rank2) {
+  Tensor a = Tensor::FromVector({1, 2, 3, 4, 5, 6}, {2, 3});
+  Tensor b = Tensor::FromVector({7, 8, 9, 10, 11, 12}, {3, 2});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 2}));
+  EXPECT_EQ(c.at({0, 0}), 58.0f);
+  EXPECT_EQ(c.at({0, 1}), 64.0f);
+  EXPECT_EQ(c.at({1, 0}), 139.0f);
+  EXPECT_EQ(c.at({1, 1}), 154.0f);
+}
+
+TEST(MatMulTest, Batched) {
+  // Two 2x2 identity-scaled matrices.
+  Tensor a = Tensor::FromVector({1, 0, 0, 1, 2, 0, 0, 2}, {2, 2, 2});
+  Tensor b = Tensor::FromVector({1, 2, 3, 4, 1, 2, 3, 4}, {2, 2, 2});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.at({0, 0, 1}), 2.0f);
+  EXPECT_EQ(c.at({1, 1, 0}), 6.0f);
+}
+
+TEST(MatMulTest, BroadcastBatch) {
+  // [2, 2] x [3, 2, 2]: left matrix broadcast across the batch.
+  Tensor a = Tensor::Eye(2);
+  Tensor b = Tensor::Randn({3, 2, 2});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{3, 2, 2}));
+  for (int64_t i = 0; i < c.numel(); ++i) {
+    EXPECT_NEAR(c.data()[i], b.data()[i], 1e-6);
+  }
+}
+
+TEST(MatMulTest, AgreesWithManual) {
+  Tensor a = Tensor::Randn({4, 5});
+  Tensor b = Tensor::Randn({5, 3});
+  Tensor c = MatMul(a, b);
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = 0; j < 3; ++j) {
+      float acc = 0.0f;
+      for (int64_t k = 0; k < 5; ++k) acc += a.at({i, k}) * b.at({k, j});
+      EXPECT_NEAR(c.at({i, j}), acc, 1e-4);
+    }
+  }
+}
+
+// -- reductions ---------------------------------------------------------------
+
+TEST(ReduceTest, SumAll) {
+  Tensor a = Tensor::FromVector({1, 2, 3, 4}, {2, 2});
+  EXPECT_EQ(Sum(a).item(), 10.0f);
+}
+
+TEST(ReduceTest, SumOverDim) {
+  Tensor a = Tensor::FromVector({1, 2, 3, 4, 5, 6}, {2, 3});
+  Tensor rows = Sum(a, {1});
+  EXPECT_EQ(rows.shape(), (Shape{2}));
+  EXPECT_EQ(rows.at({0}), 6.0f);
+  EXPECT_EQ(rows.at({1}), 15.0f);
+  Tensor cols = Sum(a, {0}, /*keepdim=*/true);
+  EXPECT_EQ(cols.shape(), (Shape{1, 3}));
+  EXPECT_EQ(cols.at({0, 2}), 9.0f);
+}
+
+TEST(ReduceTest, NegativeDim) {
+  Tensor a = Tensor::FromVector({1, 2, 3, 4}, {2, 2});
+  Tensor s = Sum(a, {-1});
+  EXPECT_EQ(s.at({0}), 3.0f);
+}
+
+TEST(ReduceTest, Mean) {
+  Tensor a = Tensor::FromVector({2, 4, 6, 8}, {4});
+  EXPECT_EQ(Mean(a).item(), 5.0f);
+}
+
+TEST(ReduceTest, Variance) {
+  Tensor a = Tensor::FromVector({1, 3}, {2});
+  EXPECT_NEAR(Variance(a, {0}).item(), 1.0f, 1e-6);  // population variance
+}
+
+TEST(ReduceTest, MaxMin) {
+  Tensor a = Tensor::FromVector({3, 1, 2, 6, 5, 4}, {2, 3});
+  Tensor mx = Max(a, 1);
+  EXPECT_EQ(mx.at({0}), 3.0f);
+  EXPECT_EQ(mx.at({1}), 6.0f);
+  Tensor mn = Min(a, 0, /*keepdim=*/true);
+  EXPECT_EQ(mn.shape(), (Shape{1, 3}));
+  EXPECT_EQ(mn.at({0, 0}), 3.0f);
+  EXPECT_EQ(mn.at({0, 1}), 1.0f);
+}
+
+// -- shape ops -----------------------------------------------------------------
+
+TEST(ShapeOpsTest, ReshapeWithInference) {
+  Tensor a = Tensor::Arange(12);
+  Tensor b = Reshape(a, {3, -1});
+  EXPECT_EQ(b.shape(), (Shape{3, 4}));
+  EXPECT_EQ(b.at({2, 3}), 11.0f);
+}
+
+TEST(ShapeOpsTest, PermuteTranspose) {
+  Tensor a = Tensor::FromVector({1, 2, 3, 4, 5, 6}, {2, 3});
+  Tensor t = Transpose(a, 0, 1);
+  EXPECT_EQ(t.shape(), (Shape{3, 2}));
+  EXPECT_EQ(t.at({2, 0}), 3.0f);
+  EXPECT_EQ(t.at({0, 1}), 4.0f);
+
+  Tensor p = Permute(Tensor::Arange(24), {0});
+  EXPECT_EQ(p.at({5}), 5.0f);
+}
+
+TEST(ShapeOpsTest, Permute3d) {
+  Tensor a = Tensor::FromVector({0, 1, 2, 3, 4, 5, 6, 7}, {2, 2, 2});
+  Tensor p = Permute(a, {2, 0, 1});
+  EXPECT_EQ(p.shape(), (Shape{2, 2, 2}));
+  EXPECT_EQ(p.at({0, 1, 0}), a.at({1, 0, 0}));
+  EXPECT_EQ(p.at({1, 0, 1}), a.at({0, 1, 1}));
+}
+
+TEST(ShapeOpsTest, Slice) {
+  Tensor a = Tensor::Arange(10);
+  Tensor s = Slice(a, 0, 2, 8, 2);
+  EXPECT_EQ(s.shape(), (Shape{3}));
+  EXPECT_EQ(s.at({0}), 2.0f);
+  EXPECT_EQ(s.at({2}), 6.0f);
+}
+
+TEST(ShapeOpsTest, SliceNegativeIndices) {
+  Tensor a = Tensor::Arange(10);
+  Tensor s = Slice(a, 0, -3, -1);
+  EXPECT_EQ(s.shape(), (Shape{2}));
+  EXPECT_EQ(s.at({0}), 7.0f);
+}
+
+TEST(ShapeOpsTest, ConcatAndStack) {
+  Tensor a = Tensor::FromVector({1, 2}, {1, 2});
+  Tensor b = Tensor::FromVector({3, 4}, {1, 2});
+  Tensor c = Concat({a, b}, 0);
+  EXPECT_EQ(c.shape(), (Shape{2, 2}));
+  EXPECT_EQ(c.at({1, 0}), 3.0f);
+
+  Tensor d = Concat({a, b}, 1);
+  EXPECT_EQ(d.shape(), (Shape{1, 4}));
+  EXPECT_EQ(d.at({0, 3}), 4.0f);
+
+  Tensor s = StackTensors({Tensor::Ones({2}), Tensor::Zeros({2})}, 0);
+  EXPECT_EQ(s.shape(), (Shape{2, 2}));
+  EXPECT_EQ(s.at({0, 0}), 1.0f);
+  EXPECT_EQ(s.at({1, 1}), 0.0f);
+}
+
+TEST(ShapeOpsTest, SqueezeUnsqueeze) {
+  Tensor a = Tensor::Ones({2, 3});
+  Tensor u = Unsqueeze(a, 1);
+  EXPECT_EQ(u.shape(), (Shape{2, 1, 3}));
+  EXPECT_EQ(Squeeze(u, 1).shape(), (Shape{2, 3}));
+}
+
+TEST(ShapeOpsTest, PadConstant) {
+  Tensor a = Tensor::FromVector({1, 2}, {2});
+  Tensor p = Pad(a, 0, 1, 2, -1.0f);
+  EXPECT_EQ(p.shape(), (Shape{5}));
+  EXPECT_EQ(p.at({0}), -1.0f);
+  EXPECT_EQ(p.at({1}), 1.0f);
+  EXPECT_EQ(p.at({4}), -1.0f);
+}
+
+TEST(ShapeOpsTest, ReplicatePad) {
+  Tensor a = Tensor::FromVector({1, 2, 3}, {1, 3});
+  Tensor p = ReplicatePad(a, 1, 2, 1);
+  EXPECT_EQ(p.shape(), (Shape{1, 6}));
+  EXPECT_EQ(p.at({0, 0}), 1.0f);
+  EXPECT_EQ(p.at({0, 1}), 1.0f);
+  EXPECT_EQ(p.at({0, 5}), 3.0f);
+}
+
+TEST(ShapeOpsTest, BroadcastToAndTile) {
+  Tensor a = Tensor::FromVector({1, 2}, {1, 2});
+  Tensor b = BroadcastTo(a, {3, 2});
+  EXPECT_EQ(b.shape(), (Shape{3, 2}));
+  EXPECT_EQ(b.at({2, 1}), 2.0f);
+
+  Tensor t = Tile(a, {2, 2});
+  EXPECT_EQ(t.shape(), (Shape{2, 4}));
+  EXPECT_EQ(t.at({1, 3}), 2.0f);
+}
+
+TEST(ShapeOpsTest, Flip) {
+  Tensor a = Tensor::FromVector({1, 2, 3, 4, 5, 6}, {2, 3});
+  Tensor f = Flip(a, 1);
+  EXPECT_EQ(f.at({0, 0}), 3.0f);
+  EXPECT_EQ(f.at({0, 2}), 1.0f);
+  EXPECT_EQ(f.at({1, 0}), 6.0f);
+  Tensor rows = Flip(a, 0);
+  EXPECT_EQ(rows.at({0, 0}), 4.0f);
+}
+
+TEST(ShapeOpsTest, FlipIsInvolution) {
+  Tensor a = Tensor::Randn({3, 4});
+  Tensor round = Flip(Flip(a, -1), -1);
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_EQ(round.data()[i], a.data()[i]);
+  }
+}
+
+TEST(ShapeOpsTest, SplitAndConcatRoundTrip) {
+  Tensor a = Tensor::Randn({2, 6});
+  std::vector<Tensor> parts = Split(a, 1, 2);
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0].shape(), (Shape{2, 2}));
+  Tensor round = Concat(parts, 1);
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_EQ(round.data()[i], a.data()[i]);
+  }
+}
+
+TEST(ShapeOpsTest, SplitRejectsUnevenChunk) {
+  Tensor a = Tensor::Randn({2, 5});
+  EXPECT_DEATH(Split(a, 1, 2), "divide");
+}
+
+// -- indexing ----------------------------------------------------------------
+
+TEST(IndexTest, IndexSelect) {
+  Tensor a = Tensor::FromVector({10, 11, 20, 21, 30, 31}, {3, 2});
+  Tensor s = IndexSelect(a, 0, {2, 0, 2});
+  EXPECT_EQ(s.shape(), (Shape{3, 2}));
+  EXPECT_EQ(s.at({0, 0}), 30.0f);
+  EXPECT_EQ(s.at({1, 1}), 11.0f);
+  EXPECT_EQ(s.at({2, 0}), 30.0f);
+}
+
+TEST(IndexTest, IndexSelectInnerDim) {
+  Tensor a = Tensor::FromVector({1, 2, 3, 4, 5, 6}, {2, 3});
+  Tensor s = IndexSelect(a, 1, {2, 2});
+  EXPECT_EQ(s.shape(), (Shape{2, 2}));
+  EXPECT_EQ(s.at({0, 0}), 3.0f);
+  EXPECT_EQ(s.at({1, 1}), 6.0f);
+}
+
+TEST(IndexTest, Roll) {
+  Tensor a = Tensor::Arange(5);
+  Tensor r = Roll(a, 0, 2);
+  EXPECT_EQ(r.at({0}), 3.0f);
+  EXPECT_EQ(r.at({2}), 0.0f);
+  Tensor l = Roll(a, 0, -1);
+  EXPECT_EQ(l.at({0}), 1.0f);
+  EXPECT_EQ(l.at({4}), 0.0f);
+}
+
+TEST(IndexTest, RollComposition) {
+  Tensor a = Tensor::Arange(7);
+  Tensor once = Roll(Roll(a, 0, 2), 0, 3);
+  Tensor direct = Roll(a, 0, 5);
+  for (int64_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(once.at({i}), direct.at({i}));
+  }
+}
+
+TEST(IndexTest, RollFullCycleIsIdentity) {
+  Tensor a = Tensor::Arange(6);
+  Tensor cycled = Roll(a, 0, 6);
+  for (int64_t i = 0; i < 6; ++i) EXPECT_EQ(cycled.at({i}), a.at({i}));
+}
+
+TEST(IndexTest, IndexSelectIdentityPermutation) {
+  Tensor a = Tensor::Randn({4, 3});
+  Tensor same = IndexSelect(a, 0, {0, 1, 2, 3});
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_EQ(same.data()[i], a.data()[i]);
+  }
+}
+
+TEST(IndexTest, BatchedIndexSelect) {
+  Tensor a = Tensor::FromVector({0, 1, 2, 3, 4, 5, 6, 7}, {2, 2, 2});
+  // batch 0 picks rows {1, 0}; batch 1 picks rows {1, 1}.
+  Tensor s = BatchedIndexSelect(a, {1, 0, 1, 1}, 2);
+  EXPECT_EQ(s.shape(), (Shape{2, 2, 2}));
+  EXPECT_EQ(s.at({0, 0, 0}), 2.0f);
+  EXPECT_EQ(s.at({0, 1, 1}), 1.0f);
+  EXPECT_EQ(s.at({1, 0, 0}), 6.0f);
+}
+
+// -- conv / pool -----------------------------------------------------------------
+
+TEST(ConvTest, IdentityKernel) {
+  // Kernel [0, 1, 0] with zero padding reproduces the input.
+  Tensor x = Tensor::FromVector({1, 2, 3, 4}, {1, 1, 4});
+  Tensor w = Tensor::FromVector({0, 1, 0}, {1, 1, 3});
+  Tensor y = Conv1d(x, w, Tensor(), 1);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 4}));
+  for (int64_t i = 0; i < 4; ++i) EXPECT_NEAR(y.at({0, 0, i}), x.at({0, 0, i}), 1e-6);
+}
+
+TEST(ConvTest, MovingSumKernel) {
+  Tensor x = Tensor::FromVector({1, 2, 3, 4}, {1, 1, 4});
+  Tensor w = Tensor::Ones({1, 1, 2});
+  Tensor y = Conv1d(x, w, Tensor(), 0);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 3}));
+  EXPECT_EQ(y.at({0, 0, 0}), 3.0f);
+  EXPECT_EQ(y.at({0, 0, 2}), 7.0f);
+}
+
+TEST(ConvTest, MultiChannel) {
+  // 2-in 1-out kernel of width 1 summing channels.
+  Tensor x = Tensor::FromVector({1, 2, 3, 10, 20, 30}, {1, 2, 3});
+  Tensor w = Tensor::Ones({1, 2, 1});
+  Tensor y = Conv1d(x, w, Tensor(), 0);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 3}));
+  EXPECT_EQ(y.at({0, 0, 0}), 11.0f);
+  EXPECT_EQ(y.at({0, 0, 2}), 33.0f);
+}
+
+TEST(ConvTest, CircularPadding) {
+  Tensor x = Tensor::FromVector({1, 2, 3, 4}, {1, 1, 4});
+  Tensor w = Tensor::FromVector({1, 0, 0}, {1, 1, 3});  // picks left neighbour
+  Tensor y = Conv1d(x, w, Tensor(), 1, PadMode::kCircular);
+  EXPECT_EQ(y.at({0, 0, 0}), 4.0f);  // wraps around
+  EXPECT_EQ(y.at({0, 0, 1}), 1.0f);
+}
+
+TEST(ConvTest, BiasBroadcast) {
+  Tensor x = Tensor::Zeros({1, 1, 3});
+  Tensor w = Tensor::Ones({2, 1, 1});
+  Tensor b = Tensor::FromVector({5, -5}, {2});
+  Tensor y = Conv1d(x, w, b, 0);
+  EXPECT_EQ(y.at({0, 0, 1}), 5.0f);
+  EXPECT_EQ(y.at({0, 1, 2}), -5.0f);
+}
+
+TEST(PoolTest, AvgPool) {
+  Tensor x = Tensor::FromVector({1, 2, 3, 4, 5, 6}, {1, 6});
+  Tensor y = AvgPool1d(x, 2, 2);
+  EXPECT_EQ(y.shape(), (Shape{1, 3}));
+  EXPECT_EQ(y.at({0, 0}), 1.5f);
+  EXPECT_EQ(y.at({0, 2}), 5.5f);
+}
+
+TEST(PoolTest, AvgPoolStride1) {
+  Tensor x = Tensor::FromVector({1, 2, 3}, {3});
+  Tensor y = AvgPool1d(x, 3, 1);
+  EXPECT_EQ(y.shape(), (Shape{1}));
+  EXPECT_EQ(y.at({0}), 2.0f);
+}
+
+TEST(PoolTest, MaxPoolValues) {
+  Tensor x = Tensor::FromVector({1, 5, 2, 7, 3, 0}, {1, 6});
+  Tensor y = MaxPool1d(x, 2, 2);
+  EXPECT_EQ(y.shape(), (Shape{1, 3}));
+  EXPECT_EQ(y.at({0, 0}), 5.0f);
+  EXPECT_EQ(y.at({0, 1}), 7.0f);
+  EXPECT_EQ(y.at({0, 2}), 3.0f);
+}
+
+TEST(PoolTest, MaxPoolOverlappingWindows) {
+  Tensor x = Tensor::FromVector({1, 3, 2, 4}, {4});
+  Tensor y = MaxPool1d(x, 3, 1);
+  EXPECT_EQ(y.shape(), (Shape{2}));
+  EXPECT_EQ(y.at({0}), 3.0f);
+  EXPECT_EQ(y.at({1}), 4.0f);
+}
+
+TEST(ConvTest, DilatedTapsSkipPositions) {
+  // Kernel [1, 1] with dilation 2 sums positions t and t+2.
+  Tensor x = Tensor::FromVector({1, 2, 3, 4, 5}, {1, 1, 5});
+  Tensor w = Tensor::Ones({1, 1, 2});
+  Tensor y = Conv1d(x, w, Tensor(), 0, PadMode::kZeros, /*dilation=*/2);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 3}));
+  EXPECT_EQ(y.at({0, 0, 0}), 1.0f + 3.0f);
+  EXPECT_EQ(y.at({0, 0, 2}), 3.0f + 5.0f);
+}
+
+TEST(CumsumTest, LastDim) {
+  Tensor x = Tensor::FromVector({1, 2, 3, 4}, {2, 2});
+  Tensor y = Cumsum(x, 1);
+  EXPECT_EQ(y.at({0, 0}), 1.0f);
+  EXPECT_EQ(y.at({0, 1}), 3.0f);
+  EXPECT_EQ(y.at({1, 1}), 7.0f);
+}
+
+TEST(CumsumTest, FirstDim) {
+  Tensor x = Tensor::FromVector({1, 2, 3, 4}, {2, 2});
+  Tensor y = Cumsum(x, 0);
+  EXPECT_EQ(y.at({1, 0}), 4.0f);
+  EXPECT_EQ(y.at({1, 1}), 6.0f);
+}
+
+// -- nn functionals ----------------------------------------------------------------
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  Tensor x = Tensor::Randn({3, 5});
+  Tensor y = Softmax(x, -1);
+  for (int64_t i = 0; i < 3; ++i) {
+    float total = 0.0f;
+    for (int64_t j = 0; j < 5; ++j) total += y.at({i, j});
+    EXPECT_NEAR(total, 1.0f, 1e-5);
+  }
+}
+
+TEST(SoftmaxTest, LargeValuesStable) {
+  Tensor x = Tensor::FromVector({1000.0f, 1000.0f}, {2});
+  Tensor y = Softmax(x, 0);
+  EXPECT_NEAR(y.at({0}), 0.5f, 1e-6);
+}
+
+TEST(SoftmaxTest, MiddleDim) {
+  Tensor x = Tensor::Randn({2, 4, 3});
+  Tensor y = Softmax(x, 1);
+  for (int64_t b = 0; b < 2; ++b) {
+    for (int64_t k = 0; k < 3; ++k) {
+      float total = 0.0f;
+      for (int64_t j = 0; j < 4; ++j) total += y.at({b, j, k});
+      EXPECT_NEAR(total, 1.0f, 1e-5);
+    }
+  }
+}
+
+TEST(SoftmaxTest, LogSoftmaxMatchesLogOfSoftmax) {
+  Tensor x = Tensor::Randn({4, 6});
+  Tensor a = LogSoftmax(x, -1);
+  Tensor b = Log(Softmax(x, -1));
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    EXPECT_NEAR(a.data()[i], b.data()[i], 1e-4);
+  }
+}
+
+TEST(DropoutTest, EvalIsIdentity) {
+  Tensor x = Tensor::Randn({10});
+  Tensor y = DropoutOp(x, 0.5f, /*training=*/false);
+  for (int64_t i = 0; i < 10; ++i) EXPECT_EQ(x.data()[i], y.data()[i]);
+}
+
+TEST(DropoutTest, TrainingScalesSurvivors) {
+  Rng rng(3);
+  Tensor x = Tensor::Ones({1000});
+  Tensor y = DropoutOp(x, 0.5f, /*training=*/true, &rng);
+  int64_t zeros = 0;
+  for (int64_t i = 0; i < 1000; ++i) {
+    if (y.data()[i] == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(y.data()[i], 2.0f, 1e-6);
+    }
+  }
+  EXPECT_NEAR(zeros / 1000.0, 0.5, 0.07);
+}
+
+TEST(LossTest, MseMae) {
+  Tensor pred = Tensor::FromVector({1, 2}, {2});
+  Tensor target = Tensor::FromVector({0, 4}, {2});
+  EXPECT_NEAR(MseLoss(pred, target).item(), (1.0f + 4.0f) / 2.0f, 1e-6);
+  EXPECT_NEAR(MaeLoss(pred, target).item(), (1.0f + 2.0f) / 2.0f, 1e-6);
+}
+
+// -- contract violations (CHECK deaths) -------------------------------------------
+
+TEST(DeathTest, ConcatShapeMismatch) {
+  Tensor a = Tensor::Ones({2, 3});
+  Tensor b = Tensor::Ones({2, 4});
+  EXPECT_DEATH(Concat({a, b}, 0), "mismatch");
+}
+
+TEST(DeathTest, MatMulInnerDimMismatch) {
+  EXPECT_DEATH(MatMul(Tensor::Ones({2, 3}), Tensor::Ones({4, 2})),
+               "inner dims");
+}
+
+TEST(DeathTest, IndexSelectOutOfRange) {
+  Tensor a = Tensor::Ones({3, 2});
+  EXPECT_DEATH(IndexSelect(a, 0, {3}), "out of range");
+}
+
+TEST(DeathTest, PoolWindowLongerThanInput) {
+  Tensor a = Tensor::Ones({1, 3});
+  EXPECT_DEATH(AvgPool1d(a, 5, 1), "longer");
+  EXPECT_DEATH(MaxPool1d(a, 5, 1), "longer");
+}
+
+TEST(DeathTest, ReshapeWrongElementCount) {
+  EXPECT_DEATH(Reshape(Tensor::Ones({6}), {4}), "reshape");
+}
+
+TEST(DeathTest, SqueezeNonSingleton) {
+  EXPECT_DEATH(Squeeze(Tensor::Ones({2, 3}), 0), "singleton");
+}
+
+TEST(EdgeCaseTest, SingleElementTensorsWork) {
+  Tensor a = Tensor::Full({1}, 2.0f);
+  Tensor b = Tensor::Full({1}, 3.0f);
+  EXPECT_EQ(Add(a, b).item(), 5.0f);
+  EXPECT_EQ(MatMul(Reshape(a, {1, 1}), Reshape(b, {1, 1})).item(), 6.0f);
+  EXPECT_EQ(Softmax(a, 0).item(), 1.0f);
+  EXPECT_EQ(Sum(a).item(), 2.0f);
+}
+
+TEST(EdgeCaseTest, LengthOneSequencePools) {
+  Tensor a = Tensor::Full({1, 1}, 4.0f);
+  EXPECT_EQ(AvgPool1d(a, 1, 1).item(), 4.0f);
+  EXPECT_EQ(MaxPool1d(a, 1, 1).item(), 4.0f);
+}
+
+// -- allocation stats -----------------------------------------------------------
+
+TEST(AllocStatsTest, TracksPeak) {
+  ResetAllocPeak();
+  const AllocStats before = GetAllocStats();
+  {
+    Tensor big = Tensor::Zeros({1024});
+    const AllocStats during = GetAllocStats();
+    EXPECT_GE(during.current_bytes, before.current_bytes + 4096);
+    EXPECT_GE(during.peak_bytes, before.current_bytes + 4096);
+  }
+  const AllocStats after = GetAllocStats();
+  EXPECT_EQ(after.current_bytes, before.current_bytes);
+  EXPECT_GE(after.peak_bytes, before.current_bytes + 4096);
+}
+
+}  // namespace
+}  // namespace conformer
