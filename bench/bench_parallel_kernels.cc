@@ -1,0 +1,122 @@
+// Thread-scaling microbenchmark for the parallel kernel layer: Gemm, Conv1d
+// and sliding-window attention at 1, 2, 4 and hardware_concurrency threads
+// (deduplicated). Emits one JSON document on stdout so CI can diff runs:
+//
+//   {"hardware_concurrency": N,
+//    "results": [{"kernel": "gemm_512", "threads": 1, "ops_per_sec": ...}]}
+//
+// Timing uses steady_clock over enough repetitions to exceed ~100ms per
+// measurement. Thread counts are pinned via ThreadPool::SetNumThreads; on a
+// single-core machine the >1-thread rows measure oversubscription overhead
+// rather than speedup.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "attention/attention.h"
+#include "tensor/kernels.h"
+#include "tensor/ops.h"
+#include "util/thread_pool.h"
+
+namespace conformer::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Runs `fn` repeatedly until at least `min_seconds` have elapsed and returns
+// iterations per second.
+template <typename Fn>
+double MeasureOpsPerSec(Fn fn, double min_seconds = 0.1) {
+  fn();  // warm-up (also first-touch of any lazily grown pool state)
+  int64_t iters = 0;
+  const auto start = Clock::now();
+  double elapsed = 0.0;
+  do {
+    fn();
+    ++iters;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (elapsed < min_seconds);
+  return static_cast<double>(iters) / elapsed;
+}
+
+struct Result {
+  const char* kernel;
+  int64_t threads;
+  double ops_per_sec;
+};
+
+void BenchAtThreadCount(int64_t threads, std::vector<Result>* results) {
+  ThreadPool::Global().SetNumThreads(threads);
+  NoGradGuard guard;
+  Rng rng(7);
+
+  {
+    const int64_t n = 512;
+    Tensor a = Tensor::Randn({n, n}, &rng);
+    Tensor b = Tensor::Randn({n, n}, &rng);
+    std::vector<float> c(n * n);
+    results->push_back({"gemm_512", threads, MeasureOpsPerSec([&] {
+                          kernels::Gemm(false, false, n, n, n, a.data(),
+                                        b.data(), c.data(),
+                                        /*accumulate=*/false);
+                        })});
+  }
+
+  {
+    Tensor input = Tensor::Randn({8, 16, 256}, &rng);
+    Tensor weight = Tensor::Randn({32, 16, 3}, &rng);
+    Tensor bias = Tensor::Randn({32}, &rng);
+    results->push_back({"conv1d_8x16x256", threads, MeasureOpsPerSec([&] {
+                          Tensor out = Conv1d(input, weight, bias,
+                                              /*padding=*/1, PadMode::kZeros,
+                                              /*dilation=*/1);
+                          (void)out;
+                        })});
+  }
+
+  {
+    attention::AttentionConfig config;
+    config.window = 8;
+    auto mech = attention::MakeAttention(
+        attention::AttentionKind::kSlidingWindow, config);
+    Tensor q = Tensor::Randn({8, 256, 32}, &rng);
+    Tensor k = Tensor::Randn({8, 256, 32}, &rng);
+    Tensor v = Tensor::Randn({8, 256, 32}, &rng);
+    results->push_back({"sliding_window_8x256x32", threads,
+                        MeasureOpsPerSec([&] {
+                          Tensor out = mech->Forward(q, k, v, false);
+                          (void)out;
+                        })});
+  }
+}
+
+int Main() {
+  const int64_t hw = std::max<int64_t>(
+      1, static_cast<int64_t>(std::thread::hardware_concurrency()));
+  std::vector<int64_t> counts = {1, 2, 4, hw};
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+
+  std::vector<Result> results;
+  for (int64_t t : counts) BenchAtThreadCount(t, &results);
+  ThreadPool::Global().SetNumThreads(hw);
+
+  std::printf("{\"hardware_concurrency\": %lld, \"results\": [",
+              static_cast<long long>(hw));
+  for (size_t i = 0; i < results.size(); ++i) {
+    std::printf(
+        "%s\n  {\"kernel\": \"%s\", \"threads\": %lld, \"ops_per_sec\": %.3f}",
+        i == 0 ? "" : ",", results[i].kernel,
+        static_cast<long long>(results[i].threads), results[i].ops_per_sec);
+  }
+  std::printf("\n]}\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace conformer::bench
+
+int main() { return conformer::bench::Main(); }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/thread_pool.h"
+
 namespace conformer::attention {
 
 LogSparseAttention::LogSparseAttention(int64_t sub_len) : sub_len_(sub_len) {
@@ -26,20 +28,23 @@ Tensor LogSparseAttention::Forward(const Tensor& q, const Tensor& k,
   const int64_t width = 1 + sub_len_ + log_taps;
   std::vector<int64_t> taps(length * width);
   std::vector<float> mask(length * width, 0.0f);
-  for (int64_t i = 0; i < length; ++i) {
-    int64_t w = 0;
-    auto add_tap = [&](int64_t pos) {
-      const bool invalid = pos < 0;
-      taps[i * width + w] = std::max<int64_t>(pos, 0);
-      if (invalid) mask[i * width + w] = -1e9f;
-      ++w;
-    };
-    add_tap(i);
-    for (int64_t s = 1; s <= sub_len_; ++s) add_tap(i - s);
-    for (int64_t step = sub_len_ + 1, t = 0; t < log_taps; ++t, step <<= 1) {
-      add_tap(i - step);
+  // Tap rows are independent per position.
+  ParallelFor(0, length, /*grain=*/256, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      int64_t w = 0;
+      auto add_tap = [&](int64_t pos) {
+        const bool invalid = pos < 0;
+        taps[i * width + w] = std::max<int64_t>(pos, 0);
+        if (invalid) mask[i * width + w] = -1e9f;
+        ++w;
+      };
+      add_tap(i);
+      for (int64_t s = 1; s <= sub_len_; ++s) add_tap(i - s);
+      for (int64_t step = sub_len_ + 1, t = 0; t < log_taps; ++t, step <<= 1) {
+        add_tap(i - step);
+      }
     }
-  }
+  });
 
   Tensor k_band = Reshape(IndexSelect(k, 1, taps), {bh, length, width, dk});
   Tensor v_band = Reshape(IndexSelect(v, 1, taps), {bh, length, width, dv});

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "util/thread_pool.h"
+
 namespace conformer::attention {
 
 LshAttention::LshAttention(int64_t buckets, int64_t chunk, uint64_t seed)
@@ -35,36 +37,40 @@ Tensor LshAttention::Forward(const Tensor& q, const Tensor& k, const Tensor& v,
     for (float& r : rotation) r = static_cast<float>(rng.Normal());
     const float* qd = q.data();
     const float* kd = k.data();
-    std::vector<int64_t> bucket(length);
-    for (int64_t b = 0; b < bh; ++b) {
-      for (int64_t i = 0; i < length; ++i) {
-        const float* qrow = qd + (b * length + i) * dk;
-        const float* krow = kd + (b * length + i) * dk;
-        float best = -1e30f;
-        int64_t arg = 0;
-        for (int64_t h = 0; h < half; ++h) {
-          float proj = 0.0f;
-          for (int64_t d = 0; d < dk; ++d) {
-            proj += (qrow[d] + krow[d]) * rotation[d * half + h];
+    // The shared rotation is drawn once above; each batch buckets and sorts
+    // independently with its own scratch.
+    ParallelFor(0, bh, /*grain=*/1, [&](int64_t b0, int64_t b1) {
+      std::vector<int64_t> bucket(length);
+      for (int64_t b = b0; b < b1; ++b) {
+        for (int64_t i = 0; i < length; ++i) {
+          const float* qrow = qd + (b * length + i) * dk;
+          const float* krow = kd + (b * length + i) * dk;
+          float best = -1e30f;
+          int64_t arg = 0;
+          for (int64_t h = 0; h < half; ++h) {
+            float proj = 0.0f;
+            for (int64_t d = 0; d < dk; ++d) {
+              proj += (qrow[d] + krow[d]) * rotation[d * half + h];
+            }
+            if (proj > best) {
+              best = proj;
+              arg = h;
+            }
+            if (-proj > best) {
+              best = -proj;
+              arg = h + half;
+            }
           }
-          if (proj > best) {
-            best = proj;
-            arg = h;
-          }
-          if (-proj > best) {
-            best = -proj;
-            arg = h + half;
-          }
+          bucket[i] = arg;
         }
-        bucket[i] = arg;
+        int64_t* ord = order.data() + b * length;
+        std::iota(ord, ord + length, 0);
+        // Stable sort keeps temporal order within a bucket.
+        std::stable_sort(ord, ord + length, [&](int64_t x, int64_t y) {
+          return bucket[x] < bucket[y];
+        });
       }
-      int64_t* ord = order.data() + b * length;
-      std::iota(ord, ord + length, 0);
-      // Stable sort keeps temporal order within a bucket.
-      std::stable_sort(ord, ord + length, [&](int64_t x, int64_t y) {
-        return bucket[x] < bucket[y];
-      });
-    }
+    });
   }
 
   // --- Differentiable bucketed attention. ---

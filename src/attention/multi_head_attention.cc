@@ -35,6 +35,10 @@ Tensor MultiHeadAttention::MergeHeads(const Tensor& x, int64_t batch) const {
 
 Tensor MultiHeadAttention::Forward(const Tensor& q, const Tensor& k,
                                    const Tensor& v, bool causal) const {
+  // Heads are folded into the leading batch dimension by SplitHeads, so
+  // per-head parallelism comes for free from the batched tensor kernels
+  // (MatMul over batches, row-parallel Softmax, threaded gathers) — no
+  // head loop is spawned here.
   const int64_t batch = q.size(0);
   Tensor qh = SplitHeads(wq_->Forward(q));
   Tensor kh = SplitHeads(wk_->Forward(k));

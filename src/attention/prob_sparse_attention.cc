@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "attention/full_attention.h"
+#include "util/thread_pool.h"
 
 namespace conformer::attention {
 
@@ -36,28 +37,32 @@ Tensor ProbSparseAttention::Forward(const Tensor& q, const Tensor& k,
     for (int64_t s = 0; s < sample; ++s) key_sample[s] = rng.UniformInt(lk);
     const float* qd = q.data();
     const float* kd = k.data();
-    std::vector<float> m(lq);
-    for (int64_t b = 0; b < bh; ++b) {
-      for (int64_t i = 0; i < lq; ++i) {
-        const float* qrow = qd + (b * lq + i) * dk;
-        float mx = -1e30f;
-        float mean = 0.0f;
-        for (int64_t s = 0; s < sample; ++s) {
-          const float* krow = kd + (b * lk + key_sample[s]) * dk;
-          float dot = 0.0f;
-          for (int64_t d = 0; d < dk; ++d) dot += qrow[d] * krow[d];
-          mx = std::max(mx, dot);
-          mean += dot;
-        }
-        m[i] = mx - mean / static_cast<float>(sample);
-      }
+    // The key sample is drawn once above, so each batch's sparsity
+    // measurement is independent — batch-parallel with per-batch scratch.
+    ParallelFor(0, bh, /*grain=*/1, [&](int64_t b0, int64_t b1) {
+      std::vector<float> m(lq);
       std::vector<int64_t> order(lq);
-      std::iota(order.begin(), order.end(), 0);
-      std::partial_sort(order.begin(), order.begin() + u, order.end(),
-                        [&](int64_t a, int64_t c) { return m[a] > m[c]; });
-      std::copy(order.begin(), order.begin() + u,
-                top_queries.begin() + b * u);
-    }
+      for (int64_t b = b0; b < b1; ++b) {
+        for (int64_t i = 0; i < lq; ++i) {
+          const float* qrow = qd + (b * lq + i) * dk;
+          float mx = -1e30f;
+          float mean = 0.0f;
+          for (int64_t s = 0; s < sample; ++s) {
+            const float* krow = kd + (b * lk + key_sample[s]) * dk;
+            float dot = 0.0f;
+            for (int64_t d = 0; d < dk; ++d) dot += qrow[d] * krow[d];
+            mx = std::max(mx, dot);
+            mean += dot;
+          }
+          m[i] = mx - mean / static_cast<float>(sample);
+        }
+        std::iota(order.begin(), order.end(), 0);
+        std::partial_sort(order.begin(), order.begin() + u, order.end(),
+                          [&](int64_t a, int64_t c) { return m[a] > m[c]; });
+        std::copy(order.begin(), order.begin() + u,
+                  top_queries.begin() + b * u);
+      }
+    });
   }
 
   // --- Differentiable aggregation. ---

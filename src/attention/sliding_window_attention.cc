@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/thread_pool.h"
+
 namespace conformer::attention {
 
 SlidingWindowAttention::SlidingWindowAttention(int64_t window)
@@ -25,17 +27,21 @@ Tensor SlidingWindowAttention::Forward(const Tensor& q, const Tensor& k,
   // clamped and neutralized with a -1e9 additive mask.
   std::vector<int64_t> taps(lq * width);
   std::vector<float> mask(lq * width, 0.0f);
-  for (int64_t i = 0; i < lq; ++i) {
-    const int64_t centre = lq == lk ? i : (i * lk) / lq;
-    for (int64_t j = 0; j < width; ++j) {
-      int64_t pos = centre - half + j;
-      const bool out_of_range = pos < 0 || pos >= lk;
-      const bool masked = causal && pos > centre;
-      pos = std::clamp<int64_t>(pos, 0, lk - 1);
-      taps[i * width + j] = pos;
-      if (out_of_range || masked) mask[i * width + j] = -1e9f;
+  // Each query writes its own tap row; the heavy lifting below happens in
+  // the already-threaded gather/softmax/reduce kernels.
+  ParallelFor(0, lq, /*grain=*/256, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const int64_t centre = lq == lk ? i : (i * lk) / lq;
+      for (int64_t j = 0; j < width; ++j) {
+        int64_t pos = centre - half + j;
+        const bool out_of_range = pos < 0 || pos >= lk;
+        const bool masked = causal && pos > centre;
+        pos = std::clamp<int64_t>(pos, 0, lk - 1);
+        taps[i * width + j] = pos;
+        if (out_of_range || masked) mask[i * width + j] = -1e9f;
+      }
     }
-  }
+  });
 
   // Gather banded keys / values: [BH, Lq*W, d] -> [BH, Lq, W, d].
   Tensor k_band = Reshape(IndexSelect(k, 1, taps), {bh, lq, width, dk});

@@ -1,61 +1,91 @@
 #include "tensor/kernels.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace conformer::kernels {
 
+namespace {
+
+// Rows per Gemm chunk so one chunk does at least kGrainGemmMacs MACs.
+int64_t GemmRowGrain(int64_t n, int64_t k) {
+  const int64_t macs_per_row = std::max<int64_t>(1, n * k);
+  return std::max<int64_t>(1, kGrainGemmMacs / macs_per_row);
+}
+
+}  // namespace
+
 void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
           const float* a, const float* b, float* c, bool accumulate) {
+  // Explicit zero-size early-outs: empty output writes nothing; an empty
+  // inner dimension makes the product a zero matrix.
+  if (m <= 0 || n <= 0) return;
   if (!accumulate) std::memset(c, 0, sizeof(float) * m * n);
-  // Row-major loops ordered for unit-stride inner access where possible.
+  if (k <= 0) return;
+
+  // Row-blocked over the output: each chunk owns rows [i0, i1), so every
+  // c element is written by exactly one thread and accumulates over p in
+  // sequential order — bitwise deterministic for any thread count.
+  const int64_t grain = GemmRowGrain(n, k);
   if (!trans_a && !trans_b) {
     // a: m x k, b: k x n
-    for (int64_t i = 0; i < m; ++i) {
-      for (int64_t p = 0; p < k; ++p) {
-        const float aip = a[i * k + p];
-        if (aip == 0.0f) continue;
-        const float* brow = b + p * n;
-        float* crow = c + i * n;
-        for (int64_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+    ParallelFor(0, m, grain, [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) {
+        for (int64_t p = 0; p < k; ++p) {
+          const float aip = a[i * k + p];
+          if (aip == 0.0f) continue;
+          const float* brow = b + p * n;
+          float* crow = c + i * n;
+          for (int64_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+        }
       }
-    }
+    });
   } else if (!trans_a && trans_b) {
     // a: m x k, b: n x k
-    for (int64_t i = 0; i < m; ++i) {
-      const float* arow = a + i * k;
-      for (int64_t j = 0; j < n; ++j) {
-        const float* brow = b + j * k;
-        float acc = 0.0f;
-        for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-        c[i * n + j] += acc;
+    ParallelFor(0, m, grain, [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) {
+        const float* arow = a + i * k;
+        for (int64_t j = 0; j < n; ++j) {
+          const float* brow = b + j * k;
+          float acc = 0.0f;
+          for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+          c[i * n + j] += acc;
+        }
       }
-    }
+    });
   } else if (trans_a && !trans_b) {
-    // a: k x m, b: k x n
-    for (int64_t p = 0; p < k; ++p) {
-      const float* arow = a + p * m;
-      const float* brow = b + p * n;
-      for (int64_t i = 0; i < m; ++i) {
-        const float api = arow[i];
-        if (api == 0.0f) continue;
-        float* crow = c + i * n;
-        for (int64_t j = 0; j < n; ++j) crow[j] += api * brow[j];
+    // a: k x m, b: k x n. The p-loop stays outermost within a row block for
+    // unit-stride access to b; the per-element order over p is unchanged.
+    ParallelFor(0, m, grain, [&](int64_t i0, int64_t i1) {
+      for (int64_t p = 0; p < k; ++p) {
+        const float* arow = a + p * m;
+        const float* brow = b + p * n;
+        for (int64_t i = i0; i < i1; ++i) {
+          const float api = arow[i];
+          if (api == 0.0f) continue;
+          float* crow = c + i * n;
+          for (int64_t j = 0; j < n; ++j) crow[j] += api * brow[j];
+        }
       }
-    }
+    });
   } else {
     // a: k x m, b: n x k
-    for (int64_t i = 0; i < m; ++i) {
-      for (int64_t j = 0; j < n; ++j) {
-        float acc = 0.0f;
-        for (int64_t p = 0; p < k; ++p) acc += a[p * m + i] * b[j * k + p];
-        c[i * n + j] += acc;
+    ParallelFor(0, m, grain, [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) {
+        for (int64_t j = 0; j < n; ++j) {
+          float acc = 0.0f;
+          for (int64_t p = 0; p < k; ++p) acc += a[p * m + i] * b[j * k + p];
+          c[i * n + j] += acc;
+        }
       }
-    }
+    });
   }
 }
 
 void Axpy(int64_t n, float alpha, const float* x, float* out) {
-  for (int64_t i = 0; i < n; ++i) out[i] += alpha * x[i];
+  ParallelFor(0, n, kGrainElementwise, [&](int64_t cb, int64_t ce) {
+    for (int64_t i = cb; i < ce; ++i) out[i] += alpha * x[i];
+  });
 }
 
 Shape BroadcastShape(const Shape& a, const Shape& b) {
@@ -105,17 +135,41 @@ void ReduceGradToShape(const float* grad, const Shape& grad_shape, float* out,
   const std::vector<int64_t> strides = BroadcastStrides(target_shape, grad_shape);
   const int64_t rank = static_cast<int64_t>(grad_shape.size());
   const int64_t n = NumElements(grad_shape);
-  std::vector<int64_t> index(rank, 0);
-  int64_t out_off = 0;
-  for (int64_t i = 0; i < n; ++i) {
-    out[out_off] += grad[i];
+
+  auto reduce_range = [&](int64_t cb, int64_t ce) {
+    std::vector<int64_t> index(rank, 0);
+    int64_t out_off = 0;
+    int64_t rem = cb;
     for (int64_t d = rank - 1; d >= 0; --d) {
-      ++index[d];
-      out_off += strides[d];
-      if (index[d] < grad_shape[d]) break;
-      index[d] = 0;
-      out_off -= strides[d] * grad_shape[d];
+      index[d] = rem % grad_shape[d];
+      rem /= grad_shape[d];
+      out_off += index[d] * strides[d];
     }
+    for (int64_t i = cb; i < ce; ++i) {
+      out[out_off] += grad[i];
+      for (int64_t d = rank - 1; d >= 0; --d) {
+        ++index[d];
+        out_off += strides[d];
+        if (index[d] < grad_shape[d]) break;
+        index[d] = 0;
+        out_off -= strides[d] * grad_shape[d];
+      }
+    }
+  };
+
+  // The accumulation targets overlap across the reduced (stride-0) dims, so
+  // chunks may only split the leading dimension when it is NOT reduced: then
+  // each leading index owns a disjoint slice of `out`, and per-element
+  // accumulation order is unchanged — bitwise identical at any thread count.
+  const int64_t block = rank > 0 ? n / grad_shape[0] : n;
+  if (rank > 0 && strides[0] > 0 && grad_shape[0] > 1 && block > 0) {
+    const int64_t row_grain =
+        std::max<int64_t>(1, kGrainStrided / block);
+    ParallelFor(0, grad_shape[0], row_grain, [&](int64_t r0, int64_t r1) {
+      reduce_range(r0 * block, r1 * block);
+    });
+  } else {
+    reduce_range(0, n);
   }
 }
 

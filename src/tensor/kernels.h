@@ -1,5 +1,11 @@
 // Raw float-array compute kernels shared by op forward and backward passes.
 // These know nothing about autograd.
+//
+// Threading: the hot loops run on ThreadPool::Global() via ParallelFor.
+// Every kernel here is deterministic regardless of the thread count: chunk
+// boundaries depend only on the range and grain, each output element is
+// written by exactly one chunk, and per-element accumulation (e.g. the k-loop
+// of Gemm) stays in its sequential order. See docs/THREADING.md.
 
 #ifndef CONFORMER_TENSOR_KERNELS_H_
 #define CONFORMER_TENSOR_KERNELS_H_
@@ -8,11 +14,26 @@
 #include <vector>
 
 #include "tensor/tensor.h"
+#include "util/thread_pool.h"
 
 namespace conformer::kernels {
 
+/// Minimum elements per chunk for cheap elementwise loops — small enough to
+/// engage the pool on mid-sized tensors, large enough that dispatch overhead
+/// stays negligible.
+inline constexpr int64_t kGrainElementwise = 1 << 14;
+
+/// Minimum elements per chunk for strided/odometer loops, whose per-element
+/// cost is a few times higher than contiguous elementwise loops.
+inline constexpr int64_t kGrainStrided = 1 << 12;
+
+/// Target multiply-accumulates per Gemm row-block chunk.
+inline constexpr int64_t kGrainGemmMacs = 1 << 15;
+
 /// C (m x n) += or = A (m x k) * B (k x n), row-major, with optional
-/// transposes interpreted on the logical matrices.
+/// transposes interpreted on the logical matrices. Zero-sized problems are
+/// explicit no-ops: m == 0 or n == 0 writes nothing; k == 0 zero-fills C
+/// (or leaves it untouched when `accumulate`).
 void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
           const float* a, const float* b, float* c, bool accumulate);
 
@@ -35,29 +56,40 @@ void BroadcastBinary(const float* a, const Shape& a_shape, const float* b,
                      Fn f) {
   const int64_t n = NumElements(out_shape);
   if (a_shape == out_shape && b_shape == out_shape) {
-    for (int64_t i = 0; i < n; ++i) out[i] = f(a[i], b[i]);
+    ParallelFor(0, n, kGrainElementwise, [&](int64_t cb, int64_t ce) {
+      for (int64_t i = cb; i < ce; ++i) out[i] = f(a[i], b[i]);
+    });
     return;
   }
   const std::vector<int64_t> a_strides = BroadcastStrides(a_shape, out_shape);
   const std::vector<int64_t> b_strides = BroadcastStrides(b_shape, out_shape);
-  const std::vector<int64_t> out_strides = ContiguousStrides(out_shape);
   const int64_t rank = static_cast<int64_t>(out_shape.size());
-  std::vector<int64_t> index(rank, 0);
-  int64_t a_off = 0;
-  int64_t b_off = 0;
-  for (int64_t i = 0; i < n; ++i) {
-    out[i] = f(a[a_off], b[b_off]);
-    // Odometer increment with incremental offset updates.
+  ParallelFor(0, n, kGrainStrided, [&](int64_t cb, int64_t ce) {
+    // Seed the odometer at this chunk's flat start index.
+    std::vector<int64_t> index(rank, 0);
+    int64_t a_off = 0;
+    int64_t b_off = 0;
+    int64_t rem = cb;
     for (int64_t d = rank - 1; d >= 0; --d) {
-      ++index[d];
-      a_off += a_strides[d];
-      b_off += b_strides[d];
-      if (index[d] < out_shape[d]) break;
-      index[d] = 0;
-      a_off -= a_strides[d] * out_shape[d];
-      b_off -= b_strides[d] * out_shape[d];
+      index[d] = rem % out_shape[d];
+      rem /= out_shape[d];
+      a_off += index[d] * a_strides[d];
+      b_off += index[d] * b_strides[d];
     }
-  }
+    for (int64_t i = cb; i < ce; ++i) {
+      out[i] = f(a[a_off], b[b_off]);
+      // Odometer increment with incremental offset updates.
+      for (int64_t d = rank - 1; d >= 0; --d) {
+        ++index[d];
+        a_off += a_strides[d];
+        b_off += b_strides[d];
+        if (index[d] < out_shape[d]) break;
+        index[d] = 0;
+        a_off -= a_strides[d] * out_shape[d];
+        b_off -= b_strides[d] * out_shape[d];
+      }
+    }
+  });
 }
 
 /// Sums `grad` (of shape `grad_shape`) down to `target_shape` (which must

@@ -86,29 +86,37 @@ Tensor AvgPool1d(const Tensor& input, int64_t kernel, int64_t stride) {
   std::vector<float> out(outer * out_len);
   const float* ad = input.data();
   const float inv_k = 1.0f / static_cast<float>(kernel);
-  for (int64_t o = 0; o < outer; ++o) {
-    const float* row = ad + o * length;
-    for (int64_t j = 0; j < out_len; ++j) {
-      float acc = 0.0f;
-      const float* window = row + j * stride;
-      for (int64_t k = 0; k < kernel; ++k) acc += window[k];
-      out[o * out_len + j] = acc * inv_k;
-    }
-  }
-
-  Tensor a_in = input;
-  auto backward = [a_in, outer, length, out_len, kernel, stride,
-                   inv_k](TensorImpl& self) mutable {
-    std::vector<float> delta(a_in.numel(), 0.0f);
-    const float* gd = self.grad.data();
-    for (int64_t o = 0; o < outer; ++o) {
-      float* row = delta.data() + o * length;
+  // Each outer index owns disjoint input/output rows in both directions
+  // (windows may overlap within a row, never across rows).
+  const int64_t pool_grain = std::max<int64_t>(
+      1, kernels::kGrainStrided / std::max<int64_t>(1, out_len * kernel));
+  ParallelFor(0, outer, pool_grain, [&](int64_t o0, int64_t o1) {
+    for (int64_t o = o0; o < o1; ++o) {
+      const float* row = ad + o * length;
       for (int64_t j = 0; j < out_len; ++j) {
-        const float g = gd[o * out_len + j] * inv_k;
-        float* window = row + j * stride;
-        for (int64_t k = 0; k < kernel; ++k) window[k] += g;
+        float acc = 0.0f;
+        const float* window = row + j * stride;
+        for (int64_t k = 0; k < kernel; ++k) acc += window[k];
+        out[o * out_len + j] = acc * inv_k;
       }
     }
+  });
+
+  Tensor a_in = input;
+  auto backward = [a_in, outer, length, out_len, kernel, stride, inv_k,
+                   pool_grain](TensorImpl& self) mutable {
+    std::vector<float> delta(a_in.numel(), 0.0f);
+    const float* gd = self.grad.data();
+    ParallelFor(0, outer, pool_grain, [&](int64_t o0, int64_t o1) {
+      for (int64_t o = o0; o < o1; ++o) {
+        float* row = delta.data() + o * length;
+        for (int64_t j = 0; j < out_len; ++j) {
+          const float g = gd[o * out_len + j] * inv_k;
+          float* window = row + j * stride;
+          for (int64_t k = 0; k < kernel; ++k) window[k] += g;
+        }
+      }
+    });
     a_in.impl()->AccumulateGrad(delta.data(), a_in.numel());
   };
   return internal::MakeOpResult(std::move(out_shape), std::move(out), {input},
@@ -132,32 +140,40 @@ Tensor MaxPool1d(const Tensor& input, int64_t kernel, int64_t stride) {
   std::vector<float> out(outer * out_len);
   std::vector<int64_t> argmax(outer * out_len);
   const float* ad = input.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    const float* row = ad + o * length;
-    for (int64_t j = 0; j < out_len; ++j) {
-      const int64_t start = j * stride;
-      float best = row[start];
-      int64_t arg = start;
-      for (int64_t k = 1; k < kernel; ++k) {
-        if (row[start + k] > best) {
-          best = row[start + k];
-          arg = start + k;
+  const int64_t pool_grain = std::max<int64_t>(
+      1, kernels::kGrainStrided / std::max<int64_t>(1, out_len * kernel));
+  ParallelFor(0, outer, pool_grain, [&](int64_t o0, int64_t o1) {
+    for (int64_t o = o0; o < o1; ++o) {
+      const float* row = ad + o * length;
+      for (int64_t j = 0; j < out_len; ++j) {
+        const int64_t start = j * stride;
+        float best = row[start];
+        int64_t arg = start;
+        for (int64_t k = 1; k < kernel; ++k) {
+          if (row[start + k] > best) {
+            best = row[start + k];
+            arg = start + k;
+          }
         }
+        out[o * out_len + j] = best;
+        argmax[o * out_len + j] = arg;
       }
-      out[o * out_len + j] = best;
-      argmax[o * out_len + j] = arg;
     }
-  }
+  });
 
   Tensor a_in = input;
-  auto backward = [a_in, argmax, outer, length, out_len](TensorImpl& self) mutable {
+  auto backward = [a_in, argmax, outer, length, out_len,
+                   pool_grain](TensorImpl& self) mutable {
     std::vector<float> delta(a_in.numel(), 0.0f);
     const float* gd = self.grad.data();
-    for (int64_t o = 0; o < outer; ++o) {
-      for (int64_t j = 0; j < out_len; ++j) {
-        delta[o * length + argmax[o * out_len + j]] += gd[o * out_len + j];
+    // argmax indices stay within their own row, so rows scatter disjointly.
+    ParallelFor(0, outer, pool_grain, [&](int64_t o0, int64_t o1) {
+      for (int64_t o = o0; o < o1; ++o) {
+        for (int64_t j = 0; j < out_len; ++j) {
+          delta[o * length + argmax[o * out_len + j]] += gd[o * out_len + j];
+        }
       }
-    }
+    });
     a_in.impl()->AccumulateGrad(delta.data(), a_in.numel());
   };
   return internal::MakeOpResult(std::move(out_shape), std::move(out), {input},
@@ -178,30 +194,38 @@ Tensor Cumsum(const Tensor& a, int64_t dim) {
 
   std::vector<float> out(a.numel());
   const float* ad = a.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t i = 0; i < inner; ++i) {
+  // Parallel over (outer, inner) scan lanes; each lane's running sum stays
+  // sequential, so the result is thread-count independent.
+  const int64_t lane_grain = std::max<int64_t>(
+      1, kernels::kGrainStrided / std::max<int64_t>(1, n));
+  ParallelFor(0, outer * inner, lane_grain, [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const int64_t o = r / inner;
+      const int64_t i = r % inner;
       float acc = 0.0f;
       for (int64_t j = 0; j < n; ++j) {
         acc += ad[(o * n + j) * inner + i];
         out[(o * n + j) * inner + i] = acc;
       }
     }
-  }
+  });
 
   Tensor a_in = a;
-  auto backward = [a_in, outer, inner, n](TensorImpl& self) mutable {
+  auto backward = [a_in, outer, inner, n, lane_grain](TensorImpl& self) mutable {
     // d/dx_j sum contributions: reverse cumulative sum of the out-grad.
     std::vector<float> delta(a_in.numel());
     const float* gd = self.grad.data();
-    for (int64_t o = 0; o < outer; ++o) {
-      for (int64_t i = 0; i < inner; ++i) {
+    ParallelFor(0, outer * inner, lane_grain, [&](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        const int64_t o = r / inner;
+        const int64_t i = r % inner;
         float acc = 0.0f;
         for (int64_t j = n - 1; j >= 0; --j) {
           acc += gd[(o * n + j) * inner + i];
           delta[(o * n + j) * inner + i] = acc;
         }
       }
-    }
+    });
     a_in.impl()->AccumulateGrad(delta.data(), a_in.numel());
   };
   return internal::MakeOpResult(a.shape(), std::move(out), {a},

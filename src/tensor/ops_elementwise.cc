@@ -23,10 +23,16 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, Fn f, DfA dfda, DfB dfdb,
     const int64_t n = NumElements(out_shape);
     // Local gradient wrt each input, then reduce over broadcast dims.
     std::vector<float> local(n);
+    const auto scale_by_grad = [&local, &self, n] {
+      ParallelFor(0, n, kernels::kGrainElementwise,
+                  [&](int64_t cb, int64_t ce) {
+                    for (int64_t i = cb; i < ce; ++i) local[i] *= self.grad[i];
+                  });
+    };
     if (a_in.requires_grad() || a_in.impl()->node != nullptr) {
       kernels::BroadcastBinary(a_in.data(), a_in.shape(), b_in.data(),
                                b_in.shape(), local.data(), out_shape, dfda);
-      for (int64_t i = 0; i < n; ++i) local[i] *= self.grad[i];
+      scale_by_grad();
       if (a_in.shape() == out_shape) {
         a_in.impl()->AccumulateGrad(local.data(), n);
       } else {
@@ -39,7 +45,7 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, Fn f, DfA dfda, DfB dfdb,
     if (b_in.requires_grad() || b_in.impl()->node != nullptr) {
       kernels::BroadcastBinary(a_in.data(), a_in.shape(), b_in.data(),
                                b_in.shape(), local.data(), out_shape, dfdb);
-      for (int64_t i = 0; i < n; ++i) local[i] *= self.grad[i];
+      scale_by_grad();
       if (b_in.shape() == out_shape) {
         b_in.impl()->AccumulateGrad(local.data(), n);
       } else {
@@ -62,15 +68,19 @@ Tensor UnaryOp(const Tensor& a, Fn f, Df df, const char* name) {
   const int64_t n = a.numel();
   std::vector<float> out(n);
   const float* ad = a.data();
-  for (int64_t i = 0; i < n; ++i) out[i] = f(ad[i]);
+  ParallelFor(0, n, kernels::kGrainElementwise, [&](int64_t cb, int64_t ce) {
+    for (int64_t i = cb; i < ce; ++i) out[i] = f(ad[i]);
+  });
   Tensor a_in = a;
   auto backward = [a_in, df](TensorImpl& self) mutable {
     const int64_t n = static_cast<int64_t>(self.data.size());
     std::vector<float> delta(n);
     const float* ad = a_in.data();
-    for (int64_t i = 0; i < n; ++i) {
-      delta[i] = self.grad[i] * df(ad[i], self.data[i]);
-    }
+    ParallelFor(0, n, kernels::kGrainElementwise, [&](int64_t cb, int64_t ce) {
+      for (int64_t i = cb; i < ce; ++i) {
+        delta[i] = self.grad[i] * df(ad[i], self.data[i]);
+      }
+    });
     a_in.impl()->AccumulateGrad(delta.data(), n);
   };
   return internal::MakeOpResult(a.shape(), std::move(out), {a},

@@ -1,5 +1,6 @@
 #include <algorithm>
 
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 
 namespace conformer {
@@ -27,26 +28,34 @@ Tensor IndexSelect(const Tensor& a, int64_t dim,
   out_shape[dim] = count;
   std::vector<float> out(NumElements(out_shape));
   const float* ad = a.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t c = 0; c < count; ++c) {
-      const float* src = ad + (o * size + indices[c]) * inner;
-      std::copy(src, src + inner, out.begin() + (o * count + c) * inner);
+  const int64_t o_grain = std::max<int64_t>(
+      1, kernels::kGrainStrided / std::max<int64_t>(1, count * inner));
+  ParallelFor(0, outer, o_grain, [&](int64_t o0, int64_t o1) {
+    for (int64_t o = o0; o < o1; ++o) {
+      for (int64_t c = 0; c < count; ++c) {
+        const float* src = ad + (o * size + indices[c]) * inner;
+        std::copy(src, src + inner, out.begin() + (o * count + c) * inner);
+      }
     }
-  }
+  });
 
   Tensor a_in = a;
   std::vector<int64_t> idx = indices;
-  auto backward = [a_in, idx, outer, inner, size, count](TensorImpl& self) mutable {
-    // Scatter-add: repeated indices accumulate.
+  auto backward = [a_in, idx, outer, inner, size, count,
+                   o_grain](TensorImpl& self) mutable {
+    // Scatter-add: repeated indices accumulate, but only within an outer
+    // slice — chunks over `outer` write disjoint delta ranges.
     std::vector<float> delta(a_in.numel(), 0.0f);
     const float* gd = self.grad.data();
-    for (int64_t o = 0; o < outer; ++o) {
-      for (int64_t c = 0; c < count; ++c) {
-        float* dst = delta.data() + (o * size + idx[c]) * inner;
-        const float* src = gd + (o * count + c) * inner;
-        for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
+    ParallelFor(0, outer, o_grain, [&](int64_t o0, int64_t o1) {
+      for (int64_t o = o0; o < o1; ++o) {
+        for (int64_t c = 0; c < count; ++c) {
+          float* dst = delta.data() + (o * size + idx[c]) * inner;
+          const float* src = gd + (o * count + c) * inner;
+          for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
+        }
       }
-    }
+    });
     a_in.impl()->AccumulateGrad(delta.data(), a_in.numel());
   };
   return internal::MakeOpResult(std::move(out_shape), std::move(out), {a},
@@ -67,25 +76,34 @@ Tensor BatchedIndexSelect(const Tensor& a, const std::vector<int64_t>& indices,
 
   std::vector<float> out(batch * k * depth);
   const float* ad = a.data();
-  for (int64_t b = 0; b < batch; ++b) {
-    for (int64_t c = 0; c < k; ++c) {
-      const float* src = ad + (b * length + indices[b * k + c]) * depth;
-      std::copy(src, src + depth, out.begin() + (b * k + c) * depth);
+  const int64_t b_grain = std::max<int64_t>(
+      1, kernels::kGrainStrided / std::max<int64_t>(1, k * depth));
+  ParallelFor(0, batch, b_grain, [&](int64_t b0, int64_t b1) {
+    for (int64_t b = b0; b < b1; ++b) {
+      for (int64_t c = 0; c < k; ++c) {
+        const float* src = ad + (b * length + indices[b * k + c]) * depth;
+        std::copy(src, src + depth, out.begin() + (b * k + c) * depth);
+      }
     }
-  }
+  });
 
   Tensor a_in = a;
   std::vector<int64_t> idx = indices;
-  auto backward = [a_in, idx, batch, length, depth, k](TensorImpl& self) mutable {
+  auto backward = [a_in, idx, batch, length, depth, k,
+                   b_grain](TensorImpl& self) mutable {
+    // Scatter-add stays within each batch's delta slice, so batches are
+    // disjoint chunks.
     std::vector<float> delta(a_in.numel(), 0.0f);
     const float* gd = self.grad.data();
-    for (int64_t b = 0; b < batch; ++b) {
-      for (int64_t c = 0; c < k; ++c) {
-        float* dst = delta.data() + (b * length + idx[b * k + c]) * depth;
-        const float* src = gd + (b * k + c) * depth;
-        for (int64_t i = 0; i < depth; ++i) dst[i] += src[i];
+    ParallelFor(0, batch, b_grain, [&](int64_t b0, int64_t b1) {
+      for (int64_t b = b0; b < b1; ++b) {
+        for (int64_t c = 0; c < k; ++c) {
+          float* dst = delta.data() + (b * length + idx[b * k + c]) * depth;
+          const float* src = gd + (b * k + c) * depth;
+          for (int64_t i = 0; i < depth; ++i) dst[i] += src[i];
+        }
       }
-    }
+    });
     a_in.impl()->AccumulateGrad(delta.data(), a_in.numel());
   };
   return internal::MakeOpResult({batch, k, depth}, std::move(out), {a},

@@ -1,3 +1,5 @@
+#include <utility>
+
 #include "tensor/kernels.h"
 #include "tensor/ops.h"
 
@@ -44,40 +46,44 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const std::vector<int64_t> b_strides = kernels::BroadcastStrides(b_batch, batch);
   const int64_t brank = static_cast<int64_t>(batch.size());
 
-  // Captures by value: this lambda is reused inside the backward closure,
-  // which outlives the enclosing scope.
-  auto for_each_batch = [batch, a_strides, b_strides, brank,
-                         num_batches](auto&& body) {
-    std::vector<int64_t> index(brank, 0);
+  // Captured by value: these are reused inside the backward closure, which
+  // outlives the enclosing scope. Maps a flat batch index to the (possibly
+  // broadcast) input offsets.
+  auto batch_offsets = [batch, a_strides, b_strides, brank](int64_t i) {
     int64_t a_off = 0;
     int64_t b_off = 0;
-    for (int64_t i = 0; i < num_batches; ++i) {
-      body(i, a_off, b_off);
-      for (int64_t d = brank - 1; d >= 0; --d) {
-        ++index[d];
-        a_off += a_strides[d];
-        b_off += b_strides[d];
-        if (index[d] < batch[d]) break;
-        index[d] = 0;
-        a_off -= a_strides[d] * batch[d];
-        b_off -= b_strides[d] * batch[d];
-      }
+    int64_t rem = i;
+    for (int64_t d = brank - 1; d >= 0; --d) {
+      const int64_t idx = rem % batch[d];
+      rem /= batch[d];
+      a_off += idx * a_strides[d];
+      b_off += idx * b_strides[d];
     }
+    return std::pair<int64_t, int64_t>(a_off, b_off);
   };
+  // Without broadcast, every batch owns disjoint slices of both inputs, so
+  // the backward Gemm accumulations can run batch-parallel.
+  const bool batches_disjoint = a_batch == batch && b_batch == batch;
 
   {
     const float* ad = a.data();
     const float* bd = b.data();
     float* od = out.data();
-    for_each_batch([&](int64_t i, int64_t a_off, int64_t b_off) {
-      kernels::Gemm(false, false, m, n, k, ad + a_off * m * k,
-                    bd + b_off * k * n, od + i * m * n, /*accumulate=*/false);
+    // Each batch writes its own out slice; the per-batch Gemm runs inline
+    // when nested (its own ParallelFor covers the single-batch case).
+    ParallelFor(0, num_batches, 1, [&](int64_t bb, int64_t be) {
+      for (int64_t i = bb; i < be; ++i) {
+        const auto [a_off, b_off] = batch_offsets(i);
+        kernels::Gemm(false, false, m, n, k, ad + a_off * m * k,
+                      bd + b_off * k * n, od + i * m * n, /*accumulate=*/false);
+      }
     });
   }
 
   Tensor a_in = a;
   Tensor b_in = b;
-  auto backward = [a_in, b_in, m, n, k, for_each_batch](TensorImpl& self) mutable {
+  auto backward = [a_in, b_in, m, n, k, num_batches, batch_offsets,
+                   batches_disjoint](TensorImpl& self) mutable {
     const bool need_a = a_in.requires_grad() || a_in.impl()->node != nullptr;
     const bool need_b = b_in.requires_grad() || b_in.impl()->node != nullptr;
     const float* gd = self.grad.data();
@@ -88,7 +94,8 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
     std::vector<float> db;
     if (need_a) da.assign(a_in.numel(), 0.0f);
     if (need_b) db.assign(b_in.numel(), 0.0f);
-    for_each_batch([&](int64_t i, int64_t a_off, int64_t b_off) {
+    auto batch_backward = [&](int64_t i) {
+      const auto [a_off, b_off] = batch_offsets(i);
       const float* g = gd + i * m * n;
       if (need_a) {
         kernels::Gemm(false, true, m, k, n, g, bd + b_off * k * n,
@@ -98,7 +105,16 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
         kernels::Gemm(true, false, k, n, m, ad + a_off * m * k, g,
                       db.data() + b_off * k * n, /*accumulate=*/true);
       }
-    });
+    };
+    if (batches_disjoint) {
+      ParallelFor(0, num_batches, 1, [&](int64_t bb, int64_t be) {
+        for (int64_t i = bb; i < be; ++i) batch_backward(i);
+      });
+    } else {
+      // Broadcast batches accumulate into shared input slices; keep the
+      // fixed sequential order (deterministic and race-free).
+      for (int64_t i = 0; i < num_batches; ++i) batch_backward(i);
+    }
     if (need_a) a_in.impl()->AccumulateGrad(da.data(), a_in.numel());
     if (need_b) b_in.impl()->AccumulateGrad(db.data(), b_in.numel());
   };

@@ -1,5 +1,7 @@
+#include <algorithm>
 #include <cmath>
 
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 
 namespace conformer {
@@ -23,6 +25,23 @@ DimSplit SplitAt(const Shape& shape, int64_t dim) {
   return s;
 }
 
+// Runs `row_fn(base)` for every (outer, inner) row of the split in parallel;
+// each row owns the disjoint offsets {base + j * inner}, so the per-row
+// reduction order is sequential and the result thread-count independent.
+template <typename RowFn>
+void ParallelRows(const DimSplit& s, RowFn row_fn) {
+  const int64_t rows = s.outer * s.inner;
+  const int64_t grain =
+      std::max<int64_t>(1, kernels::kGrainStrided / std::max<int64_t>(1, s.n));
+  ParallelFor(0, rows, grain, [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const int64_t o = r / s.inner;
+      const int64_t i = r % s.inner;
+      row_fn(o * s.n * s.inner + i);
+    }
+  });
+}
+
 }  // namespace
 
 Tensor Softmax(const Tensor& a, int64_t dim) {
@@ -34,23 +53,20 @@ Tensor Softmax(const Tensor& a, int64_t dim) {
 
   std::vector<float> out(a.numel());
   const float* ad = a.data();
-  for (int64_t o = 0; o < s.outer; ++o) {
-    for (int64_t i = 0; i < s.inner; ++i) {
-      const int64_t base = o * s.n * s.inner + i;
-      float mx = ad[base];
-      for (int64_t j = 1; j < s.n; ++j) {
-        mx = std::max(mx, ad[base + j * s.inner]);
-      }
-      float total = 0.0f;
-      for (int64_t j = 0; j < s.n; ++j) {
-        const float e = std::exp(ad[base + j * s.inner] - mx);
-        out[base + j * s.inner] = e;
-        total += e;
-      }
-      const float inv = 1.0f / total;
-      for (int64_t j = 0; j < s.n; ++j) out[base + j * s.inner] *= inv;
+  ParallelRows(s, [&](int64_t base) {
+    float mx = ad[base];
+    for (int64_t j = 1; j < s.n; ++j) {
+      mx = std::max(mx, ad[base + j * s.inner]);
     }
-  }
+    float total = 0.0f;
+    for (int64_t j = 0; j < s.n; ++j) {
+      const float e = std::exp(ad[base + j * s.inner] - mx);
+      out[base + j * s.inner] = e;
+      total += e;
+    }
+    const float inv = 1.0f / total;
+    for (int64_t j = 0; j < s.n; ++j) out[base + j * s.inner] *= inv;
+  });
 
   Tensor a_in = a;
   auto backward = [a_in, s](TensorImpl& self) mutable {
@@ -58,20 +74,17 @@ Tensor Softmax(const Tensor& a, int64_t dim) {
     std::vector<float> delta(a_in.numel());
     const float* gd = self.grad.data();
     const float* yd = self.data.data();
-    for (int64_t o = 0; o < s.outer; ++o) {
-      for (int64_t i = 0; i < s.inner; ++i) {
-        const int64_t base = o * s.n * s.inner + i;
-        float dot = 0.0f;
-        for (int64_t j = 0; j < s.n; ++j) {
-          const int64_t off = base + j * s.inner;
-          dot += gd[off] * yd[off];
-        }
-        for (int64_t j = 0; j < s.n; ++j) {
-          const int64_t off = base + j * s.inner;
-          delta[off] = yd[off] * (gd[off] - dot);
-        }
+    ParallelRows(s, [&](int64_t base) {
+      float dot = 0.0f;
+      for (int64_t j = 0; j < s.n; ++j) {
+        const int64_t off = base + j * s.inner;
+        dot += gd[off] * yd[off];
       }
-    }
+      for (int64_t j = 0; j < s.n; ++j) {
+        const int64_t off = base + j * s.inner;
+        delta[off] = yd[off] * (gd[off] - dot);
+      }
+    });
     a_in.impl()->AccumulateGrad(delta.data(), a_in.numel());
   };
   return internal::MakeOpResult(a.shape(), std::move(out), {a},
@@ -86,23 +99,20 @@ Tensor LogSoftmax(const Tensor& a, int64_t dim) {
 
   std::vector<float> out(a.numel());
   const float* ad = a.data();
-  for (int64_t o = 0; o < s.outer; ++o) {
-    for (int64_t i = 0; i < s.inner; ++i) {
-      const int64_t base = o * s.n * s.inner + i;
-      float mx = ad[base];
-      for (int64_t j = 1; j < s.n; ++j) {
-        mx = std::max(mx, ad[base + j * s.inner]);
-      }
-      float total = 0.0f;
-      for (int64_t j = 0; j < s.n; ++j) {
-        total += std::exp(ad[base + j * s.inner] - mx);
-      }
-      const float lse = mx + std::log(total);
-      for (int64_t j = 0; j < s.n; ++j) {
-        out[base + j * s.inner] = ad[base + j * s.inner] - lse;
-      }
+  ParallelRows(s, [&](int64_t base) {
+    float mx = ad[base];
+    for (int64_t j = 1; j < s.n; ++j) {
+      mx = std::max(mx, ad[base + j * s.inner]);
     }
-  }
+    float total = 0.0f;
+    for (int64_t j = 0; j < s.n; ++j) {
+      total += std::exp(ad[base + j * s.inner] - mx);
+    }
+    const float lse = mx + std::log(total);
+    for (int64_t j = 0; j < s.n; ++j) {
+      out[base + j * s.inner] = ad[base + j * s.inner] - lse;
+    }
+  });
 
   Tensor a_in = a;
   auto backward = [a_in, s](TensorImpl& self) mutable {
@@ -110,17 +120,14 @@ Tensor LogSoftmax(const Tensor& a, int64_t dim) {
     std::vector<float> delta(a_in.numel());
     const float* gd = self.grad.data();
     const float* yd = self.data.data();
-    for (int64_t o = 0; o < s.outer; ++o) {
-      for (int64_t i = 0; i < s.inner; ++i) {
-        const int64_t base = o * s.n * s.inner + i;
-        float gsum = 0.0f;
-        for (int64_t j = 0; j < s.n; ++j) gsum += gd[base + j * s.inner];
-        for (int64_t j = 0; j < s.n; ++j) {
-          const int64_t off = base + j * s.inner;
-          delta[off] = gd[off] - std::exp(yd[off]) * gsum;
-        }
+    ParallelRows(s, [&](int64_t base) {
+      float gsum = 0.0f;
+      for (int64_t j = 0; j < s.n; ++j) gsum += gd[base + j * s.inner];
+      for (int64_t j = 0; j < s.n; ++j) {
+        const int64_t off = base + j * s.inner;
+        delta[off] = gd[off] - std::exp(yd[off]) * gsum;
       }
-    }
+    });
     a_in.impl()->AccumulateGrad(delta.data(), a_in.numel());
   };
   return internal::MakeOpResult(a.shape(), std::move(out), {a},

@@ -57,24 +57,74 @@ Tensor Sum(const Tensor& a, std::vector<int64_t> dims, bool keepdim) {
   const Shape out_shape = ReducedShape(in_shape, dims, keepdim);
   const Shape keep_shape = KeepdimShape(in_shape, dims);
 
-  std::vector<float> out(NumElements(out_shape), 0.0f);
+  const int64_t out_numel = NumElements(out_shape);
+  std::vector<float> out(out_numel, 0.0f);
   // Accumulate via broadcast-strided iteration over the input.
   {
     const std::vector<int64_t> out_strides =
         kernels::BroadcastStrides(keep_shape, in_shape);
     const int64_t n = a.numel();
     const float* ad = a.data();
-    std::vector<int64_t> index(rank, 0);
-    int64_t out_off = 0;
-    for (int64_t i = 0; i < n; ++i) {
-      out[out_off] += ad[i];
+
+    // Accumulates input flat range [cb, ce) into `dst` (out-sized buffer).
+    auto sum_range = [&](int64_t cb, int64_t ce, float* dst) {
+      std::vector<int64_t> index(rank, 0);
+      int64_t out_off = 0;
+      int64_t rem = cb;
       for (int64_t d = rank - 1; d >= 0; --d) {
-        ++index[d];
-        out_off += out_strides[d];
-        if (index[d] < in_shape[d]) break;
-        index[d] = 0;
-        out_off -= out_strides[d] * in_shape[d];
+        index[d] = rem % in_shape[d];
+        rem /= in_shape[d];
+        out_off += index[d] * out_strides[d];
       }
+      for (int64_t i = cb; i < ce; ++i) {
+        dst[out_off] += ad[i];
+        for (int64_t d = rank - 1; d >= 0; --d) {
+          ++index[d];
+          out_off += out_strides[d];
+          if (index[d] < in_shape[d]) break;
+          index[d] = 0;
+          out_off -= out_strides[d] * in_shape[d];
+        }
+      }
+    };
+
+    const int64_t lead = rank > 0 ? in_shape[0] : 1;
+    const int64_t block = lead > 0 ? n / lead : 0;
+    if (rank > 0 && out_strides[0] > 0 && lead > 1) {
+      // Leading dim not reduced: each leading index owns a disjoint out
+      // slice, so this parallelization keeps the exact sequential
+      // accumulation order per output element.
+      const int64_t row_grain =
+          std::max<int64_t>(1, kernels::kGrainStrided / std::max<int64_t>(1, block));
+      ParallelFor(0, lead, row_grain, [&](int64_t r0, int64_t r1) {
+        sum_range(r0 * block, r1 * block, out.data());
+      });
+    } else if (n >= 2 * kernels::kGrainStrided && out_numel <= 4096) {
+      // Leading dim reduced (e.g. full reduction to a scalar): fixed-order
+      // per-chunk partial accumulation. Chunk boundaries depend only on the
+      // grain and the partials are folded in chunk order, so the result is
+      // bitwise identical at any thread count (never atomics on floats).
+      struct Partial {
+        std::vector<float> values;
+      };
+      Partial total = ParallelReduce(
+          int64_t{0}, n, kernels::kGrainStrided, Partial{},
+          [&](int64_t cb, int64_t ce) {
+            Partial p;
+            p.values.assign(out_numel, 0.0f);
+            sum_range(cb, ce, p.values.data());
+            return p;
+          },
+          [&](Partial acc, Partial p) {
+            if (acc.values.empty()) return p;
+            for (int64_t i = 0; i < out_numel; ++i) {
+              acc.values[i] += p.values[i];
+            }
+            return acc;
+          });
+      if (!total.values.empty()) out = std::move(total.values);
+    } else {
+      sum_range(0, n, out.data());
     }
   }
 
@@ -88,18 +138,26 @@ Tensor Sum(const Tensor& a, std::vector<int64_t> dims, bool keepdim) {
     const int64_t n = a_in.numel();
     std::vector<float> delta(n);
     const float* gd = self.grad.data();
-    std::vector<int64_t> index(rank, 0);
-    int64_t g_off = 0;
-    for (int64_t i = 0; i < n; ++i) {
-      delta[i] = gd[g_off];
+    ParallelFor(0, n, kernels::kGrainStrided, [&](int64_t cb, int64_t ce) {
+      std::vector<int64_t> index(rank, 0);
+      int64_t g_off = 0;
+      int64_t rem = cb;
       for (int64_t d = rank - 1; d >= 0; --d) {
-        ++index[d];
-        g_off += g_strides[d];
-        if (index[d] < in_shape[d]) break;
-        index[d] = 0;
-        g_off -= g_strides[d] * in_shape[d];
+        index[d] = rem % in_shape[d];
+        rem /= in_shape[d];
+        g_off += index[d] * g_strides[d];
       }
-    }
+      for (int64_t i = cb; i < ce; ++i) {
+        delta[i] = gd[g_off];
+        for (int64_t d = rank - 1; d >= 0; --d) {
+          ++index[d];
+          g_off += g_strides[d];
+          if (index[d] < in_shape[d]) break;
+          index[d] = 0;
+          g_off -= g_strides[d] * in_shape[d];
+        }
+      }
+    });
     a_in.impl()->AccumulateGrad(delta.data(), n);
   };
   return internal::MakeOpResult(out_shape, std::move(out), {a},
@@ -144,18 +202,23 @@ Tensor ExtremeOverDim(const Tensor& a, int64_t dim, bool keepdim, Cmp cmp,
   std::vector<float> out(outer * inner, init);
   std::vector<int64_t> argbest(outer * inner, 0);
   const float* ad = a.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t r = 0; r < reduce_n; ++r) {
-      const float* row = ad + (o * reduce_n + r) * inner;
-      for (int64_t i = 0; i < inner; ++i) {
-        float& best = out[o * inner + i];
-        if (r == 0 || cmp(row[i], best)) {
-          best = row[i];
-          argbest[o * inner + i] = r;
+  // Each outer index owns a disjoint slice of out/argbest.
+  const int64_t o_grain = std::max<int64_t>(
+      1, kernels::kGrainStrided / std::max<int64_t>(1, reduce_n * inner));
+  ParallelFor(0, outer, o_grain, [&](int64_t o0, int64_t o1) {
+    for (int64_t o = o0; o < o1; ++o) {
+      for (int64_t r = 0; r < reduce_n; ++r) {
+        const float* row = ad + (o * reduce_n + r) * inner;
+        for (int64_t i = 0; i < inner; ++i) {
+          float& best = out[o * inner + i];
+          if (r == 0 || cmp(row[i], best)) {
+            best = row[i];
+            argbest[o * inner + i] = r;
+          }
         }
       }
     }
-  }
+  });
 
   Shape out_shape;
   for (int64_t i = 0; i < rank; ++i) {

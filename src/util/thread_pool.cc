@@ -1,0 +1,164 @@
+#include "util/thread_pool.h"
+
+#include "util/env.h"
+#include "util/logging.h"
+
+namespace conformer {
+
+namespace {
+
+// Set while a thread is executing pool work; nested ParallelFor calls from
+// such a thread run inline to avoid deadlocking on the single job slot.
+thread_local bool t_in_parallel_region = false;
+
+int64_t DefaultNumThreads() {
+  const int64_t hw = static_cast<int64_t>(std::thread::hardware_concurrency());
+  const int64_t n = GetEnvInt("CONFORMER_NUM_THREADS", hw > 0 ? hw : 1);
+  return n > 0 ? n : 1;
+}
+
+}  // namespace
+
+ThreadPool& ThreadPool::Global() {
+  // Leaked intentionally: worker threads must outlive static destructors.
+  static ThreadPool* pool = new ThreadPool();
+  return *pool;
+}
+
+ThreadPool::ThreadPool() {
+  num_threads_ = DefaultNumThreads();
+  StartWorkers(num_threads_ - 1);
+}
+
+ThreadPool::~ThreadPool() { StopWorkers(); }
+
+void ThreadPool::SetNumThreads(int64_t n) {
+  CONFORMER_CHECK(!t_in_parallel_region)
+      << "SetNumThreads called from inside a parallel region";
+  if (n < 1) n = 1;
+  std::lock_guard<std::mutex> dispatch_lock(dispatch_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (n == num_threads_) return;
+  }
+  StopWorkers();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    num_threads_ = n;
+  }
+  StartWorkers(n - 1);
+}
+
+int64_t ThreadPool::num_threads() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return num_threads_;
+}
+
+void ThreadPool::StartWorkers(int64_t workers) {
+  uint64_t start_epoch = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = false;
+    // New workers must ignore the historic job slot: epoch_ survives
+    // restarts, and a worker born with seen_epoch=0 would otherwise fire on
+    // the stale job_ whose fn pointer dangles.
+    start_epoch = epoch_;
+  }
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int64_t i = 0; i < workers; ++i) {
+    // Worker i owns stripe i + 1; the dispatcher is stripe 0.
+    workers_.emplace_back(
+        [this, i, start_epoch] { WorkerLoop(i + 1, start_epoch); });
+  }
+}
+
+void ThreadPool::StopWorkers() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  job_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+}
+
+void ThreadPool::RunStripe(const Job& job, int64_t stripe) {
+  for (int64_t c = stripe; c < job.num_chunks; c += job.num_threads) {
+    const int64_t b = job.begin + c * job.grain;
+    const int64_t e = b + job.grain < job.end ? b + job.grain : job.end;
+    (*job.fn)(b, e);
+  }
+}
+
+void ThreadPool::WorkerLoop(int64_t stripe, uint64_t seen_epoch) {
+  while (true) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      job_cv_.wait(lock, [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+      job = job_;
+    }
+    t_in_parallel_region = true;
+    RunStripe(job, stripe);
+    t_in_parallel_region = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --pending_;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                             const std::function<void(int64_t, int64_t)>& fn) {
+  const int64_t n = end - begin;
+  if (n <= 0) return;
+  const int64_t g = grain < 1 ? 1 : grain;
+  const int64_t num_chunks = (n + g - 1) / g;
+
+  // Inline paths: a single chunk, a nested call, or no workers. The chunk
+  // decomposition is identical to the parallel path, so results match
+  // bitwise for any kernel honoring the disjoint-write contract.
+  const bool nested = t_in_parallel_region;
+  if (num_chunks > 1 && !nested) {
+    std::lock_guard<std::mutex> dispatch_lock(dispatch_mutex_);
+    if (!workers_.empty()) {
+      Job job;
+      job.fn = &fn;
+      job.begin = begin;
+      job.end = end;
+      job.grain = g;
+      job.num_chunks = num_chunks;
+      job.num_threads = static_cast<int64_t>(workers_.size()) + 1;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job_ = job;
+        ++epoch_;
+        pending_ = static_cast<int64_t>(workers_.size());
+      }
+      job_cv_.notify_all();
+
+      t_in_parallel_region = true;
+      RunStripe(job, /*stripe=*/0);
+      t_in_parallel_region = false;
+
+      std::unique_lock<std::mutex> lock(mutex_);
+      done_cv_.wait(lock, [&] { return pending_ == 0; });
+      return;
+    }
+  }
+
+  for (int64_t c = 0; c < num_chunks; ++c) {
+    const int64_t b = begin + c * g;
+    fn(b, b + g < end ? b + g : end);
+  }
+}
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  ThreadPool::Global().ParallelFor(begin, end, grain, fn);
+}
+
+}  // namespace conformer

@@ -368,6 +368,58 @@ TEST(SlidingWindowTest, WidthOneIsSelfCopy) {
   }
 }
 
+// -- gradient checks for the selection-based mechanisms ---------------------
+//
+// Finite differences are only valid where the function is smooth, so each
+// config below saturates the mechanism's discrete selection: every query /
+// lag / bucket ends up selected and a +-eps perturbation cannot change the
+// chosen set, leaving a purely differentiable aggregation.
+
+void ExpectAttentionGradOk(AttentionKind kind, const AttentionConfig& config,
+                           const Shape& shape) {
+  auto mech = MakeAttention(kind, config);
+  GradCheckResult r = CheckGradients(
+      [&](const std::vector<Tensor>& in) {
+        Tensor out = mech->Forward(in[0], in[1], in[2], false);
+        return Sum(Mul(out, out));
+      },
+      {RandTensor(shape, 80).set_requires_grad(true),
+       RandTensor(shape, 81).set_requires_grad(true),
+       RandTensor(shape, 82).set_requires_grad(true)});
+  EXPECT_TRUE(r.passed) << r.message << " (max err " << r.max_abs_error << ")";
+}
+
+TEST(ProbSparseTest, GradCheck) {
+  // factor=3 with lq=6: u = min(6, 3*ceil(ln 6)) = 6 == lq, so every query
+  // is active and the top-u selection is perturbation-proof.
+  AttentionConfig config;
+  config.factor = 3;
+  ExpectAttentionGradOk(AttentionKind::kProbSparse, config, {1, 6, 3});
+}
+
+TEST(LogSparseTest, GradCheck) {
+  // The tap pattern depends only on positions, never values: always smooth.
+  ExpectAttentionGradOk(AttentionKind::kLogSparse, {}, {1, 6, 2});
+}
+
+TEST(LshTest, GradCheck) {
+  // chunk >= length puts everything in one chunk: each query attends to all
+  // keys (self + rolled chunk are the same set), so the output is invariant
+  // to the bucket permutation and smooth even if a perturbation flips a
+  // bucket assignment.
+  AttentionConfig config;
+  config.lsh_chunk = 8;
+  ExpectAttentionGradOk(AttentionKind::kLsh, config, {1, 8, 3});
+}
+
+TEST(AutoCorrelationTest, GradCheck) {
+  // factor=3 with length 6 selects k = min(L-1, 3*ceil(ln 6)) lags = all of
+  // them, so the top-k lag choice cannot change under perturbation.
+  AttentionConfig config;
+  config.factor = 3;
+  ExpectAttentionGradOk(AttentionKind::kAutoCorrelation, config, {1, 6, 2});
+}
+
 TEST(ProbSparseTest, DeterministicGivenSeed) {
   AttentionConfig config;
   config.seed = 5;

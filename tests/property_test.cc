@@ -15,6 +15,7 @@
 #include "data/window_dataset.h"
 #include "fft/fft.h"
 #include "nn/gru.h"
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 
 namespace conformer {
@@ -370,6 +371,119 @@ TEST(GruPropertyTest, PrecomputedPathMatchesStepPath) {
     h2 = cell.StepPrecomputed(gt, h2);
     for (int64_t i = 0; i < h1.numel(); ++i) {
       EXPECT_NEAR(h1.data()[i], h2.data()[i], 1e-5) << "t=" << t;
+    }
+  }
+}
+
+// -- broadcasting kernels vs a naive reference -----------------------------------------------
+
+// Reference broadcaster: maps a multi-index of `to` onto the flat index of
+// `from` by right-aligning the ranks and clamping size-1 dims to 0. This is
+// the definition BroadcastStrides must reproduce via precomputed strides.
+int64_t ReferenceBroadcastIndex(const Shape& from, const Shape& to,
+                                const std::vector<int64_t>& to_index) {
+  const int64_t offset =
+      static_cast<int64_t>(to.size()) - static_cast<int64_t>(from.size());
+  int64_t flat = 0;
+  for (int64_t i = 0; i < static_cast<int64_t>(from.size()); ++i) {
+    const int64_t idx = from[i] == 1 ? 0 : to_index[i + offset];
+    flat = flat * from[i] + idx;
+  }
+  return flat;
+}
+
+// Derives a random `from` shape that broadcasts to `to`: degrade dims to 1
+// and/or drop leading dims.
+Shape RandomBroadcastableFrom(const Shape& to, Rng* rng) {
+  const int64_t drop = rng->UniformInt(static_cast<int64_t>(to.size()) + 1);
+  Shape from(to.begin() + drop, to.end());
+  for (int64_t& d : from) {
+    if (rng->UniformInt(3) == 0) d = 1;
+  }
+  return from;
+}
+
+TEST(BroadcastPropertyTest, StridesMatchNaiveReferenceOnRandomShapes) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int64_t rank = 1 + rng.UniformInt(4);
+    Shape to(rank);
+    for (int64_t& d : to) d = 1 + rng.UniformInt(5);
+    const Shape from = RandomBroadcastableFrom(to, &rng);
+
+    const std::vector<int64_t> strides = kernels::BroadcastStrides(from, to);
+    std::vector<int64_t> index(rank, 0);
+    const int64_t n = NumElements(to);
+    for (int64_t i = 0; i < n; ++i) {
+      int64_t via_strides = 0;
+      for (int64_t d = 0; d < rank; ++d) via_strides += index[d] * strides[d];
+      EXPECT_EQ(via_strides, ReferenceBroadcastIndex(from, to, index))
+          << "trial " << trial << " from=" << ShapeToString(from)
+          << " to=" << ShapeToString(to) << " at flat " << i;
+      for (int64_t d = rank - 1; d >= 0; --d) {
+        if (++index[d] < to[d]) break;
+        index[d] = 0;
+      }
+    }
+  }
+}
+
+TEST(BroadcastPropertyTest, BroadcastShapeIsSymmetricAndAbsorbing) {
+  Rng rng(100);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int64_t rank = 1 + rng.UniformInt(4);
+    Shape out(rank);
+    for (int64_t& d : out) d = 1 + rng.UniformInt(5);
+    const Shape a = RandomBroadcastableFrom(out, &rng);
+    const Shape b = RandomBroadcastableFrom(out, &rng);
+
+    const Shape ab = kernels::BroadcastShape(a, b);
+    EXPECT_EQ(ab, kernels::BroadcastShape(b, a)) << "trial " << trial;
+    // Each input broadcasts to the result, and the result absorbs itself.
+    EXPECT_EQ(kernels::BroadcastShape(a, ab), ab);
+    EXPECT_EQ(kernels::BroadcastShape(ab, ab), ab);
+    // Identity: a shape broadcast with itself is unchanged.
+    EXPECT_EQ(kernels::BroadcastShape(a, a), a);
+  }
+}
+
+TEST(BroadcastPropertyTest, BroadcastBinaryGathersLikeReference) {
+  // Round-trip through the real kernel: f(x, y) = x must reproduce exactly
+  // the reference gather of `a`, f(x, y) = y that of `b`.
+  Rng rng(101);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int64_t rank = 1 + rng.UniformInt(3);
+    Shape to(rank);
+    for (int64_t& d : to) d = 1 + rng.UniformInt(4);
+    const Shape a_shape = RandomBroadcastableFrom(to, &rng);
+    const Shape b_shape = RandomBroadcastableFrom(to, &rng);
+    const Shape out_shape = kernels::BroadcastShape(a_shape, b_shape);
+
+    Tensor a = Tensor::Randn(a_shape, &rng);
+    Tensor b = Tensor::Randn(b_shape, &rng);
+    const int64_t n = NumElements(out_shape);
+    std::vector<float> picked_a(n);
+    std::vector<float> picked_b(n);
+    kernels::BroadcastBinary(a.data(), a_shape, b.data(), b_shape,
+                             picked_a.data(), out_shape,
+                             [](float x, float) { return x; });
+    kernels::BroadcastBinary(a.data(), a_shape, b.data(), b_shape,
+                             picked_b.data(), out_shape,
+                             [](float, float y) { return y; });
+
+    const int64_t out_rank = static_cast<int64_t>(out_shape.size());
+    std::vector<int64_t> index(out_rank, 0);
+    for (int64_t i = 0; i < n; ++i) {
+      EXPECT_EQ(picked_a[i],
+                a.data()[ReferenceBroadcastIndex(a_shape, out_shape, index)])
+          << "trial " << trial << " flat " << i;
+      EXPECT_EQ(picked_b[i],
+                b.data()[ReferenceBroadcastIndex(b_shape, out_shape, index)])
+          << "trial " << trial << " flat " << i;
+      for (int64_t d = out_rank - 1; d >= 0; --d) {
+        if (++index[d] < out_shape[d]) break;
+        index[d] = 0;
+      }
     }
   }
 }
