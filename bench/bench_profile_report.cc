@@ -1,0 +1,148 @@
+// Profiled Conformer train + inference cycle: runs a scaled-down training
+// run with the op-level profiler enabled and emits a machine-readable
+// where-did-the-time-go report. This is the bench the CI bench-smoke job
+// diffs across commits (tools/compare_bench.py).
+//
+//   bench_profile_report [out.json [trace.json]]
+//
+// writes `out.json` (default BENCH_profile.json) with step coverage,
+// train/infer throughput, and the full profiler summary (op aggregates,
+// tensor-allocation high-water mark, metrics registry), plus a
+// chrome://tracing event file (default BENCH_profile_trace.json).
+//
+// Coverage is the fraction of training-step wall time attributed to named
+// child scopes (Gemm, attention, sirn, flow, optimizer, ...): 1 minus the
+// step scope's self time over its total time. The acceptance bar is >= 0.95.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "tensor/alloc_stats.h"
+#include "util/metrics.h"
+#include "util/profiler.h"
+
+namespace conformer::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_profile.json";
+  const std::string trace_path =
+      argc > 2 ? argv[2] : "BENCH_profile_trace.json";
+
+  BenchScale scale = GetBenchScale();
+  if (!scale.full) {
+    // One short epoch keeps the smoke run in CI budget while still covering
+    // forward, backward, clipping, the optimizer, and evaluation.
+    scale.epochs = 2;
+    scale.max_train_batches = 10;
+    scale.max_eval_batches = 4;
+  }
+
+  data::TimeSeries series =
+      data::MakeDataset("etth1", scale.dataset_scale, /*seed=*/1).value();
+  data::WindowConfig window{scale.input_len, scale.label_len,
+                            scale.horizons.front()};
+  auto model = MakeBenchModel("conformer", window, series.dims(), scale);
+  data::DatasetSplits splits = data::MakeSplits(series, window);
+
+  train::TrainConfig config;
+  config.epochs = scale.epochs;
+  config.batch_size = scale.batch_size;
+  config.learning_rate = 2e-3f;
+  config.max_train_batches = scale.max_train_batches;
+  config.max_eval_batches = scale.max_eval_batches;
+  config.seed = 1;
+  train::Trainer trainer(config);
+
+  prof::Profiler& profiler = prof::Profiler::Global();
+  metrics::Registry& registry = metrics::Registry::Global();
+  registry.ResetAll();
+  profiler.Reset();
+  ResetAllocPeak();
+  profiler.Enable();
+
+  const int64_t train_start_ns = prof::internal::NowNs();
+  trainer.Fit(model.get(), splits.train, splits.val);
+  const int64_t train_end_ns = prof::internal::NowNs();
+  train::EvalMetrics eval = trainer.Evaluate(model.get(), splits.test);
+  const int64_t infer_end_ns = prof::internal::NowNs();
+
+  profiler.Disable();
+
+  const double train_seconds =
+      static_cast<double>(train_end_ns - train_start_ns) * 1e-9;
+  const double infer_seconds =
+      static_cast<double>(infer_end_ns - train_end_ns) * 1e-9;
+  const int64_t steps = registry.GetCounter("train.steps").value();
+  // Evaluate caps at max_eval_batches batches of batch_size windows.
+  const int64_t eval_windows =
+      std::min<int64_t>(splits.test.size(),
+                        config.max_eval_batches > 0
+                            ? config.max_eval_batches * config.batch_size
+                            : splits.test.size());
+
+  double step_total_ns = 0.0;
+  double step_self_ns = 0.0;
+  for (const prof::OpStats& s : profiler.Aggregate()) {
+    if (s.cat == "train" && s.name == "step") {
+      step_total_ns = static_cast<double>(s.total_ns);
+      step_self_ns = static_cast<double>(s.self_ns);
+    }
+  }
+  const double coverage =
+      step_total_ns > 0.0 ? 1.0 - step_self_ns / step_total_ns : 0.0;
+
+  if (!profiler.WriteTrace(trace_path)) {
+    std::fprintf(stderr, "failed to write trace %s\n", trace_path.c_str());
+    return 1;
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"schema\": \"conformer.bench_profile.v1\",\n"
+               "  \"bench\": \"bench_profile_report\",\n"
+               "  \"train_seconds\": %.6f,\n"
+               "  \"infer_seconds\": %.6f,\n"
+               "  \"step_coverage\": %.6f,\n"
+               "  \"test_mse\": %.6f,\n"
+               "  \"throughput\": {\n"
+               "    \"train_steps_per_sec\": %.6f,\n"
+               "    \"infer_windows_per_sec\": %.6f\n"
+               "  },\n"
+               "  \"profile\": ",
+               train_seconds, infer_seconds, coverage, eval.mse,
+               train_seconds > 0 ? static_cast<double>(steps) / train_seconds
+                                 : 0.0,
+               infer_seconds > 0
+                   ? static_cast<double>(eval_windows) / infer_seconds
+                   : 0.0);
+  const std::string profile_json = profiler.SummaryJson();
+  std::fwrite(profile_json.data(), 1, profile_json.size() - 1, f);  // trim \n
+  std::fputs("\n}\n", f);
+  std::fclose(f);
+
+  std::printf(
+      "bench_profile_report: %lld steps in %.2fs (coverage %.4f), report %s, "
+      "trace %s\n",
+      static_cast<long long>(steps), train_seconds, coverage, out_path.c_str(),
+      trace_path.c_str());
+  // The acceptance bar for the observability layer: at least 95%% of step
+  // wall time must land in named scopes.
+  if (coverage < 0.95) {
+    std::fprintf(stderr, "step coverage %.4f below 0.95\n", coverage);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace conformer::bench
+
+int main(int argc, char** argv) { return conformer::bench::Run(argc, argv); }

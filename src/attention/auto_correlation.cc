@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "fft/autocorrelation.h"
+#include "util/profiler.h"
 
 namespace conformer::attention {
 
@@ -14,6 +15,7 @@ AutoCorrelationAttention::AutoCorrelationAttention(int64_t factor)
 
 Tensor AutoCorrelationAttention::Forward(const Tensor& q, const Tensor& k_in,
                                          const Tensor& v_in, bool causal) const {
+  CONFORMER_PROFILE_SCOPE_CAT("attention", "auto_correlation");
   (void)causal;  // The operator aggregates rolled series; masking does not apply.
   const int64_t bh = q.size(0);
   const int64_t lq = q.size(1);

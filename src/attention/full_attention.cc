@@ -1,6 +1,7 @@
 #include "attention/full_attention.h"
 
 #include <cmath>
+#include "util/profiler.h"
 
 namespace conformer::attention {
 
@@ -31,6 +32,7 @@ Tensor DenseAttention(const Tensor& q, const Tensor& k, const Tensor& v,
 
 Tensor FullAttention::Forward(const Tensor& q, const Tensor& k, const Tensor& v,
                               bool causal) const {
+  CONFORMER_PROFILE_SCOPE_CAT("attention", "full");
   return internal::DenseAttention(q, k, v, causal);
 }
 

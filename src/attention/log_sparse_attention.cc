@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/thread_pool.h"
+#include "util/profiler.h"
 
 namespace conformer::attention {
 
@@ -13,6 +14,7 @@ LogSparseAttention::LogSparseAttention(int64_t sub_len) : sub_len_(sub_len) {
 
 Tensor LogSparseAttention::Forward(const Tensor& q, const Tensor& k,
                                    const Tensor& v, bool causal) const {
+  CONFORMER_PROFILE_SCOPE_CAT("attention", "log_sparse");
   (void)causal;  // The log-sparse pattern is causal by construction.
   CONFORMER_CHECK_EQ(q.size(1), k.size(1))
       << "log-sparse attention is self-attention only";

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "util/thread_pool.h"
+#include "util/profiler.h"
 
 namespace conformer::attention {
 
@@ -16,6 +17,7 @@ LshAttention::LshAttention(int64_t buckets, int64_t chunk, uint64_t seed)
 
 Tensor LshAttention::Forward(const Tensor& q, const Tensor& k, const Tensor& v,
                              bool causal) const {
+  CONFORMER_PROFILE_SCOPE_CAT("attention", "lsh");
   (void)causal;  // Bucketed chunks approximate locality; causal masking is
                  // not modelled (matches this repo's encoder-only usage).
   CONFORMER_CHECK_EQ(q.size(1), k.size(1))

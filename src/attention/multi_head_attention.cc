@@ -1,6 +1,7 @@
 #include "attention/multi_head_attention.h"
 
 #include "attention/full_attention.h"
+#include "util/profiler.h"
 
 namespace conformer::attention {
 
@@ -35,6 +36,7 @@ Tensor MultiHeadAttention::MergeHeads(const Tensor& x, int64_t batch) const {
 
 Tensor MultiHeadAttention::Forward(const Tensor& q, const Tensor& k,
                                    const Tensor& v, bool causal) const {
+  CONFORMER_PROFILE_SCOPE_CAT("attention", "multi_head");
   // Heads are folded into the leading batch dimension by SplitHeads, so
   // per-head parallelism comes for free from the batched tensor kernels
   // (MatMul over batches, row-parallel Softmax, threaded gathers) — no

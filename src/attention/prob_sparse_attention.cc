@@ -6,6 +6,7 @@
 
 #include "attention/full_attention.h"
 #include "util/thread_pool.h"
+#include "util/profiler.h"
 
 namespace conformer::attention {
 
@@ -16,6 +17,7 @@ ProbSparseAttention::ProbSparseAttention(int64_t factor, uint64_t seed)
 
 Tensor ProbSparseAttention::Forward(const Tensor& q, const Tensor& k,
                                     const Tensor& v, bool causal) const {
+  CONFORMER_PROFILE_SCOPE_CAT("attention", "prob_sparse");
   const int64_t bh = q.size(0);
   const int64_t lq = q.size(1);
   const int64_t lk = k.size(1);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/thread_pool.h"
+#include "util/profiler.h"
 
 namespace conformer::attention {
 
@@ -14,6 +15,7 @@ SlidingWindowAttention::SlidingWindowAttention(int64_t window)
 
 Tensor SlidingWindowAttention::Forward(const Tensor& q, const Tensor& k,
                                        const Tensor& v, bool causal) const {
+  CONFORMER_PROFILE_SCOPE_CAT("attention", "sliding_window");
   const int64_t bh = q.size(0);
   const int64_t lq = q.size(1);
   const int64_t lk = k.size(1);

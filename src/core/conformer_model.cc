@@ -1,4 +1,5 @@
 #include "core/conformer_model.h"
+#include "util/profiler.h"
 
 namespace conformer::core {
 
@@ -86,6 +87,7 @@ ConformerModel::Parts ConformerModel::Run(const data::Batch& batch,
 }
 
 Tensor ConformerModel::Forward(const data::Batch& batch) {
+  CONFORMER_PROFILE_SCOPE_CAT("model", "conformer_forward");
   Parts parts = Run(batch, /*sample_flow=*/training());
   if (!parts.flow_series.defined()) return parts.decoder_series;
   return Add(MulScalar(parts.decoder_series, config_.lambda),
@@ -93,6 +95,7 @@ Tensor ConformerModel::Forward(const data::Batch& batch) {
 }
 
 Tensor ConformerModel::Loss(const data::Batch& batch) {
+  CONFORMER_PROFILE_SCOPE_CAT("model", "conformer_loss");
   Parts parts = Run(batch, /*sample_flow=*/training());
   Tensor target = TargetBlock(batch);
   Tensor loss = MseLoss(parts.decoder_series, target);

@@ -1,4 +1,5 @@
 #include "core/decoder.h"
+#include "util/profiler.h"
 
 namespace conformer::core {
 
@@ -32,6 +33,7 @@ Decoder::Decoder(
 
 DecoderOutput Decoder::Forward(const Tensor& y_in, const Tensor& marks,
                                const Tensor& memory) const {
+  CONFORMER_PROFILE_SCOPE_CAT("model", "decoder");
   DecoderOutput out;
   Tensor h = input_->Forward(y_in, marks);
   for (const auto& layer : layers_) {

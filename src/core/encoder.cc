@@ -1,4 +1,5 @@
 #include "core/encoder.h"
+#include "util/profiler.h"
 
 namespace conformer::core {
 
@@ -21,6 +22,7 @@ Encoder::Encoder(
 }
 
 EncoderOutput Encoder::Forward(const Tensor& x, const Tensor& marks) const {
+  CONFORMER_PROFILE_SCOPE_CAT("model", "encoder");
   EncoderOutput out;
   Tensor h = input_->Forward(x, marks);
   for (const auto& layer : layers_) {

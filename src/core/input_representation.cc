@@ -5,6 +5,7 @@
 #include "fft/autocorrelation.h"
 #include "nn/init.h"
 #include "tensor/ops.h"
+#include "util/profiler.h"
 
 namespace conformer::core {
 
@@ -162,6 +163,7 @@ Tensor InputRepresentation::MultiscaleDynamics(const Tensor& marks) const {
 }
 
 Tensor InputRepresentation::Forward(const Tensor& x, const Tensor& marks) const {
+  CONFORMER_PROFILE_SCOPE_CAT("model", "input_representation");
   CONFORMER_CHECK_EQ(x.size(2), config_.dims);
   const InputVariant variant = config_.variant;
   const FusionMethod fusion = config_.fusion;

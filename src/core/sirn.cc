@@ -1,6 +1,7 @@
 #include "core/sirn.h"
 
 #include "core/series_decomposition.h"
+#include "util/profiler.h"
 
 namespace conformer::core {
 
@@ -34,6 +35,7 @@ Sirn::Sirn(const SirnConfig& config) : config_(config) {
 }
 
 LayerOutput Sirn::Forward(const Tensor& x) const {
+  CONFORMER_PROFILE_SCOPE_CAT("model", "sirn");
   CONFORMER_CHECK_EQ(x.dim(), 3);
   CONFORMER_CHECK_EQ(x.size(2), config_.d_model);
 

@@ -4,6 +4,7 @@
 
 #include "data/time_features.h"
 #include "util/logging.h"
+#include "util/profiler.h"
 
 namespace conformer::data {
 
@@ -145,6 +146,7 @@ void BatchIterator::Reset() {
 }
 
 bool BatchIterator::Next(Batch* batch) {
+  CONFORMER_PROFILE_SCOPE_CAT("data", "batch_next");
   if (cursor_ >= static_cast<int64_t>(order_.size())) return false;
   const int64_t end = std::min<int64_t>(cursor_ + batch_size_,
                                         static_cast<int64_t>(order_.size()));

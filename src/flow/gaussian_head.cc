@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include "util/profiler.h"
 
 namespace conformer::flow {
 
@@ -12,6 +13,7 @@ FlowOutputHead::FlowOutputHead(int64_t hidden, int64_t pred_len, int64_t dims)
 }
 
 Tensor FlowOutputHead::Forward(const Tensor& z) const {
+  CONFORMER_PROFILE_SCOPE_CAT("model", "gaussian_head");
   const int64_t batch = z.size(0);
   return Reshape(proj_->Forward(z), {batch, pred_len_, dims_});
 }

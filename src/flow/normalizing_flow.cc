@@ -1,4 +1,5 @@
 #include "flow/normalizing_flow.h"
+#include "util/profiler.h"
 
 namespace conformer::flow {
 
@@ -40,6 +41,7 @@ NormalizingFlow::NormalizingFlow(int64_t hidden, int64_t num_transforms,
 
 Tensor NormalizingFlow::Forward(const Tensor& h_e, const Tensor& h_d,
                                 bool sample, Rng* rng) const {
+  CONFORMER_PROFILE_SCOPE_CAT("model", "flow");
   CONFORMER_CHECK(variant_ != FlowVariant::kNone)
       << "flow is disabled; caller must not invoke it";
   CONFORMER_CHECK_EQ(h_e.size(-1), hidden_);

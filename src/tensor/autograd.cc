@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "tensor/tensor.h"
+#include "util/profiler.h"
 
 namespace conformer {
 
@@ -40,6 +41,7 @@ void TopologicalOrder(TensorImpl* root,
 }  // namespace
 
 void Tensor::Backward(bool retain_graph) {
+  CONFORMER_PROFILE_SCOPE_CAT("autograd", "backward");
   CONFORMER_CHECK(defined());
   CONFORMER_CHECK_EQ(numel(), 1)
       << "Backward() must start from a scalar; got shape "
@@ -63,6 +65,9 @@ void Tensor::Backward(bool retain_graph) {
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     TensorImpl* impl = *it;
     if (impl->grad.empty()) continue;  // No gradient flowed here.
+    // op_name is a string literal owned by the recording op, so the profiler
+    // can keep the pointer.
+    CONFORMER_PROFILE_SCOPE_CAT("bwd", impl->node->op_name);
     impl->node->backward(*impl);
   }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "util/profiler.h"
+
 namespace conformer::kernels {
 
 namespace {
@@ -17,6 +19,9 @@ int64_t GemmRowGrain(int64_t n, int64_t k) {
 
 void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
           const float* a, const float* b, float* c, bool accumulate) {
+  CONFORMER_PROFILE_SCOPE_BYTES(
+      "kernel", "Gemm",
+      static_cast<int64_t>(sizeof(float)) * (m * k + k * n + m * n));
   // Explicit zero-size early-outs: empty output writes nothing; an empty
   // inner dimension makes the product a zero matrix.
   if (m <= 0 || n <= 0) return;

@@ -2,6 +2,7 @@
 
 #include "tensor/kernels.h"
 #include "tensor/ops.h"
+#include "util/profiler.h"
 
 namespace conformer {
 
@@ -31,6 +32,7 @@ Tensor PadInput(const Tensor& input, int64_t padding, PadMode mode) {
 
 Tensor Conv1d(const Tensor& input, const Tensor& weight, const Tensor& bias,
               int64_t padding, PadMode mode, int64_t dilation) {
+  CONFORMER_PROFILE_SCOPE("conv1d");
   CONFORMER_CHECK(input.defined() && weight.defined());
   CONFORMER_CHECK_EQ(input.dim(), 3) << "Conv1d input must be [B, Cin, L]";
   CONFORMER_CHECK_EQ(weight.dim(), 3) << "Conv1d weight must be [Cout, Cin, K]";
@@ -70,6 +72,7 @@ Tensor Conv1d(const Tensor& input, const Tensor& weight, const Tensor& bias,
 }
 
 Tensor AvgPool1d(const Tensor& input, int64_t kernel, int64_t stride) {
+  CONFORMER_PROFILE_SCOPE("avg_pool1d");
   CONFORMER_CHECK(input.defined());
   CONFORMER_CHECK_GE(input.dim(), 1);
   CONFORMER_CHECK(kernel >= 1 && stride >= 1);
@@ -124,6 +127,7 @@ Tensor AvgPool1d(const Tensor& input, int64_t kernel, int64_t stride) {
 }
 
 Tensor MaxPool1d(const Tensor& input, int64_t kernel, int64_t stride) {
+  CONFORMER_PROFILE_SCOPE("max_pool1d");
   CONFORMER_CHECK(input.defined());
   CONFORMER_CHECK_GE(input.dim(), 1);
   CONFORMER_CHECK(kernel >= 1 && stride >= 1);
@@ -181,6 +185,7 @@ Tensor MaxPool1d(const Tensor& input, int64_t kernel, int64_t stride) {
 }
 
 Tensor Cumsum(const Tensor& a, int64_t dim) {
+  CONFORMER_PROFILE_SCOPE("cumsum");
   CONFORMER_CHECK(a.defined());
   const Shape& shape = a.shape();
   const int64_t rank = static_cast<int64_t>(shape.size());

@@ -2,6 +2,7 @@
 
 #include "tensor/kernels.h"
 #include "tensor/ops.h"
+#include "util/profiler.h"
 
 namespace conformer {
 
@@ -12,6 +13,7 @@ namespace {
 template <typename Fn, typename DfA, typename DfB>
 Tensor BinaryOp(const Tensor& a, const Tensor& b, Fn f, DfA dfda, DfB dfdb,
                 const char* name) {
+  CONFORMER_PROFILE_SCOPE(name);
   CONFORMER_CHECK(a.defined() && b.defined()) << name << " on undefined tensor";
   const Shape out_shape = kernels::BroadcastShape(a.shape(), b.shape());
   std::vector<float> out(NumElements(out_shape));
@@ -64,6 +66,7 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, Fn f, DfA dfda, DfB dfdb,
 // d out_i / d a_i from (a_i, out_i).
 template <typename Fn, typename Df>
 Tensor UnaryOp(const Tensor& a, Fn f, Df df, const char* name) {
+  CONFORMER_PROFILE_SCOPE(name);
   CONFORMER_CHECK(a.defined()) << name << " on undefined tensor";
   const int64_t n = a.numel();
   std::vector<float> out(n);

@@ -2,11 +2,13 @@
 
 #include "tensor/kernels.h"
 #include "tensor/ops.h"
+#include "util/profiler.h"
 
 namespace conformer {
 
 Tensor IndexSelect(const Tensor& a, int64_t dim,
                    const std::vector<int64_t>& indices) {
+  CONFORMER_PROFILE_SCOPE("index_select");
   CONFORMER_CHECK(a.defined());
   const Shape& in_shape = a.shape();
   const int64_t rank = static_cast<int64_t>(in_shape.size());
@@ -64,6 +66,7 @@ Tensor IndexSelect(const Tensor& a, int64_t dim,
 
 Tensor BatchedIndexSelect(const Tensor& a, const std::vector<int64_t>& indices,
                           int64_t k) {
+  CONFORMER_PROFILE_SCOPE("batched_index_select");
   CONFORMER_CHECK(a.defined());
   CONFORMER_CHECK_EQ(a.dim(), 3) << "BatchedIndexSelect expects [B, L, D]";
   const int64_t batch = a.size(0);
@@ -111,6 +114,7 @@ Tensor BatchedIndexSelect(const Tensor& a, const std::vector<int64_t>& indices,
 }
 
 Tensor Roll(const Tensor& a, int64_t dim, int64_t shift) {
+  CONFORMER_PROFILE_SCOPE("roll");
   CONFORMER_CHECK(a.defined());
   const int64_t size = a.size(dim);
   shift %= size;

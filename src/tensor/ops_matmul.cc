@@ -2,6 +2,7 @@
 
 #include "tensor/kernels.h"
 #include "tensor/ops.h"
+#include "util/profiler.h"
 
 namespace conformer {
 
@@ -20,6 +21,7 @@ void SplitMatmulShape(const Shape& shape, Shape* batch, int64_t* rows,
 }  // namespace
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
+  CONFORMER_PROFILE_SCOPE("matmul");
   CONFORMER_CHECK(a.defined() && b.defined());
   Shape a_batch;
   Shape b_batch;

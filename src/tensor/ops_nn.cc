@@ -3,6 +3,7 @@
 
 #include "tensor/kernels.h"
 #include "tensor/ops.h"
+#include "util/profiler.h"
 
 namespace conformer {
 
@@ -45,6 +46,7 @@ void ParallelRows(const DimSplit& s, RowFn row_fn) {
 }  // namespace
 
 Tensor Softmax(const Tensor& a, int64_t dim) {
+  CONFORMER_PROFILE_SCOPE("softmax");
   CONFORMER_CHECK(a.defined());
   const int64_t rank = a.dim();
   if (dim < 0) dim += rank;
@@ -92,6 +94,7 @@ Tensor Softmax(const Tensor& a, int64_t dim) {
 }
 
 Tensor LogSoftmax(const Tensor& a, int64_t dim) {
+  CONFORMER_PROFILE_SCOPE("log_softmax");
   CONFORMER_CHECK(a.defined());
   const int64_t rank = a.dim();
   if (dim < 0) dim += rank;
@@ -135,6 +138,7 @@ Tensor LogSoftmax(const Tensor& a, int64_t dim) {
 }
 
 Tensor DropoutOp(const Tensor& a, float p, bool training, Rng* rng) {
+  CONFORMER_PROFILE_SCOPE("dropout");
   CONFORMER_CHECK(a.defined());
   CONFORMER_CHECK(p >= 0.0f && p < 1.0f) << "dropout p must be in [0, 1)";
   if (!training || p == 0.0f) return a;
@@ -147,11 +151,13 @@ Tensor DropoutOp(const Tensor& a, float p, bool training, Rng* rng) {
 }
 
 Tensor MseLoss(const Tensor& pred, const Tensor& target) {
+  CONFORMER_PROFILE_SCOPE("mse_loss");
   Tensor diff = Sub(pred, target.Detach());
   return Mean(Mul(diff, diff));
 }
 
 Tensor MaeLoss(const Tensor& pred, const Tensor& target) {
+  CONFORMER_PROFILE_SCOPE("mae_loss");
   return Mean(Abs(Sub(pred, target.Detach())));
 }
 

@@ -3,6 +3,7 @@
 
 #include "tensor/kernels.h"
 #include "tensor/ops.h"
+#include "util/profiler.h"
 
 namespace conformer {
 
@@ -50,6 +51,7 @@ Shape KeepdimShape(const Shape& shape, const std::vector<int64_t>& dims) {
 }  // namespace
 
 Tensor Sum(const Tensor& a, std::vector<int64_t> dims, bool keepdim) {
+  CONFORMER_PROFILE_SCOPE("sum");
   CONFORMER_CHECK(a.defined());
   const Shape& in_shape = a.shape();
   const int64_t rank = static_cast<int64_t>(in_shape.size());
@@ -165,6 +167,7 @@ Tensor Sum(const Tensor& a, std::vector<int64_t> dims, bool keepdim) {
 }
 
 Tensor Mean(const Tensor& a, std::vector<int64_t> dims, bool keepdim) {
+  CONFORMER_PROFILE_SCOPE("mean");
   CONFORMER_CHECK(a.defined());
   const int64_t rank = a.dim();
   std::vector<int64_t> norm = NormalizeDims(dims, rank);
@@ -175,6 +178,7 @@ Tensor Mean(const Tensor& a, std::vector<int64_t> dims, bool keepdim) {
 }
 
 Tensor Variance(const Tensor& a, std::vector<int64_t> dims, bool keepdim) {
+  CONFORMER_PROFILE_SCOPE("variance");
   Tensor mu = Mean(a, dims, /*keepdim=*/true);
   Tensor centered = Sub(a, mu);
   return Mean(Mul(centered, centered), dims, keepdim);
@@ -249,12 +253,14 @@ Tensor ExtremeOverDim(const Tensor& a, int64_t dim, bool keepdim, Cmp cmp,
 }  // namespace
 
 Tensor Max(const Tensor& a, int64_t dim, bool keepdim) {
+  CONFORMER_PROFILE_SCOPE("max");
   return ExtremeOverDim(
       a, dim, keepdim, [](float c, float b) { return c > b; },
       -std::numeric_limits<float>::infinity(), "Max");
 }
 
 Tensor Min(const Tensor& a, int64_t dim, bool keepdim) {
+  CONFORMER_PROFILE_SCOPE("min");
   return ExtremeOverDim(
       a, dim, keepdim, [](float c, float b) { return c < b; },
       std::numeric_limits<float>::infinity(), "Min");

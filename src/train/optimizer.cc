@@ -1,10 +1,12 @@
 #include "train/optimizer.h"
 
 #include <cmath>
+#include "util/profiler.h"
 
 namespace conformer::train {
 
 void Optimizer::ZeroGrad() {
+  CONFORMER_PROFILE_SCOPE_CAT("train", "zero_grad");
   for (Tensor& p : params_) p.ZeroGrad();
 }
 
@@ -17,6 +19,7 @@ Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum)
 }
 
 void Sgd::Step() {
+  CONFORMER_PROFILE_SCOPE_CAT("optimizer", "sgd_step");
   for (size_t i = 0; i < params_.size(); ++i) {
     Tensor& p = params_[i];
     if (!p.has_grad()) continue;
@@ -48,6 +51,7 @@ Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2,
 }
 
 void Adam::Step() {
+  CONFORMER_PROFILE_SCOPE_CAT("optimizer", "adam_step");
   ++step_count_;
   const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(step_count_));
   const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(step_count_));
@@ -71,6 +75,7 @@ void Adam::Step() {
 }
 
 double ClipGradNorm(std::vector<Tensor>& params, double max_norm) {
+  CONFORMER_PROFILE_SCOPE_CAT("optimizer", "clip_grad_norm");
   double total = 0.0;
   for (Tensor& p : params) {
     if (!p.has_grad()) continue;

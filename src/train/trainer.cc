@@ -4,6 +4,8 @@
 
 #include "train/optimizer.h"
 #include "util/logging.h"
+#include "util/metrics.h"
+#include "util/profiler.h"
 
 namespace conformer::train {
 
@@ -41,22 +43,37 @@ FitResult Trainer::Fit(models::Forecaster* model,
   std::vector<std::vector<float>> best_snapshot;
   int64_t bad_epochs = 0;
 
+  metrics::Registry& registry = metrics::Registry::Global();
+  metrics::Counter& step_counter = registry.GetCounter("train.steps");
+  metrics::Counter& sample_counter = registry.GetCounter("train.samples");
+  metrics::Histogram& step_seconds = registry.GetHistogram("train.step_seconds");
+
   for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    CONFORMER_PROFILE_SCOPE_CAT("train", "epoch");
     if (epoch > 0 && config_.lr_decay != 1.0f) {
       optimizer.set_learning_rate(optimizer.learning_rate() * config_.lr_decay);
     }
+    registry.GetGauge("train.learning_rate").Set(optimizer.learning_rate());
     model->SetTraining(true);
     data::BatchIterator it(train, config_.batch_size, /*shuffle=*/true, &rng);
     double loss_sum = 0.0;
     int64_t batches = 0;
     data::Batch batch;
     while (it.Next(&batch)) {
-      optimizer.ZeroGrad();
-      Tensor loss = model->Loss(batch);
-      loss.Backward();
-      if (config_.clip_norm > 0.0f) ClipGradNorm(params, config_.clip_norm);
-      optimizer.Step();
-      loss_sum += loss.item();
+      const int64_t step_start_ns = prof::internal::NowNs();
+      {
+        CONFORMER_PROFILE_SCOPE_CAT("train", "step");
+        optimizer.ZeroGrad();
+        Tensor loss = model->Loss(batch);
+        loss.Backward();
+        if (config_.clip_norm > 0.0f) ClipGradNorm(params, config_.clip_norm);
+        optimizer.Step();
+        loss_sum += loss.item();
+      }
+      step_counter.Increment();
+      sample_counter.Increment(batch.x.size(0));
+      step_seconds.Observe(
+          static_cast<double>(prof::internal::NowNs() - step_start_ns) * 1e-9);
       ++batches;
       if (config_.max_train_batches > 0 && batches >= config_.max_train_batches) {
         break;
@@ -65,6 +82,7 @@ FitResult Trainer::Fit(models::Forecaster* model,
     result.train_losses.push_back(batches > 0 ? loss_sum / batches : 0.0);
 
     const EvalMetrics val_metrics = Evaluate(model, val);
+    registry.GetGauge("train.val_mse").Set(val_metrics.mse);
     result.val_mses.push_back(val_metrics.mse);
     result.epochs_run = epoch + 1;
     if (config_.verbose) {
@@ -93,6 +111,7 @@ FitResult Trainer::Fit(models::Forecaster* model,
 
 EvalMetrics Trainer::Evaluate(models::Forecaster* model,
                               const data::WindowDataset& dataset) const {
+  CONFORMER_PROFILE_SCOPE_CAT("train", "eval");
   CONFORMER_CHECK(model != nullptr);
   model->SetTraining(false);
   NoGradGuard guard;

@@ -1,0 +1,128 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace conformer::metrics {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    CONFORMER_CHECK(bounds_[i - 1] < bounds_[i])
+        << "histogram bounds must be strictly increasing";
+  }
+}
+
+void Histogram::Observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  counts_[static_cast<size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::GetSnapshot() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.reserve(counts_.size());
+  for (const auto& c : counts_) {
+    snap.counts.push_back(c.load(std::memory_order_relaxed));
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::ExponentialBounds(double start, double factor,
+                                                 int n) {
+  CONFORMER_CHECK(start > 0.0 && factor > 1.0 && n > 0);
+  std::vector<double> bounds(n);
+  double b = start;
+  for (int i = 0; i < n; ++i, b *= factor) bounds[i] = b;
+  return bounds;
+}
+
+Registry& Registry::Global() {
+  static Registry* instance = new Registry();  // leaky, like the profiler
+  return *instance;
+}
+
+Counter& Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::GetHistogram(const std::string& name,
+                                  std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    if (bounds.empty()) bounds = Histogram::ExponentialBounds(1e-4, 4.0, 12);
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *slot;
+}
+
+std::string Registry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out += (first ? "" : ", ");
+    out += "\"" + JsonEscape(name) + "\": " + std::to_string(counter->value());
+    first = false;
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    out += (first ? "" : ", ");
+    out += "\"" + JsonEscape(name) + "\": " + FormatFixed(gauge->value(), 6);
+    first = false;
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    const Histogram::Snapshot snap = hist->GetSnapshot();
+    out += (first ? "" : ", ");
+    out += "\"" + JsonEscape(name) + "\": {\"count\": " +
+           std::to_string(snap.count) +
+           ", \"sum\": " + FormatFixed(snap.sum, 6) + ", \"bounds\": [";
+    for (size_t i = 0; i < snap.bounds.size(); ++i) {
+      out += (i == 0 ? "" : ", ") + FormatFixed(snap.bounds[i], 6);
+    }
+    out += "], \"counts\": [";
+    for (size_t i = 0; i < snap.counts.size(); ++i) {
+      out += (i == 0 ? "" : ", ") + std::to_string(snap.counts[i]);
+    }
+    out += "]}";
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+void Registry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace conformer::metrics

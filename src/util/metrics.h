@@ -1,0 +1,113 @@
+// Process-wide metrics: counters, gauges, and fixed-bucket histograms, all
+// lock-free to update (single atomic op) and safe to bump from ThreadPool
+// workers. A name-keyed Registry owns every instrument and exports one JSON
+// object, which the profiler summary and BENCH_*.json embed.
+//
+// Instruments are created on first GetCounter/GetGauge/GetHistogram lookup
+// and live for the process lifetime, so call sites may cache the reference:
+//
+//   static metrics::Counter& steps =
+//       metrics::Registry::Global().GetCounter("train.steps");
+//   steps.Increment();
+
+#ifndef CONFORMER_UTIL_METRICS_H_
+#define CONFORMER_UTIL_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace conformer::metrics {
+
+/// \brief Monotonically increasing integer (e.g. steps run, ops dispatched).
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief Last-write-wins double (e.g. current learning rate, val MSE).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// \brief Histogram over fixed bucket upper bounds (last bucket catches the
+/// rest). Observe() is two relaxed atomic ops; snapshots are advisory under
+/// concurrent writes (counts and sum may be skewed by in-flight updates).
+class Histogram {
+ public:
+  /// `bounds` must be strictly increasing; observations <= bounds[i] land in
+  /// bucket i, larger ones in the overflow bucket.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  struct Snapshot {
+    std::vector<double> bounds;
+    std::vector<int64_t> counts;  ///< bounds.size() + 1 entries (overflow last).
+    int64_t count = 0;
+    double sum = 0.0;
+  };
+  Snapshot GetSnapshot() const;
+  void Reset();
+
+  /// `n` bounds start, start*factor, start*factor^2, ... (e.g. latencies).
+  static std::vector<double> ExponentialBounds(double start, double factor,
+                                               int n);
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<int64_t>> counts_;
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// \brief Name-keyed owner of all instruments.
+class Registry {
+ public:
+  /// The process-wide registry (leaky singleton).
+  static Registry& Global();
+
+  /// Returns the instrument registered under `name`, creating it on first
+  /// use. A histogram's `bounds` are fixed by the first call (later calls
+  /// with different bounds get the existing instrument); empty bounds mean
+  /// ExponentialBounds(1e-4, 4.0, 12) — 100us..~1.7min, latency-friendly.
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name,
+                          std::vector<double> bounds = {});
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  std::string ToJson() const;
+
+  /// Zeroes every instrument (instruments stay registered).
+  void ResetAll();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mu_;  // guards the maps; values are internally atomic
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace conformer::metrics
+
+#endif  // CONFORMER_UTIL_METRICS_H_

@@ -1,0 +1,284 @@
+#include "util/profiler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <utility>
+
+#include "tensor/alloc_stats.h"
+#include "util/env.h"
+#include "util/metrics.h"
+#include "util/string_util.h"
+#include "util/trace_writer.h"
+
+namespace conformer::prof {
+
+namespace internal {
+
+std::atomic<bool> g_enabled{false};
+
+int64_t NowNs() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              epoch)
+      .count();
+}
+
+}  // namespace internal
+
+/// Per-thread append buffer. The registry keeps a shared_ptr so a worker
+/// thread exiting (e.g. ThreadPool::SetNumThreads) never invalidates
+/// recorded events.
+struct Profiler::ThreadLog {
+  std::mutex mu;  // uncontended except during aggregation / reset
+  std::vector<Event> events;
+  uint32_t tid = 0;
+};
+
+Profiler& Profiler::Global() {
+  static Profiler* instance = new Profiler();  // leaky: see header
+  return *instance;
+}
+
+namespace {
+
+// Dump targets resolved from the environment at startup (empty = no dump).
+std::string& SummaryDumpPath() {
+  static std::string path = GetEnv("CONFORMER_PROFILE_JSON");
+  return path;
+}
+
+std::string& TraceDumpPath() {
+  static std::string path = GetEnv("CONFORMER_TRACE_FILE");
+  return path;
+}
+
+void DumpAtExit() {
+  Profiler& p = Profiler::Global();
+  if (!SummaryDumpPath().empty()) p.WriteSummaryJson(SummaryDumpPath());
+  if (!TraceDumpPath().empty()) {
+    p.WriteTrace(TraceDumpPath(), GetEnvInt("CONFORMER_TRACE_MAX_EVENTS", 0));
+  }
+}
+
+}  // namespace
+
+Profiler::Profiler() {
+  if (GetEnvInt("CONFORMER_PROFILE", 0) != 0) {
+    internal::g_enabled.store(true, std::memory_order_relaxed);
+    if (!SummaryDumpPath().empty() || !TraceDumpPath().empty()) {
+      std::atexit(DumpAtExit);
+    }
+  }
+}
+
+// Touching Global() from a static initializer makes CONFORMER_PROFILE take
+// effect before main() even when no scope has run yet.
+namespace {
+const bool g_profiler_env_init = (Profiler::Global(), true);
+}  // namespace
+
+void Profiler::Enable() {
+  internal::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Profiler::Disable() {
+  internal::g_enabled.store(false, std::memory_order_relaxed);
+}
+
+Profiler::ThreadLog* Profiler::LocalLog() {
+  thread_local std::shared_ptr<ThreadLog> log = [this] {
+    auto fresh = std::make_shared<ThreadLog>();
+    std::lock_guard<std::mutex> lock(mu_);
+    fresh->tid = static_cast<uint32_t>(logs_.size());
+    logs_.push_back(fresh);
+    return fresh;
+  }();
+  return log.get();
+}
+
+namespace internal {
+
+void Record(const char* name, const char* cat, int64_t start_ns,
+            int64_t dur_ns, int64_t bytes) {
+  Profiler::ThreadLog* log = Profiler::Global().LocalLog();
+  std::lock_guard<std::mutex> lock(log->mu);
+  log->events.push_back(
+      Event{name, cat, start_ns, dur_ns, bytes, log->tid});
+}
+
+}  // namespace internal
+
+void Profiler::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& log : logs_) {
+    std::lock_guard<std::mutex> log_lock(log->mu);
+    log->events.clear();
+  }
+}
+
+int64_t Profiler::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t n = 0;
+  for (const auto& log : logs_) {
+    std::lock_guard<std::mutex> log_lock(log->mu);
+    n += static_cast<int64_t>(log->events.size());
+  }
+  return n;
+}
+
+std::vector<Event> Profiler::Snapshot() const {
+  std::vector<Event> events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& log : logs_) {
+      std::lock_guard<std::mutex> log_lock(log->mu);
+      events.insert(events.end(), log->events.begin(), log->events.end());
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     return a.start_ns < b.start_ns;
+                   });
+  return events;
+}
+
+std::vector<OpStats> Profiler::Aggregate() const {
+  std::vector<Event> events = Snapshot();
+
+  // Self time: within one thread, scopes nest by construction (RAII), so a
+  // stack sweep over (start asc, end desc) attributes each event's duration
+  // to itself minus its direct children.
+  std::vector<int64_t> self(events.size());
+  size_t tid_begin = 0;
+  while (tid_begin < events.size()) {
+    size_t tid_end = tid_begin;
+    while (tid_end < events.size() &&
+           events[tid_end].tid == events[tid_begin].tid) {
+      ++tid_end;
+    }
+    std::vector<size_t> idx(tid_end - tid_begin);
+    for (size_t i = 0; i < idx.size(); ++i) idx[i] = tid_begin + i;
+    // Parents before children: same start -> longer duration first.
+    std::stable_sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+      if (events[a].start_ns != events[b].start_ns) {
+        return events[a].start_ns < events[b].start_ns;
+      }
+      return events[a].dur_ns > events[b].dur_ns;
+    });
+    std::vector<size_t> stack;
+    for (size_t i : idx) {
+      const int64_t start = events[i].start_ns;
+      const int64_t end = start + events[i].dur_ns;
+      while (!stack.empty() &&
+             events[stack.back()].start_ns + events[stack.back()].dur_ns <=
+                 start) {
+        stack.pop_back();
+      }
+      // Nested directly under the current top: charge the child's time to it
+      // exactly once.
+      if (!stack.empty() &&
+          end <= events[stack.back()].start_ns + events[stack.back()].dur_ns) {
+        self[stack.back()] -= events[i].dur_ns;
+        stack.push_back(i);
+      } else {
+        stack.clear();
+        stack.push_back(i);
+      }
+      self[i] += events[i].dur_ns;
+    }
+    tid_begin = tid_end;
+  }
+
+  std::map<std::pair<std::string, std::string>, OpStats> by_key;
+  for (size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    OpStats& s = by_key[{e.cat, e.name}];
+    if (s.count == 0) {
+      s.cat = e.cat;
+      s.name = e.name;
+      s.min_ns = e.dur_ns;
+      s.max_ns = e.dur_ns;
+    }
+    s.count += 1;
+    s.total_ns += e.dur_ns;
+    s.min_ns = std::min(s.min_ns, e.dur_ns);
+    s.max_ns = std::max(s.max_ns, e.dur_ns);
+    s.self_ns += self[i];
+    s.bytes += e.bytes;
+  }
+
+  std::vector<OpStats> stats;
+  stats.reserve(by_key.size());
+  for (auto& [key, s] : by_key) stats.push_back(std::move(s));
+  std::sort(stats.begin(), stats.end(), [](const OpStats& a, const OpStats& b) {
+    return a.total_ns > b.total_ns;
+  });
+  return stats;
+}
+
+std::string Profiler::SummaryJson() const {
+  const std::vector<OpStats> stats = Aggregate();
+  const AllocStats alloc = GetAllocStats();
+  std::string out;
+  out += "{\n  \"schema\": \"conformer.profile.v1\",\n";
+  out += "  \"event_count\": " + std::to_string(event_count()) + ",\n";
+  out += "  \"ops\": [";
+  for (size_t i = 0; i < stats.size(); ++i) {
+    const OpStats& s = stats[i];
+    out += (i == 0 ? "\n" : ",\n");
+    out += "    {\"cat\": \"" + JsonEscape(s.cat) + "\", \"name\": \"" +
+           JsonEscape(s.name) + "\", \"count\": " + std::to_string(s.count) +
+           ", \"total_ns\": " + std::to_string(s.total_ns) +
+           ", \"min_ns\": " + std::to_string(s.min_ns) +
+           ", \"max_ns\": " + std::to_string(s.max_ns) +
+           ", \"self_ns\": " + std::to_string(s.self_ns) +
+           ", \"bytes\": " + std::to_string(s.bytes) + "}";
+  }
+  out += "\n  ],\n";
+  out += "  \"alloc\": {\"current_bytes\": " +
+         std::to_string(alloc.current_bytes) +
+         ", \"peak_bytes\": " + std::to_string(alloc.peak_bytes) +
+         ", \"total_allocs\": " + std::to_string(alloc.total_allocs) + "},\n";
+  out += "  \"metrics\": " + metrics::Registry::Global().ToJson() + "\n}\n";
+  return out;
+}
+
+bool Profiler::WriteSummaryJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = SummaryJson();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+bool Profiler::WriteTrace(const std::string& path, int64_t max_events) const {
+  std::vector<Event> events = Snapshot();
+  if (max_events > 0 && static_cast<int64_t>(events.size()) > max_events) {
+    // Keep the complete time prefix: find the max_events-th smallest start
+    // and drop everything that began after it.
+    std::vector<int64_t> starts(events.size());
+    for (size_t i = 0; i < events.size(); ++i) starts[i] = events[i].start_ns;
+    std::nth_element(starts.begin(), starts.begin() + (max_events - 1),
+                     starts.end());
+    const int64_t cutoff = starts[max_events - 1];
+    events.erase(std::remove_if(events.begin(), events.end(),
+                                [cutoff](const Event& e) {
+                                  return e.start_ns > cutoff;
+                                }),
+                 events.end());
+  }
+  TraceWriter writer;
+  if (!writer.Open(path)) return false;
+  for (const Event& e : events) {
+    writer.AddCompleteEvent(e.name, e.cat, e.start_ns, e.dur_ns, e.tid,
+                            e.bytes);
+  }
+  return writer.Close();
+}
+
+}  // namespace conformer::prof

@@ -34,6 +34,10 @@ Result<int64_t> ParseInt(const std::string& text);
 /// Formats a double with `digits` fractional digits, e.g. 0.2124 -> "0.2124".
 std::string FormatFixed(double value, int digits);
 
+/// Escapes `text` for embedding inside a JSON string literal (quotes,
+/// backslashes, and control characters; no surrounding quotes added).
+std::string JsonEscape(const std::string& text);
+
 }  // namespace conformer
 
 #endif  // CONFORMER_UTIL_STRING_UTIL_H_

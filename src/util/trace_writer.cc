@@ -1,0 +1,53 @@
+#include "util/trace_writer.h"
+
+#include "util/string_util.h"
+
+namespace conformer::prof {
+
+TraceWriter::~TraceWriter() {
+  if (file_ != nullptr) Close();
+}
+
+bool TraceWriter::Open(const std::string& path) {
+  if (file_ != nullptr) return false;
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_ == nullptr) return false;
+  first_event_ = true;
+  std::fputs("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [", file_);
+  return true;
+}
+
+void TraceWriter::AddCompleteEvent(const std::string& name,
+                                   const std::string& cat, int64_t start_ns,
+                                   int64_t dur_ns, uint32_t tid,
+                                   int64_t bytes) {
+  if (file_ == nullptr) return;
+  // The format's ts/dur unit is microseconds; keep ns resolution with a
+  // 3-digit fraction.
+  std::fprintf(file_,
+               "%s\n  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+               "\"ts\": %lld.%03lld, \"dur\": %lld.%03lld, \"pid\": 1, "
+               "\"tid\": %u",
+               first_event_ ? "" : ",", JsonEscape(name).c_str(),
+               JsonEscape(cat).c_str(),
+               static_cast<long long>(start_ns / 1000),
+               static_cast<long long>(start_ns % 1000),
+               static_cast<long long>(dur_ns / 1000),
+               static_cast<long long>(dur_ns % 1000), tid);
+  if (bytes > 0) {
+    std::fprintf(file_, ", \"args\": {\"bytes\": %lld}",
+                 static_cast<long long>(bytes));
+  }
+  std::fputs("}", file_);
+  first_event_ = false;
+}
+
+bool TraceWriter::Close() {
+  if (file_ == nullptr) return false;
+  std::fputs("\n]}\n", file_);
+  const bool ok = std::fclose(file_) == 0;
+  file_ = nullptr;
+  return ok;
+}
+
+}  // namespace conformer::prof

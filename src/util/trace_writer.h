@@ -1,0 +1,48 @@
+// Streaming writer for the chrome://tracing (and Perfetto) JSON event
+// format: a {"traceEvents": [...]} document of complete ("ph":"X") events.
+// Load the output via chrome://tracing "Load" or https://ui.perfetto.dev.
+
+#ifndef CONFORMER_UTIL_TRACE_WRITER_H_
+#define CONFORMER_UTIL_TRACE_WRITER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace conformer::prof {
+
+/// \brief Serializes complete events into a trace file as they are added.
+/// Usage: Open() -> AddCompleteEvent()* -> Close(). Not thread-safe; callers
+/// serialize (the Profiler writes from one thread at export time).
+class TraceWriter {
+ public:
+  TraceWriter() = default;
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  /// Opens `path` and writes the document header; false on I/O failure.
+  bool Open(const std::string& path);
+
+  /// Appends one complete event. Times are in nanoseconds (converted to the
+  /// format's microsecond unit). `bytes` > 0 is attached as an args entry so
+  /// the viewer shows bytes moved per slice.
+  void AddCompleteEvent(const std::string& name, const std::string& cat,
+                        int64_t start_ns, int64_t dur_ns, uint32_t tid,
+                        int64_t bytes = 0);
+
+  /// Writes the footer and closes the file; false on I/O failure. Open()
+  /// may be called again afterwards for a new file.
+  bool Close();
+
+  bool is_open() const { return file_ != nullptr; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  bool first_event_ = true;
+};
+
+}  // namespace conformer::prof
+
+#endif  // CONFORMER_UTIL_TRACE_WRITER_H_

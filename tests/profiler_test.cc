@@ -1,0 +1,430 @@
+// Tests for the observability layer (util/profiler.h, util/metrics.h,
+// util/trace_writer.h): nested-scope aggregation with self-time, the
+// zero-allocation disabled fast path, recording + counter aggregation from
+// ThreadPool workers (this suite carries the `tsan` label), and that the
+// JSON summary / chrome-trace exports are syntactically valid JSON.
+
+#include "util/profiler.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/kernels.h"
+#include "util/metrics.h"
+#include "util/thread_pool.h"
+#include "util/trace_writer.h"
+
+// Global operator new/delete instrumentation for the zero-allocation test.
+// Counting is process-wide but the assertion only spans code this test
+// controls on one thread while other threads are quiescent.
+namespace {
+std::atomic<int64_t> g_new_calls{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace conformer {
+namespace {
+
+using prof::OpStats;
+using prof::Profiler;
+using prof::ScopedTimer;
+
+const OpStats* FindStats(const std::vector<OpStats>& stats,
+                         const std::string& cat, const std::string& name) {
+  for (const OpStats& s : stats) {
+    if (s.cat == cat && s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+// Minimal JSON syntax validator (objects, arrays, strings, numbers, bools,
+// null). Returns true iff the whole input is one well-formed value.
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    pos_ = 0;
+    if (!Value()) return false;
+    SkipSpace();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* word) {
+    const size_t n = std::string(word).size();
+    if (text_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool String() {
+    if (text_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Value() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': {
+        ++pos_;
+        SkipSpace();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+          ++pos_;
+          return true;
+        }
+        while (true) {
+          SkipSpace();
+          if (!String()) return false;
+          SkipSpace();
+          if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+          ++pos_;
+          if (!Value()) return false;
+          SkipSpace();
+          if (pos_ >= text_.size()) return false;
+          if (text_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          if (text_[pos_] == '}') {
+            ++pos_;
+            return true;
+          }
+          return false;
+        }
+      }
+      case '[': {
+        ++pos_;
+        SkipSpace();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+          ++pos_;
+          return true;
+        }
+        while (true) {
+          if (!Value()) return false;
+          SkipSpace();
+          if (pos_ >= text_.size()) return false;
+          if (text_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          if (text_[pos_] == ']') {
+            ++pos_;
+            return true;
+          }
+          return false;
+        }
+      }
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+std::string ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  EXPECT_NE(f, nullptr) << path;
+  if (f == nullptr) return "";
+  std::string out;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+std::string TempPath(const char* name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + name;
+}
+
+// Spin long enough that the scope's duration is reliably nonzero.
+void BusyWork() {
+  volatile double x = 1.0;
+  for (int i = 0; i < 2000; ++i) x = x * 1.0000001 + 1e-9;
+}
+
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Profiler::Global().Reset();
+    Profiler::Global().Enable();
+  }
+  void TearDown() override {
+    Profiler::Global().Disable();
+    Profiler::Global().Reset();
+  }
+};
+
+TEST_F(ProfilerTest, NestedScopesAggregateWithSelfTime) {
+  {
+    ScopedTimer outer("outer", "test");
+    for (int i = 0; i < 3; ++i) {
+      ScopedTimer inner("inner", "test");
+      BusyWork();
+    }
+    BusyWork();
+  }
+  Profiler::Global().Disable();
+
+  const std::vector<OpStats> stats = Profiler::Global().Aggregate();
+  const OpStats* outer = FindStats(stats, "test", "outer");
+  const OpStats* inner = FindStats(stats, "test", "inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->count, 1);
+  EXPECT_EQ(inner->count, 3);
+  EXPECT_GE(inner->min_ns, 0);
+  EXPECT_GE(inner->max_ns, inner->min_ns);
+  EXPECT_GE(inner->total_ns, inner->max_ns);
+  // The inner scopes nest inside the outer one, so outer self time excludes
+  // them while outer total includes them.
+  EXPECT_GE(outer->total_ns, inner->total_ns);
+  EXPECT_LE(outer->self_ns, outer->total_ns - inner->total_ns);
+  // Inner scopes have no children: self == total.
+  EXPECT_EQ(inner->self_ns, inner->total_ns);
+}
+
+TEST_F(ProfilerTest, SiblingScopesDoNotNest) {
+  {
+    ScopedTimer a("sib_a", "test");
+    BusyWork();
+  }
+  {
+    ScopedTimer b("sib_b", "test");
+    BusyWork();
+  }
+  const std::vector<OpStats> stats = Profiler::Global().Aggregate();
+  const OpStats* a = FindStats(stats, "test", "sib_a");
+  const OpStats* b = FindStats(stats, "test", "sib_b");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->self_ns, a->total_ns);
+  EXPECT_EQ(b->self_ns, b->total_ns);
+}
+
+TEST_F(ProfilerTest, DisabledFastPathAllocatesNothing) {
+  Profiler::Global().Disable();
+  // Warm the thread-local log registration outside the measured region (an
+  // enabled scope may allocate on first use per thread).
+  Profiler::Global().Enable();
+  { ScopedTimer warm("warm", "test"); }
+  Profiler::Global().Disable();
+
+  const int64_t before = g_new_calls.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    ScopedTimer t("disabled_scope", "test");
+    CONFORMER_PROFILE_SCOPE("disabled_macro_scope");
+  }
+  const int64_t after = g_new_calls.load(std::memory_order_relaxed);
+  EXPECT_EQ(before, after) << "disabled ScopedTimer must not allocate";
+  EXPECT_EQ(Profiler::Global().event_count(), 1)
+      << "disabled scopes must not record events";
+}
+
+TEST_F(ProfilerTest, RecordingFromParallelForWorkersIsComplete) {
+  ThreadPool::Global().SetNumThreads(8);
+  constexpr int64_t kIters = 4000;
+  metrics::Counter& counter =
+      metrics::Registry::Global().GetCounter("test.parallel_scopes");
+  counter.Reset();
+  ParallelFor(0, kIters, /*grain=*/1, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      CONFORMER_PROFILE_SCOPE_CAT("test", "worker_scope");
+      counter.Increment();
+    }
+  });
+  ThreadPool::Global().SetNumThreads(1);
+  Profiler::Global().Disable();
+
+  EXPECT_EQ(counter.value(), kIters);
+  const std::vector<OpStats> stats = Profiler::Global().Aggregate();
+  const OpStats* s = FindStats(stats, "test", "worker_scope");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->count, kIters) << "every worker-recorded scope must survive";
+  EXPECT_GE(s->total_ns, 0);
+}
+
+TEST_F(ProfilerTest, GemmKernelReportsBytes) {
+  constexpr int64_t kN = 8;
+  std::vector<float> a(kN * kN, 1.0f);
+  std::vector<float> b(kN * kN, 2.0f);
+  std::vector<float> c(kN * kN, 0.0f);
+  kernels::Gemm(false, false, kN, kN, kN, a.data(), b.data(), c.data(),
+                /*accumulate=*/false);
+  const std::vector<OpStats> stats = Profiler::Global().Aggregate();
+  const OpStats* gemm = FindStats(stats, "kernel", "Gemm");
+  ASSERT_NE(gemm, nullptr);
+  EXPECT_EQ(gemm->count, 1);
+  EXPECT_EQ(gemm->bytes, static_cast<int64_t>(sizeof(float)) * 3 * kN * kN);
+}
+
+TEST_F(ProfilerTest, SummaryJsonAndTraceAreValidJson) {
+  {
+    ScopedTimer outer("json_outer", "test");
+    ScopedTimer inner("json \"quoted\"\n", "test");  // exercises escaping
+    BusyWork();
+  }
+  Profiler::Global().Disable();
+
+  const std::string summary = Profiler::Global().SummaryJson();
+  EXPECT_TRUE(JsonValidator(summary).Valid()) << summary.substr(0, 400);
+  EXPECT_NE(summary.find("\"schema\": \"conformer.profile.v1\""),
+            std::string::npos);
+  EXPECT_NE(summary.find("\"alloc\""), std::string::npos);
+  EXPECT_NE(summary.find("\"metrics\""), std::string::npos);
+
+  const std::string summary_path = TempPath("conformer_profiler_summary.json");
+  const std::string trace_path = TempPath("conformer_profiler_trace.json");
+  ASSERT_TRUE(Profiler::Global().WriteSummaryJson(summary_path));
+  ASSERT_TRUE(Profiler::Global().WriteTrace(trace_path));
+  EXPECT_TRUE(JsonValidator(ReadFile(summary_path)).Valid());
+  const std::string trace = ReadFile(trace_path);
+  EXPECT_TRUE(JsonValidator(trace).Valid()) << trace.substr(0, 400);
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\": \"X\""), std::string::npos);
+  std::remove(summary_path.c_str());
+  std::remove(trace_path.c_str());
+}
+
+TEST_F(ProfilerTest, WriteTraceHonorsMaxEvents) {
+  for (int i = 0; i < 50; ++i) {
+    ScopedTimer t("capped", "test");
+  }
+  Profiler::Global().Disable();
+  const std::string path = TempPath("conformer_profiler_capped.json");
+  ASSERT_TRUE(Profiler::Global().WriteTrace(path, /*max_events=*/10));
+  const std::string trace = ReadFile(path);
+  EXPECT_TRUE(JsonValidator(trace).Valid());
+  size_t events = 0;
+  for (size_t pos = 0; (pos = trace.find("\"ph\"", pos)) != std::string::npos;
+       ++pos) {
+    ++events;
+  }
+  EXPECT_LE(events, 10u);
+  EXPECT_GE(events, 1u);
+  std::remove(path.c_str());
+}
+
+TEST_F(ProfilerTest, ResetDropsEvents) {
+  { ScopedTimer t("dropped", "test"); }
+  EXPECT_GT(Profiler::Global().event_count(), 0);
+  Profiler::Global().Reset();
+  EXPECT_EQ(Profiler::Global().event_count(), 0);
+}
+
+TEST(MetricsTest, CounterGaugeHistogram) {
+  metrics::Registry& registry = metrics::Registry::Global();
+  metrics::Counter& counter = registry.GetCounter("test.counter");
+  counter.Reset();
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.value(), 42);
+  // Same name returns the same instrument.
+  EXPECT_EQ(&registry.GetCounter("test.counter"), &counter);
+
+  metrics::Gauge& gauge = registry.GetGauge("test.gauge");
+  gauge.Set(2.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 2.5);
+
+  metrics::Histogram& hist =
+      registry.GetHistogram("test.hist", {1.0, 10.0, 100.0});
+  hist.Reset();
+  hist.Observe(0.5);    // bucket 0
+  hist.Observe(5.0);    // bucket 1
+  hist.Observe(1000.0); // overflow
+  const metrics::Histogram::Snapshot snap = hist.GetSnapshot();
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 1);
+  EXPECT_EQ(snap.counts[1], 1);
+  EXPECT_EQ(snap.counts[3], 1);
+  EXPECT_EQ(snap.count, 3);
+  EXPECT_DOUBLE_EQ(snap.sum, 1005.5);
+
+  EXPECT_TRUE(JsonValidator(registry.ToJson()).Valid());
+}
+
+TEST(MetricsTest, CounterIsExactUnderParallelFor) {
+  ThreadPool::Global().SetNumThreads(8);
+  metrics::Counter& counter =
+      metrics::Registry::Global().GetCounter("test.parallel_counter");
+  counter.Reset();
+  constexpr int64_t kIters = 100000;
+  ParallelFor(0, kIters, /*grain=*/64, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) counter.Increment();
+  });
+  ThreadPool::Global().SetNumThreads(1);
+  EXPECT_EQ(counter.value(), kIters);
+}
+
+TEST(TraceWriterTest, EmptyTraceIsValid) {
+  const std::string path = TempPath("conformer_empty_trace.json");
+  prof::TraceWriter writer;
+  ASSERT_TRUE(writer.Open(path));
+  ASSERT_TRUE(writer.Close());
+  EXPECT_TRUE(JsonValidator(ReadFile(path)).Valid());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace conformer

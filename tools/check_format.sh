@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Style gate: clang-format --dry-run -Werror over the enforced file list.
+#
+# Enforcement is opt-in per file so the gate can be adopted incrementally:
+# files are added here once they are clean under .clang-format, after which
+# any drift fails CI. New source files should be added when introduced.
+#
+# Usage: tools/check_format.sh
+#   CLANG_FORMAT=clang-format-15 tools/check_format.sh   # pick a binary
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  echo "check_format: '$CLANG_FORMAT' not found; set CLANG_FORMAT" >&2
+  exit 2
+fi
+
+ENFORCED=(
+  src/util/metrics.h
+  src/util/metrics.cc
+  src/util/profiler.h
+  src/util/profiler.cc
+  src/util/trace_writer.h
+  src/util/trace_writer.cc
+  bench/bench_profile_report.cc
+  tests/profiler_test.cc
+)
+
+"$CLANG_FORMAT" --version
+"$CLANG_FORMAT" --dry-run -Werror --style=file "${ENFORCED[@]}"
+echo "check_format: ${#ENFORCED[@]} files clean"

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Diff two bench JSON files and fail past a regression threshold.
+
+Understands both bench output schemas in this repo:
+
+  * bench_parallel_kernels: {"results": [{"kernel", "threads",
+    "ops_per_sec"}, ...]} -- every (kernel, threads) row becomes a
+    higher-is-better metric.
+  * bench_profile_report (conformer.bench_profile.v1): the "throughput"
+    entries are higher-is-better; "step_coverage" is higher-is-better with
+    an absolute floor rather than a relative threshold (coverage is a
+    correctness-of-instrumentation property, not a speed).
+
+Usage:
+  compare_bench.py baseline.json current.json [--threshold 0.10]
+      [--coverage-floor 0.95] [--warn-only]
+
+Exit status: 0 when no metric regressed beyond the threshold (improvements
+never fail), 1 on regression, 2 on malformed input. --warn-only always
+exits 0 so PR builds can surface deltas without gating (CI passes it for
+pull_request events and omits it on main).
+"""
+
+import argparse
+import json
+import sys
+
+
+def extract_metrics(doc):
+    """Returns {metric_name: (value, higher_is_better)}."""
+    metrics = {}
+    if isinstance(doc.get("results"), list):
+        for row in doc["results"]:
+            key = "{}/t{}".format(row["kernel"], row["threads"])
+            metrics[key + "/ops_per_sec"] = (float(row["ops_per_sec"]), True)
+    for key, value in (doc.get("throughput") or {}).items():
+        # All throughput entries are rates; *_seconds would be lower-is-better
+        # but the report only exports *_per_sec.
+        metrics["throughput/" + key] = (float(value), True)
+    if "step_coverage" in doc:
+        metrics["step_coverage"] = (float(doc["step_coverage"]), True)
+    return metrics
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="max tolerated fractional regression per metric (default 0.10)",
+    )
+    parser.add_argument(
+        "--coverage-floor",
+        type=float,
+        default=0.95,
+        help="absolute minimum for step_coverage (default 0.95)",
+    )
+    parser.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report regressions but always exit 0",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            baseline = extract_metrics(json.load(f))
+        with open(args.current) as f:
+            current = extract_metrics(json.load(f))
+    except (OSError, ValueError, KeyError, TypeError) as err:
+        print("compare_bench: cannot read inputs: {}".format(err),
+              file=sys.stderr)
+        return 2
+    if not baseline:
+        print("compare_bench: no comparable metrics in baseline",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    print("{:<44} {:>14} {:>14} {:>8}".format("metric", "baseline", "current",
+                                              "delta"))
+    for name in sorted(baseline):
+        base_value, higher_better = baseline[name]
+        if name not in current:
+            failures.append("{}: missing from current run".format(name))
+            continue
+        cur_value, _ = current[name]
+        if base_value != 0:
+            delta = (cur_value - base_value) / abs(base_value)
+        else:
+            delta = 0.0
+        regression = -delta if higher_better else delta
+        marker = ""
+        if name == "step_coverage":
+            if cur_value < args.coverage_floor:
+                marker = "  << below floor {}".format(args.coverage_floor)
+                failures.append("{}: {:.4f} below floor {:.2f}".format(
+                    name, cur_value, args.coverage_floor))
+        elif regression > args.threshold:
+            marker = "  << regressed past {:.0%}".format(args.threshold)
+            failures.append("{}: {:.4f} -> {:.4f} ({:+.1%})".format(
+                name, base_value, cur_value, delta))
+        print("{:<44} {:>14.4f} {:>14.4f} {:>+7.1%}{}".format(
+            name, base_value, cur_value, delta, marker))
+
+    extra = sorted(set(current) - set(baseline))
+    if extra:
+        print("new metrics (not gated): {}".format(", ".join(extra)))
+
+    if failures:
+        print("\ncompare_bench: {} regression(s):".format(len(failures)),
+              file=sys.stderr)
+        for failure in failures:
+            print("  " + failure, file=sys.stderr)
+        if args.warn_only:
+            print("compare_bench: --warn-only set, exiting 0",
+                  file=sys.stderr)
+            return 0
+        return 1
+    print("\ncompare_bench: OK ({} metrics within {:.0%})".format(
+        len(baseline), args.threshold))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
