@@ -22,6 +22,9 @@ struct CsvOptions {
 };
 
 /// Loads `path` into a TimeSeries; every non-date column becomes a variable.
+/// Malformed input (ragged rows, non-numeric fields, bad timestamps, empty
+/// files) fails with a compiler-style `file:line[:column]:` diagnostic
+/// instead of a best-effort parse.
 Result<TimeSeries> LoadCsv(const std::string& path,
                            const CsvOptions& options = {});
 

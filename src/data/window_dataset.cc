@@ -156,6 +156,12 @@ bool BatchIterator::Next(Batch* batch) {
   return true;
 }
 
+void BatchIterator::Skip(int64_t n) {
+  CONFORMER_CHECK_GE(n, 0);
+  cursor_ = std::min<int64_t>(cursor_ + n * batch_size_,
+                              static_cast<int64_t>(order_.size()));
+}
+
 int64_t BatchIterator::num_batches() const {
   return (static_cast<int64_t>(order_.size()) + batch_size_ - 1) / batch_size_;
 }

@@ -89,6 +89,11 @@ class BatchIterator {
   /// Next minibatch; false when the epoch is exhausted.
   bool Next(Batch* batch);
 
+  /// Advances past `n` batches without materializing them (checkpoint
+  /// resume: re-shuffle, then skip the batches the interrupted run already
+  /// consumed).
+  void Skip(int64_t n);
+
   /// Restarts the epoch (reshuffling when enabled).
   void Reset();
 

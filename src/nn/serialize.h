@@ -1,9 +1,16 @@
 // Model checkpointing: saves / loads a module's named parameters to a simple
 // binary format (magic, count, then per-parameter name + shape + float data).
+//
+// The stream-based entry points let the training checkpoint embed the same
+// format as one CRC-protected section (see train/checkpoint.h); the
+// file-based ones add crash-safe atomic writes.
 
 #ifndef CONFORMER_NN_SERIALIZE_H_
 #define CONFORMER_NN_SERIALIZE_H_
 
+#include <cstdint>
+#include <istream>
+#include <ostream>
 #include <string>
 
 #include "nn/module.h"
@@ -11,12 +18,25 @@
 
 namespace conformer::nn {
 
-/// Writes every named parameter of `module` to `path`.
+/// Writes every named parameter of `module` to `out`.
+Status SerializeModule(const Module& module, std::ostream& out);
+
+/// Loads parameters by name into `module`, validating the stream after
+/// every field. Fails on: truncation, negative or overflowing shape dims,
+/// tensors larger than `byte_limit`, duplicate parameter names, names
+/// missing from the module, shape mismatches, and files that leave any
+/// module parameter unset. `context` prefixes error messages (a path or
+/// section name).
+Status DeserializeModule(Module* module, std::istream& in,
+                         const std::string& context, uint64_t byte_limit);
+
+/// Writes every named parameter of `module` to `path` atomically
+/// (temp file + fsync + rename): a crash mid-save leaves the previous
+/// file intact.
 Status SaveModule(const Module& module, const std::string& path);
 
-/// Loads parameters by name into `module`. Fails if a stored name is missing
-/// from the module or shapes differ; parameters absent from the file are
-/// left untouched.
+/// Loads parameters by name into `module` from `path`; every module
+/// parameter must be present in the file (see DeserializeModule).
 Status LoadModule(Module* module, const std::string& path);
 
 }  // namespace conformer::nn

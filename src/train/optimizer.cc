@@ -1,6 +1,7 @@
 #include "train/optimizer.h"
 
 #include <cmath>
+#include "util/binary_io.h"
 #include "util/profiler.h"
 
 namespace conformer::train {
@@ -8,6 +9,41 @@ namespace conformer::train {
 void Optimizer::ZeroGrad() {
   CONFORMER_PROFILE_SCOPE_CAT("train", "zero_grad");
   for (Tensor& p : params_) p.ZeroGrad();
+}
+
+void Optimizer::SaveParamBuffers(
+    std::ostream& out, const std::vector<std::vector<float>>& buffers) const {
+  io::WriteU64(out, buffers.size());
+  for (const std::vector<float>& buf : buffers) {
+    io::WriteFloats(out, buf.data(), static_cast<int64_t>(buf.size()));
+  }
+}
+
+Status Optimizer::LoadParamBuffers(
+    std::istream& in, const std::string& what,
+    std::vector<std::vector<float>>* buffers) {
+  uint64_t count = 0;
+  CONFORMER_RETURN_IF_ERROR(io::ReadU64(in, &count, what + " buffer count"));
+  if (count != params_.size()) {
+    return Status::InvalidArgument(
+        what + ": state holds " + std::to_string(count) +
+        " buffers but the optimizer tracks " + std::to_string(params_.size()) +
+        " parameters");
+  }
+  std::vector<std::vector<float>> loaded(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    CONFORMER_RETURN_IF_ERROR(io::ReadFloats(
+        in, &loaded[i], what + " buffer " + std::to_string(i)));
+    const uint64_t expect = static_cast<uint64_t>(params_[i].numel());
+    if (loaded[i].size() != expect) {
+      return Status::InvalidArgument(
+          what + " buffer " + std::to_string(i) + " has " +
+          std::to_string(loaded[i].size()) + " elements, parameter has " +
+          std::to_string(expect));
+    }
+  }
+  *buffers = std::move(loaded);
+  return Status::OK();
 }
 
 Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum)
@@ -32,6 +68,25 @@ void Sgd::Step() {
       w[j] -= lr_ * vel[j];
     }
   }
+}
+
+void Sgd::SaveState(std::ostream& out) const {
+  io::WriteF64(out, lr_);
+  io::WriteF64(out, momentum_);
+  SaveParamBuffers(out, velocity_);
+}
+
+Status Sgd::LoadState(std::istream& in) {
+  double lr = 0.0;
+  double momentum = 0.0;
+  CONFORMER_RETURN_IF_ERROR(io::ReadF64(in, &lr, "sgd lr"));
+  CONFORMER_RETURN_IF_ERROR(io::ReadF64(in, &momentum, "sgd momentum"));
+  std::vector<std::vector<float>> velocity;
+  CONFORMER_RETURN_IF_ERROR(LoadParamBuffers(in, "sgd velocity", &velocity));
+  lr_ = static_cast<float>(lr);
+  momentum_ = static_cast<float>(momentum);
+  velocity_ = std::move(velocity);
+  return Status::OK();
 }
 
 Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2,
@@ -72,6 +127,45 @@ void Adam::Step() {
       w[j] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
     }
   }
+}
+
+void Adam::SaveState(std::ostream& out) const {
+  io::WriteF64(out, lr_);
+  io::WriteF64(out, beta1_);
+  io::WriteF64(out, beta2_);
+  io::WriteF64(out, eps_);
+  io::WriteF64(out, weight_decay_);
+  io::WriteI64(out, step_count_);
+  SaveParamBuffers(out, m_);
+  SaveParamBuffers(out, v_);
+}
+
+Status Adam::LoadState(std::istream& in) {
+  double lr = 0.0, beta1 = 0.0, beta2 = 0.0, eps = 0.0, weight_decay = 0.0;
+  int64_t step_count = 0;
+  CONFORMER_RETURN_IF_ERROR(io::ReadF64(in, &lr, "adam lr"));
+  CONFORMER_RETURN_IF_ERROR(io::ReadF64(in, &beta1, "adam beta1"));
+  CONFORMER_RETURN_IF_ERROR(io::ReadF64(in, &beta2, "adam beta2"));
+  CONFORMER_RETURN_IF_ERROR(io::ReadF64(in, &eps, "adam eps"));
+  CONFORMER_RETURN_IF_ERROR(io::ReadF64(in, &weight_decay, "adam wd"));
+  CONFORMER_RETURN_IF_ERROR(io::ReadI64(in, &step_count, "adam step count"));
+  if (step_count < 0) {
+    return Status::InvalidArgument("adam step count is negative: " +
+                                   std::to_string(step_count));
+  }
+  std::vector<std::vector<float>> m;
+  std::vector<std::vector<float>> v;
+  CONFORMER_RETURN_IF_ERROR(LoadParamBuffers(in, "adam m", &m));
+  CONFORMER_RETURN_IF_ERROR(LoadParamBuffers(in, "adam v", &v));
+  lr_ = static_cast<float>(lr);
+  beta1_ = static_cast<float>(beta1);
+  beta2_ = static_cast<float>(beta2);
+  eps_ = static_cast<float>(eps);
+  weight_decay_ = static_cast<float>(weight_decay);
+  step_count_ = step_count;
+  m_ = std::move(m);
+  v_ = std::move(v);
+  return Status::OK();
 }
 
 double ClipGradNorm(std::vector<Tensor>& params, double max_norm) {

@@ -3,9 +3,13 @@
 #ifndef CONFORMER_TRAIN_OPTIMIZER_H_
 #define CONFORMER_TRAIN_OPTIMIZER_H_
 
+#include <istream>
+#include <ostream>
+#include <string>
 #include <vector>
 
 #include "tensor/tensor.h"
+#include "util/status.h"
 
 namespace conformer::train {
 
@@ -28,7 +32,27 @@ class Optimizer {
   virtual void set_learning_rate(float lr) = 0;
   virtual float learning_rate() const = 0;
 
+  /// Stable identifier stored in checkpoints ("sgd", "adam"); LoadState
+  /// refuses state written by a different optimizer type.
+  virtual std::string type_name() const = 0;
+
+  /// Serializes every piece of state a bitwise-identical resume needs
+  /// (hyperparameters, step counts, per-parameter moment buffers).
+  virtual void SaveState(std::ostream& out) const = 0;
+
+  /// Restores state written by SaveState on an optimizer constructed over
+  /// the same parameter list; validates buffer counts and sizes against
+  /// the current parameters before overwriting anything.
+  virtual Status LoadState(std::istream& in) = 0;
+
  protected:
+  /// Shared LoadState validation: reads `count` per-parameter buffers and
+  /// checks each against the matching parameter's numel.
+  Status LoadParamBuffers(std::istream& in, const std::string& what,
+                          std::vector<std::vector<float>>* buffers);
+  void SaveParamBuffers(std::ostream& out,
+                        const std::vector<std::vector<float>>& buffers) const;
+
   std::vector<Tensor> params_;
 };
 
@@ -40,6 +64,9 @@ class Sgd : public Optimizer {
   void Step() override;
   void set_learning_rate(float lr) override { lr_ = lr; }
   float learning_rate() const override { return lr_; }
+  std::string type_name() const override { return "sgd"; }
+  void SaveState(std::ostream& out) const override;
+  Status LoadState(std::istream& in) override;
 
  private:
   float lr_;
@@ -57,6 +84,9 @@ class Adam : public Optimizer {
   void Step() override;
   void set_learning_rate(float lr) override { lr_ = lr; }
   float learning_rate() const override { return lr_; }
+  std::string type_name() const override { return "adam"; }
+  void SaveState(std::ostream& out) const override;
+  Status LoadState(std::istream& in) override;
 
  private:
   float lr_;

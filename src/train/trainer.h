@@ -1,10 +1,13 @@
 // Training loop: Adam, gradient clipping, early stopping on validation MSE
-// with best-weights restore — the protocol of Section V-A3.
+// with best-weights restore — the protocol of Section V-A3 — plus the
+// crash-safety layer of docs/ROBUSTNESS.md: atomic checkpointing with exact
+// resume and non-finite-loss recovery.
 
 #ifndef CONFORMER_TRAIN_TRAINER_H_
 #define CONFORMER_TRAIN_TRAINER_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "baselines/forecaster.h"
@@ -29,6 +32,37 @@ struct TrainConfig {
   int64_t max_eval_batches = 0;
   uint64_t seed = 42;
   bool verbose = false;
+
+  // -- Crash safety (docs/ROBUSTNESS.md) ------------------------------------
+
+  /// Directory for checkpoints; empty disables checkpointing entirely.
+  std::string checkpoint_dir;
+  /// Also checkpoint every N optimizer steps (0 = epoch boundaries only).
+  int64_t checkpoint_every_n_steps = 0;
+  /// Checkpoint at every Nth epoch boundary (0 disables epoch checkpoints).
+  int64_t checkpoint_every_n_epochs = 1;
+  /// Retained checkpoint count; older ones are pruned from the manifest.
+  int64_t checkpoint_keep_last = 2;
+  /// When checkpoint_dir holds a valid checkpoint, continue from it instead
+  /// of training from scratch. A resumed run reproduces the uninterrupted
+  /// run bitwise (same shuffles, same updates, same FitResult history).
+  bool resume = true;
+
+  // -- Non-finite recovery --------------------------------------------------
+
+  /// A step whose loss or gradient norm is NaN/Inf is skipped (no optimizer
+  /// update) and counted in train.nonfinite_steps. After this many
+  /// consecutive skipped steps, parameters and optimizer state are restored
+  /// from the last known-good snapshot. <= 0 disables the rollback (bad
+  /// steps are still skipped).
+  int64_t nonfinite_patience = 3;
+
+  // -- Fault injection (tests / docs only) ----------------------------------
+
+  /// When > 0, Fit returns abruptly after this many global steps without
+  /// running validation or restoring best weights — simulating a crash so
+  /// kill-and-resume behaviour is testable in-process.
+  int64_t debug_abort_after_steps = 0;
 };
 
 /// \brief Outcome of Trainer::Fit.
@@ -36,8 +70,10 @@ struct FitResult {
   int64_t epochs_run = 0;
   double best_val_mse = 0.0;
   bool early_stopped = false;
-  std::vector<double> train_losses;  ///< Mean loss per epoch.
+  std::vector<double> train_losses;  ///< Mean loss per epoch (finite steps).
   std::vector<double> val_mses;      ///< Validation MSE per epoch.
+  int64_t nonfinite_steps = 0;  ///< Steps skipped for NaN/Inf loss or grad.
+  bool resumed = false;         ///< True when Fit continued from a checkpoint.
 };
 
 class Trainer {

@@ -1,0 +1,212 @@
+#include "util/binary_io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace conformer::io {
+
+namespace {
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+Status Truncated(const std::string& what) {
+  return Status::IOError("truncated or unreadable stream while reading " +
+                         what);
+}
+
+std::string ErrnoMessage(const std::string& action, const std::string& path) {
+  return action + " failed for " + path + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t n, uint32_t crc) {
+  static const std::array<uint32_t, 256> table = MakeCrcTable();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    c = table[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void WriteU32(std::ostream& out, uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void WriteU64(std::ostream& out, uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void WriteI64(std::ostream& out, int64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void WriteF64(std::ostream& out, double v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void WriteString(std::ostream& out, const std::string& s) {
+  WriteU64(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+void WriteFloats(std::ostream& out, const float* data, int64_t n) {
+  WriteU64(out, static_cast<uint64_t>(n));
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(n) *
+                static_cast<std::streamsize>(sizeof(float)));
+}
+
+Status ReadU32(std::istream& in, uint32_t* v, const std::string& what) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  if (!in) return Truncated(what);
+  return Status::OK();
+}
+
+Status ReadU64(std::istream& in, uint64_t* v, const std::string& what) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  if (!in) return Truncated(what);
+  return Status::OK();
+}
+
+Status ReadI64(std::istream& in, int64_t* v, const std::string& what) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  if (!in) return Truncated(what);
+  return Status::OK();
+}
+
+Status ReadF64(std::istream& in, double* v, const std::string& what) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  if (!in) return Truncated(what);
+  return Status::OK();
+}
+
+Status ReadString(std::istream& in, std::string* s, const std::string& what,
+                  uint64_t max_len) {
+  uint64_t len = 0;
+  CONFORMER_RETURN_IF_ERROR(ReadU64(in, &len, what + " length"));
+  if (len > max_len) {
+    return Status::IOError("implausible length " + std::to_string(len) +
+                           " for " + what + " (max " +
+                           std::to_string(max_len) + ")");
+  }
+  s->assign(len, '\0');
+  in.read(s->data(), static_cast<std::streamsize>(len));
+  if (!in) return Truncated(what);
+  return Status::OK();
+}
+
+Status ReadFloats(std::istream& in, std::vector<float>* out,
+                  const std::string& what, uint64_t max_elems) {
+  uint64_t n = 0;
+  CONFORMER_RETURN_IF_ERROR(ReadU64(in, &n, what + " count"));
+  if (n > max_elems) {
+    return Status::IOError("implausible element count " + std::to_string(n) +
+                           " for " + what + " (max " +
+                           std::to_string(max_elems) + ")");
+  }
+  out->assign(n, 0.0f);
+  in.read(reinterpret_cast<char*>(out->data()),
+          static_cast<std::streamsize>(n) *
+              static_cast<std::streamsize>(sizeof(float)));
+  if (!in) return Truncated(what);
+  return Status::OK();
+}
+
+Status AtomicWriteFile(const std::string& path, const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  {
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) return Status::IOError(ErrnoMessage("open", tmp));
+    size_t written = 0;
+    while (written < contents.size()) {
+      const ssize_t n =
+          ::write(fd, contents.data() + written, contents.size() - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return Status::IOError(ErrnoMessage("write", tmp));
+      }
+      written += static_cast<size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Status::IOError(ErrnoMessage("fsync", tmp));
+    }
+    if (::close(fd) != 0) {
+      ::unlink(tmp.c_str());
+      return Status::IOError(ErrnoMessage("close", tmp));
+    }
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IOError(ErrnoMessage("rename", path));
+  }
+  // Persist the rename itself: fsync the containing directory.
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  const std::string dir = parent.empty() ? "." : parent.string();
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);  // Best effort: some filesystems reject directory fsync.
+    ::close(dfd);
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IOError("read failed: " + path);
+  return buffer.str();
+}
+
+Status MakeDirs(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create directory " + dir + ": " +
+                           ec.message());
+  }
+  return Status::OK();
+}
+
+bool FileExists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::exists(path, ec);
+}
+
+Status RemoveFile(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  if (ec) {
+    return Status::IOError("cannot remove " + path + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+}  // namespace conformer::io

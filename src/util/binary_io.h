@@ -1,0 +1,74 @@
+// Little-endian binary stream helpers shared by module serialization,
+// optimizer state, and the checkpoint subsystem, plus CRC32 and a
+// crash-safe (temp file + fsync + rename) whole-file writer.
+//
+// Every Read* helper validates the stream after the read and returns a
+// descriptive IOError naming the field that was truncated, so callers can
+// propagate corruption diagnostics without per-site boilerplate.
+
+#ifndef CONFORMER_UTIL_BINARY_IO_H_
+#define CONFORMER_UTIL_BINARY_IO_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace conformer::io {
+
+// -- CRC32 (IEEE 802.3 polynomial, zlib-compatible) -------------------------
+
+/// CRC of `n` bytes; pass a previous crc to continue an incremental run.
+uint32_t Crc32(const void* data, size_t n, uint32_t crc = 0);
+
+// -- Writers ----------------------------------------------------------------
+
+void WriteU32(std::ostream& out, uint32_t v);
+void WriteU64(std::ostream& out, uint64_t v);
+void WriteI64(std::ostream& out, int64_t v);
+void WriteF64(std::ostream& out, double v);
+/// u64 length followed by the raw bytes.
+void WriteString(std::ostream& out, const std::string& s);
+/// u64 element count followed by the raw float32 payload.
+void WriteFloats(std::ostream& out, const float* data, int64_t n);
+
+// -- Readers (stream-state validated) ---------------------------------------
+
+Status ReadU32(std::istream& in, uint32_t* v, const std::string& what);
+Status ReadU64(std::istream& in, uint64_t* v, const std::string& what);
+Status ReadI64(std::istream& in, int64_t* v, const std::string& what);
+Status ReadF64(std::istream& in, double* v, const std::string& what);
+/// Rejects lengths above `max_len` before allocating.
+Status ReadString(std::istream& in, std::string* s, const std::string& what,
+                  uint64_t max_len = 1ull << 20);
+/// Rejects element counts above `max_elems` before allocating.
+Status ReadFloats(std::istream& in, std::vector<float>* out,
+                  const std::string& what,
+                  uint64_t max_elems = 1ull << 32);
+
+// -- Files ------------------------------------------------------------------
+
+/// Writes `contents` to `path` crash-safely: the bytes go to `path.tmp`
+/// first, are fsync'd, and the temp file is renamed over `path` (with a
+/// directory fsync) so readers observe either the old file or the complete
+/// new one, never a torn write.
+Status AtomicWriteFile(const std::string& path, const std::string& contents);
+
+/// Reads the whole file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Creates `dir` (and parents) if missing.
+Status MakeDirs(const std::string& dir);
+
+/// True when `path` names an existing file.
+bool FileExists(const std::string& path);
+
+/// Deletes `path`; missing files are not an error.
+Status RemoveFile(const std::string& path);
+
+}  // namespace conformer::io
+
+#endif  // CONFORMER_UTIL_BINARY_IO_H_

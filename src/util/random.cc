@@ -1,6 +1,7 @@
 #include "util/random.h"
 
 #include <cmath>
+#include <sstream>
 
 namespace conformer {
 
@@ -43,6 +44,23 @@ std::vector<int64_t> Rng::Permutation(int64_t n) {
     std::swap(perm[i], perm[j]);
   }
   return perm;
+}
+
+std::string Rng::Serialize() const {
+  std::ostringstream out;
+  out << gen_;
+  return out.str();
+}
+
+Status Rng::Deserialize(const std::string& state) {
+  std::istringstream in(state);
+  std::mt19937_64 restored;
+  in >> restored;
+  if (in.fail()) {
+    return Status::InvalidArgument("malformed mt19937_64 state string");
+  }
+  gen_ = restored;
+  return Status::OK();
 }
 
 namespace {

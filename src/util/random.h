@@ -7,7 +7,10 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
+
+#include "util/status.h"
 
 namespace conformer {
 
@@ -36,6 +39,13 @@ class Rng {
 
   /// A random permutation of {0, ..., n-1}.
   std::vector<int64_t> Permutation(int64_t n);
+
+  /// Engine state as a portable text token stream (the mt19937_64 stream
+  /// operators), so a checkpoint restores the exact draw sequence.
+  std::string Serialize() const;
+  /// Restores a state produced by Serialize(); rejects malformed input
+  /// without touching the current state.
+  Status Deserialize(const std::string& state);
 
   std::mt19937_64& gen() { return gen_; }
 

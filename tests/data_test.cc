@@ -330,6 +330,54 @@ TEST(CsvTest, RejectsEmpty) {
   EXPECT_FALSE(ParseCsv("a,b\n", "headers only").ok());
 }
 
+// Malformed input must produce a compiler-style file:line[:column]
+// diagnostic that pinpoints the offending field, not a bare failure.
+
+TEST(CsvTest, RaggedRowDiagnosticNamesFileAndLine) {
+  const Status s = ParseCsv("a,b\n1,2\n3\n", "bad.csv").status();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("bad.csv:3"), std::string::npos) << s.message();
+  EXPECT_NE(s.message().find("ragged row: 1 fields, expected 2"),
+            std::string::npos)
+      << s.message();
+}
+
+TEST(CsvTest, NonNumericDiagnosticNamesColumn) {
+  const Status s = ParseCsv("a,b\n1,x\n", "bad.csv").status();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("bad.csv:2:2"), std::string::npos) << s.message();
+  EXPECT_NE(s.message().find("column 'b'"), std::string::npos) << s.message();
+}
+
+TEST(CsvTest, BadTimestampDiagnosticNamesDateColumn) {
+  const Status s =
+      ParseCsv("date,a\nnot-a-date,1\n", "bad.csv").status();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("bad.csv:2:1"), std::string::npos) << s.message();
+  EXPECT_NE(s.message().find("bad timestamp"), std::string::npos)
+      << s.message();
+}
+
+TEST(CsvTest, EmptyAndHeaderOnlyDiagnosticsAreSpecific) {
+  const Status empty = ParseCsv("", "bad.csv").status();
+  EXPECT_NE(empty.message().find("empty CSV"), std::string::npos)
+      << empty.message();
+  const Status no_rows = ParseCsv("a,b\n", "bad.csv").status();
+  EXPECT_NE(no_rows.message().find("no data rows"), std::string::npos)
+      << no_rows.message();
+  const Status no_values = ParseCsv("date\n", "bad.csv").status();
+  EXPECT_NE(no_values.message().find("no value columns"), std::string::npos)
+      << no_values.message();
+}
+
+TEST(CsvTest, BlankLinesDoNotShiftLineNumbers) {
+  // The blank line 3 is skipped but still counted, so the bad row reports
+  // its real file position.
+  const Status s = ParseCsv("a,b\n1,2\n\n3,x\n", "bad.csv").status();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("bad.csv:4:2"), std::string::npos) << s.message();
+}
+
 TEST(CsvTest, SaveLoadRoundTrip) {
   TimeSeries ts = TinySeries(8);
   const std::string path = "/tmp/conformer_csv_roundtrip.csv";

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Exit-code contract tests for tools/inspect_checkpoint.py.
+
+Run as: inspect_checkpoint_test.py <inspect_checkpoint.py> <checkpoint_demo>
+
+Drives the demo binary to produce real checkpoints, then checks that the
+inspector validates them (exit 0, sensible report), flags a bit-flipped
+checkpoint (exit 1), flags a directory without a MANIFEST (exit 1), and
+exits 2 on a missing path.
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+
+def run(*argv):
+    proc = subprocess.run(
+        list(argv), stdout=subprocess.PIPE, stderr=subprocess.STDOUT
+    )
+    return proc.returncode, proc.stdout.decode()
+
+
+def main():
+    if len(sys.argv) != 3:
+        print("usage: inspect_checkpoint_test.py <inspector> <demo-binary>")
+        return 1
+    inspector, demo = sys.argv[1], sys.argv[2]
+    failures = []
+
+    def check(cond, label, detail=""):
+        if not cond:
+            failures.append(label + (": " + detail if detail else ""))
+        print("%s %s" % ("ok  " if cond else "FAIL", label))
+
+    tmpdir = tempfile.mkdtemp(prefix="conformer_inspect_")
+    try:
+        ckpt_dir = os.path.join(tmpdir, "ckpts")
+        code, out = run(demo, ckpt_dir)
+        check(code == 0, "demo trains and resumes bitwise-identically", out)
+
+        code, out = run(sys.executable, inspector, ckpt_dir)
+        check(code == 0, "inspector validates fresh checkpoints", out)
+        check("all CRCs ok" in out, "report mentions CRC validation", out)
+        check("optimizer: adam" in out, "report decodes optimizer state", out)
+
+        code, out = run(sys.executable, inspector, ckpt_dir, "--json")
+        check(code == 0, "inspector --json exits 0", out)
+        doc = json.loads(out)
+        check(doc["ok"] and doc["checkpoints"], "--json emits a report", out)
+        tensors = doc["checkpoints"][-1]["model"]
+        check(
+            sum(t["numel"] for t in tensors) > 0,
+            "--json lists model tensors",
+            out,
+        )
+
+        # Flip one byte mid-file: the inspector must catch it (CRC or
+        # structure) and exit nonzero.
+        manifest = os.path.join(ckpt_dir, "MANIFEST")
+        with open(manifest) as f:
+            newest = f.read().splitlines()[-1].strip()
+        victim = os.path.join(ckpt_dir, newest)
+        with open(victim, "rb") as f:
+            blob = bytearray(f.read())
+        blob[len(blob) // 2] ^= 0xFF
+        with open(victim, "wb") as f:
+            f.write(blob)
+        code, out = run(sys.executable, inspector, ckpt_dir)
+        check(code == 1, "inspector flags a bit-flipped checkpoint", out)
+        check("error:" in out, "corruption produces a diagnostic", out)
+
+        empty = os.path.join(tmpdir, "empty")
+        os.makedirs(empty)
+        code, out = run(sys.executable, inspector, empty)
+        check(code == 1, "directory without MANIFEST fails", out)
+
+        code, out = run(
+            sys.executable, inspector, os.path.join(tmpdir, "missing.ckpt")
+        )
+        check(code == 2, "missing path exits 2", out)
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+    if failures:
+        print("\n%d check(s) failed:" % len(failures))
+        for f in failures:
+            print("  - " + f)
+        return 1
+    print("\nall checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

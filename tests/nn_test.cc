@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iterator>
+#include <sstream>
 
 #include "nn/conv1d.h"
 #include "nn/dropout.h"
@@ -18,6 +19,7 @@
 #include "nn/serialize.h"
 #include "tensor/gradcheck.h"
 #include "tensor/ops.h"
+#include "util/binary_io.h"
 
 namespace conformer::nn {
 namespace {
@@ -408,6 +410,102 @@ TEST(SerializeTest, GarbageFileFails) {
   Linear m(2, 2);
   EXPECT_FALSE(LoadModule(&m, path).ok());
   std::remove(path.c_str());
+}
+
+// -- handcrafted corrupt streams (the LoadModule hardening contract) ----------
+
+constexpr uint32_t kModuleMagic = 0xC04F04E8;
+
+// Header for a stream claiming `count` parameters, followed by one entry up
+// to (not including) its data bytes.
+std::ostringstream CorruptHeader(uint64_t count, const std::string& name,
+                                 const std::vector<int64_t>& shape) {
+  std::ostringstream out(std::ios::binary);
+  io::WriteU32(out, kModuleMagic);
+  io::WriteU64(out, count);
+  io::WriteString(out, name);
+  io::WriteU64(out, shape.size());
+  for (int64_t d : shape) io::WriteI64(out, d);
+  return out;
+}
+
+Status DeserializeInto(Linear* model, const std::string& bytes) {
+  std::istringstream in(bytes, std::ios::binary);
+  return DeserializeModule(model, in, "test", bytes.size());
+}
+
+TEST(SerializeTest, NegativeDimFails) {
+  Linear m(4, 3);
+  const Status s = DeserializeInto(&m, CorruptHeader(1, "weight", {-3, 4}).str());
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("negative dim"), std::string::npos);
+}
+
+TEST(SerializeTest, NumelOverflowFails) {
+  Linear m(4, 3);
+  const Status s = DeserializeInto(
+      &m, CorruptHeader(1, "weight", {int64_t{1} << 62, 16}).str());
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("overflow"), std::string::npos);
+}
+
+TEST(SerializeTest, ImplausibleTensorSizeFailsBeforeAllocation) {
+  // A 4 TiB tensor claim against a few-dozen-byte stream must be rejected
+  // up front, not attempted.
+  Linear m(4, 3);
+  const Status s = DeserializeInto(
+      &m, CorruptHeader(1, "weight", {int64_t{1} << 40, 1}).str());
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("beyond the stream"), std::string::npos);
+}
+
+TEST(SerializeTest, DuplicateParameterNameFails) {
+  Linear m(4, 3);
+  const auto named = m.NamedParameters();
+  std::ostringstream out(std::ios::binary);
+  io::WriteU32(out, kModuleMagic);
+  io::WriteU64(out, 2);
+  for (int i = 0; i < 2; ++i) {  // "weight" twice.
+    const auto& [name, tensor] = named[0];
+    io::WriteString(out, name);
+    io::WriteU64(out, tensor.shape().size());
+    for (int64_t d : tensor.shape()) io::WriteI64(out, d);
+    out.write(reinterpret_cast<const char*>(tensor.data()),
+              static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
+  }
+  const Status s = DeserializeInto(&m, out.str());
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("duplicate parameter"), std::string::npos);
+}
+
+TEST(SerializeTest, MissingParameterFails) {
+  // A file holding only "weight" must not silently leave "bias" at its
+  // in-memory value.
+  Linear src(4, 3);
+  const auto named = src.NamedParameters();
+  std::ostringstream out(std::ios::binary);
+  io::WriteU32(out, kModuleMagic);
+  io::WriteU64(out, 1);
+  const auto& [name, tensor] = named[0];
+  io::WriteString(out, name);
+  io::WriteU64(out, tensor.shape().size());
+  for (int64_t d : tensor.shape()) io::WriteI64(out, d);
+  out.write(reinterpret_cast<const char*>(tensor.data()),
+            static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
+  Linear dst(4, 3);
+  const Status s = DeserializeInto(&dst, out.str());
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("unset"), std::string::npos);
+}
+
+TEST(SerializeTest, CountBeyondModuleFails) {
+  Linear m(4, 3);
+  std::ostringstream out(std::ios::binary);
+  io::WriteU32(out, kModuleMagic);
+  io::WriteU64(out, 5);  // The module has only 2 parameters.
+  const Status s = DeserializeInto(&m, out.str());
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("file claims"), std::string::npos);
 }
 
 }  // namespace
