@@ -1,0 +1,138 @@
+// Serving-throughput benchmark (docs/SERVING.md): the same request stream
+// served three ways — one request at a time, directly coalesced batches,
+// and through the BatchingQueue with concurrent clients — so the value of
+// micro-batching is a single JSON diff. Emits the bench_parallel_kernels
+// JSON schema so CI can gate it with tools/compare_bench.py:
+//
+//   {"hardware_concurrency": N,
+//    "results": [{"kernel": "serve_seq_b1", "threads": T,
+//                 "ops_per_sec": ...}]}
+//
+// ops_per_sec counts forecast *series* per second in every row, so rows are
+// directly comparable: serve_queue_b8 / serve_seq_b1 is the micro-batching
+// speedup (>= 3x on the multicore CI runner; ~1x on one core, where wider
+// batches only amortize per-call overhead).
+
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "data/dataset_registry.h"
+#include "serve/batching_queue.h"
+#include "util/env.h"
+#include "util/thread_pool.h"
+#include "util/metrics.h"
+
+namespace conformer::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MinSeconds() {
+  static const double min_seconds =
+      static_cast<double>(GetEnvInt("CONFORMER_BENCH_MIN_MILLIS", 100)) * 1e-3;
+  return min_seconds;
+}
+
+/// Runs `fn` (one full pass over `series_per_iter` series) until the wall
+/// budget is spent; returns series forecast per second.
+template <typename Fn>
+double MeasureSeriesPerSec(int64_t series_per_iter, Fn fn) {
+  fn();  // Warm-up: populates the session's activation-buffer pool.
+  int64_t iters = 0;
+  const auto start = Clock::now();
+  double elapsed = 0.0;
+  do {
+    fn();
+    ++iters;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (elapsed < MinSeconds());
+  return static_cast<double>(iters * series_per_iter) / elapsed;
+}
+
+struct Row {
+  std::string kernel;
+  int64_t threads;
+  double ops_per_sec;
+};
+
+int Main() {
+  const int64_t threads = ThreadPool::Global().num_threads();
+  const int64_t kRequests = 32;
+
+  serve::SessionConfig config;
+  config.model_name = "conformer";
+  config.window = {.input_len = 32, .label_len = 16, .pred_len = 16};
+  config.dims = 7;
+  // Untrained weights: throughput does not depend on parameter values, and
+  // skipping training keeps the smoke job fast and deterministic.
+  std::unique_ptr<serve::InferenceSession> session =
+      serve::InferenceSession::Open(config, "").value();
+
+  data::TimeSeries series = data::MakeDataset("etth1", 0.08).value();
+  data::DatasetSplits splits = data::MakeSplits(series, config.window);
+  std::vector<data::Batch> singles;
+  for (int64_t r = 0; r < kRequests; ++r) {
+    singles.push_back(splits.test.GetRange(r % splits.test.size(), 1));
+  }
+
+  std::vector<Row> rows;
+
+  // One forward pass per request: the no-batching floor.
+  rows.push_back({"serve_seq_b1", threads,
+                  MeasureSeriesPerSec(kRequests, [&] {
+                    for (const data::Batch& b : singles) session->Predict(b);
+                  })});
+
+  // Perfectly coalesced batches, no queueing: the batching ceiling.
+  for (const int64_t batch : {8, 16}) {
+    std::vector<data::Batch> merged;
+    for (int64_t first = 0; first < kRequests; first += batch) {
+      merged.push_back(splits.test.GetRange(first % splits.test.size(), batch));
+    }
+    rows.push_back({"serve_direct_b" + std::to_string(batch), threads,
+                    MeasureSeriesPerSec(kRequests, [&] {
+                      for (const data::Batch& b : merged) session->Predict(b);
+                    })});
+  }
+
+  // The real serving path: concurrent clients through the BatchingQueue.
+  {
+    serve::BatchingQueue queue(session.get(),
+                               {.max_batch_size = 8, .max_queue_delay_us = 500});
+    const int64_t kClients = 4;
+    rows.push_back({"serve_queue_b8", threads,
+                    MeasureSeriesPerSec(kRequests, [&] {
+                      std::vector<std::thread> clients;
+                      for (int64_t c = 0; c < kClients; ++c) {
+                        clients.emplace_back([&, c] {
+                          std::vector<std::future<serve::Forecast>> futures;
+                          for (int64_t r = c; r < kRequests; r += kClients) {
+                            futures.push_back(queue.Submit(singles[r]));
+                          }
+                          for (auto& f : futures) f.get();
+                        });
+                      }
+                      for (std::thread& t : clients) t.join();
+                    })});
+  }
+
+  std::printf("{\"hardware_concurrency\": %lld, \"results\": [",
+              static_cast<long long>(std::max<int64_t>(
+                  1, std::thread::hardware_concurrency())));
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::printf(
+        "%s\n  {\"kernel\": \"%s\", \"threads\": %lld, \"ops_per_sec\": %.3f}",
+        i == 0 ? "" : ",", rows[i].kernel.c_str(),
+        static_cast<long long>(rows[i].threads), rows[i].ops_per_sec);
+  }
+  std::printf("\n]}\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace conformer::bench
+
+int main() { return conformer::bench::Main(); }

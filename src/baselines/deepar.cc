@@ -17,7 +17,7 @@ DeepAr::DeepAr(data::WindowConfig window, int64_t dims, int64_t hidden,
       std::make_shared<nn::Linear>(hidden, window.pred_len * dims));
 }
 
-std::pair<Tensor, Tensor> DeepAr::Distribution(const data::Batch& batch) {
+std::pair<Tensor, Tensor> DeepAr::Distribution(const data::Batch& batch) const {
   const int64_t batch_size = batch.x.size(0);
   nn::GruOutput out = gru_->Forward(embed_->Forward(batch.x));
   Tensor last = Squeeze(Slice(out.last_hidden, 0, gru_->num_layers() - 1,
@@ -31,7 +31,7 @@ std::pair<Tensor, Tensor> DeepAr::Distribution(const data::Batch& batch) {
   return {mu, sigma};
 }
 
-Tensor DeepAr::Forward(const data::Batch& batch) {
+Tensor DeepAr::Forward(const data::Batch& batch) const {
   return Distribution(batch).first;
 }
 

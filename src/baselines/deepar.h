@@ -22,7 +22,7 @@ class DeepAr : public Forecaster {
          int64_t layers = 2, uint64_t seed = 19);
 
   /// Point prediction = the Gaussian mean.
-  Tensor Forward(const data::Batch& batch) override;
+  Tensor Forward(const data::Batch& batch) const override;
 
   /// Gaussian negative log-likelihood of the target block.
   Tensor Loss(const data::Batch& batch) override;
@@ -36,13 +36,13 @@ class DeepAr : public Forecaster {
 
  private:
   /// (mu, sigma), each [B, pred_len, dims]; sigma > 0 via softplus.
-  std::pair<Tensor, Tensor> Distribution(const data::Batch& batch);
+  std::pair<Tensor, Tensor> Distribution(const data::Batch& batch) const;
 
   std::shared_ptr<nn::Linear> embed_;
   std::shared_ptr<nn::Gru> gru_;
   std::shared_ptr<nn::Linear> mu_head_;
   std::shared_ptr<nn::Linear> sigma_head_;
-  Rng rng_;
+  mutable Rng rng_;  // Ancestral sampling; mutated by const Forward.
 };
 
 }  // namespace conformer::models

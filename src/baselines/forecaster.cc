@@ -6,6 +6,13 @@ Tensor Forecaster::Loss(const data::Batch& batch) {
   return MseLoss(Forward(batch), TargetBlock(batch));
 }
 
+Tensor Forecaster::Predict(const data::Batch& batch) const {
+  CONFORMER_CHECK(!training())
+      << name() << ": Predict() requires eval() mode";
+  NoGradGuard no_grad;
+  return Forward(batch);
+}
+
 Tensor Forecaster::TargetBlock(const data::Batch& batch) const {
   const int64_t total = batch.y.size(1);
   return Slice(batch.y, 1, total - window_.pred_len, total);

@@ -21,7 +21,11 @@ class Forecaster : public nn::Module {
       : window_(window), dims_(dims) {}
 
   /// Point prediction for the batch: [B, pred_len, dims].
-  virtual Tensor Forward(const data::Batch& batch) = 0;
+  virtual Tensor Forward(const data::Batch& batch) const = 0;
+
+  /// Inference entry point: requires eval() mode, disables autograd
+  /// recording, and returns Forward(batch). The serving layer calls this.
+  Tensor Predict(const data::Batch& batch) const;
 
   /// Training objective; the default is MSE against the target block.
   /// Conformer overrides this with the mixed loss of Eq. (18).

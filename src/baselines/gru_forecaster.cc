@@ -11,7 +11,7 @@ GruForecaster::GruForecaster(data::WindowConfig window, int64_t dims,
       "head", std::make_shared<nn::Linear>(hidden, window.pred_len * dims));
 }
 
-Tensor GruForecaster::Forward(const data::Batch& batch) {
+Tensor GruForecaster::Forward(const data::Batch& batch) const {
   const int64_t batch_size = batch.x.size(0);
   nn::GruOutput out = gru_->Forward(embed_->Forward(batch.x));
   // Final top-layer state summarizes the window.

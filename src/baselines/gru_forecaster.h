@@ -19,7 +19,7 @@ class GruForecaster : public Forecaster {
   GruForecaster(data::WindowConfig window, int64_t dims, int64_t hidden = 32,
                 int64_t layers = 2);
 
-  Tensor Forward(const data::Batch& batch) override;
+  Tensor Forward(const data::Batch& batch) const override;
   std::string name() const override { return "GRU"; }
 
  private:

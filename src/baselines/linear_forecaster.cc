@@ -13,7 +13,7 @@ LinearForecaster::LinearForecaster(data::WindowConfig window, int64_t dims)
                                            window.pred_len * dims));
 }
 
-Tensor LinearForecaster::Forward(const data::Batch& batch) {
+Tensor LinearForecaster::Forward(const data::Batch& batch) const {
   const int64_t batch_size = batch.x.size(0);
   Tensor flat = Reshape(batch.x, {batch_size, -1});
   return Reshape(head_->Forward(flat), {batch_size, window_.pred_len, dims_});

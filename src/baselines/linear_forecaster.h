@@ -19,7 +19,7 @@ class LinearForecaster : public Forecaster {
  public:
   LinearForecaster(data::WindowConfig window, int64_t dims);
 
-  Tensor Forward(const data::Batch& batch) override;
+  Tensor Forward(const data::Batch& batch) const override;
   std::string name() const override { return "Linear(VAR)"; }
 
   /// Closed-form ridge fit on every window of `dataset` (replaces the

@@ -12,7 +12,7 @@ LstmForecaster::LstmForecaster(data::WindowConfig window, int64_t dims,
       "head", std::make_shared<nn::Linear>(hidden, window.pred_len * dims));
 }
 
-Tensor LstmForecaster::Forward(const data::Batch& batch) {
+Tensor LstmForecaster::Forward(const data::Batch& batch) const {
   const int64_t batch_size = batch.x.size(0);
   nn::LstmOutput out = lstm_->Forward(embed_->Forward(batch.x));
   Tensor last = Squeeze(Slice(out.last_hidden, 0, lstm_->num_layers() - 1,

@@ -17,7 +17,7 @@ LstNet::LstNet(data::WindowConfig window, int64_t dims, int64_t channels,
       "head", std::make_shared<nn::Linear>(hidden, window.pred_len * dims));
 }
 
-Tensor LstNet::Forward(const data::Batch& batch) {
+Tensor LstNet::Forward(const data::Batch& batch) const {
   const int64_t batch_size = batch.x.size(0);
   // [B, L, D] -> [B, D, L] -> conv -> [B, C, L'] -> [B, L', C]
   Tensor features = Relu(conv_->Forward(Permute(batch.x, {0, 2, 1})));

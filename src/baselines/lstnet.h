@@ -21,7 +21,7 @@ class LstNet : public Forecaster {
   LstNet(data::WindowConfig window, int64_t dims, int64_t channels = 32,
          int64_t kernel = 6, int64_t hidden = 32, float dropout = 0.1f);
 
-  Tensor Forward(const data::Batch& batch) override;
+  Tensor Forward(const data::Batch& batch) const override;
   std::string name() const override { return "LSTNet"; }
 
  private:

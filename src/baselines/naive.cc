@@ -4,7 +4,7 @@
 
 namespace conformer::models {
 
-Tensor NaiveForecaster::Forward(const data::Batch& batch) {
+Tensor NaiveForecaster::Forward(const data::Batch& batch) const {
   const int64_t lx = batch.x.size(1);
   Tensor last = Slice(batch.x, 1, lx - 1, lx);  // [B, 1, D]
   std::vector<int64_t> reps = {1, window_.pred_len, 1};
@@ -16,7 +16,7 @@ SeasonalNaiveForecaster::SeasonalNaiveForecaster(data::WindowConfig window,
     : Forecaster(window, dims),
       period_(std::clamp<int64_t>(period, 1, window.input_len)) {}
 
-Tensor SeasonalNaiveForecaster::Forward(const data::Batch& batch) {
+Tensor SeasonalNaiveForecaster::Forward(const data::Batch& batch) const {
   const int64_t lx = batch.x.size(1);
   // Step h (0-based) copies x[lx - period + (h mod period)].
   std::vector<int64_t> taps(window_.pred_len);

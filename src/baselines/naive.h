@@ -16,7 +16,7 @@ class NaiveForecaster : public Forecaster {
   NaiveForecaster(data::WindowConfig window, int64_t dims)
       : Forecaster(window, dims) {}
 
-  Tensor Forward(const data::Batch& batch) override;
+  Tensor Forward(const data::Batch& batch) const override;
   std::string name() const override { return "Naive"; }
 };
 
@@ -28,7 +28,7 @@ class SeasonalNaiveForecaster : public Forecaster {
   SeasonalNaiveForecaster(data::WindowConfig window, int64_t dims,
                           int64_t period);
 
-  Tensor Forward(const data::Batch& batch) override;
+  Tensor Forward(const data::Batch& batch) const override;
   std::string name() const override { return "SeasonalNaive"; }
 
   int64_t period() const { return period_; }

@@ -34,7 +34,7 @@ NBeats::NBeats(data::WindowConfig window, int64_t dims, int64_t blocks,
   }
 }
 
-Tensor NBeats::Forward(const data::Batch& batch) {
+Tensor NBeats::Forward(const data::Batch& batch) const {
   const int64_t batch_size = batch.x.size(0);
   Tensor residual = Reshape(batch.x, {batch_size, -1});
   Tensor forecast;

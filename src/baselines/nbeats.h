@@ -34,7 +34,7 @@ class NBeats : public Forecaster {
   NBeats(data::WindowConfig window, int64_t dims, int64_t blocks = 3,
          int64_t hidden = 64);
 
-  Tensor Forward(const data::Batch& batch) override;
+  Tensor Forward(const data::Batch& batch) const override;
   std::string name() const override { return "N-Beats"; }
 
  private:

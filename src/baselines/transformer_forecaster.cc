@@ -129,7 +129,7 @@ TransformerForecaster::TransformerForecaster(const TransformerConfig& config,
   }
 }
 
-Tensor TransformerForecaster::Forward(const data::Batch& batch) {
+Tensor TransformerForecaster::Forward(const data::Batch& batch) const {
   Tensor memory = enc_embed_->Forward(batch.x, batch.x_mark);
   size_t distill_idx = 0;
   for (size_t i = 0; i < enc_layers_.size(); ++i) {

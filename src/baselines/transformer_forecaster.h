@@ -89,7 +89,7 @@ class TransformerForecaster : public Forecaster {
   TransformerForecaster(const TransformerConfig& config,
                         data::WindowConfig window, int64_t dims);
 
-  Tensor Forward(const data::Batch& batch) override;
+  Tensor Forward(const data::Batch& batch) const override;
   std::string name() const override { return config_.display_name; }
 
   const TransformerConfig& config() const { return config_; }

@@ -26,7 +26,7 @@ Ts2Vec::Ts2Vec(data::WindowConfig window, int64_t dims, int64_t hidden,
       "head", std::make_shared<nn::Linear>(hidden, window.pred_len * dims));
 }
 
-Tensor Ts2Vec::Encode(const Tensor& x, bool mask) {
+Tensor Ts2Vec::Encode(const Tensor& x, bool mask) const {
   Tensor h = input_proj_->Forward(x);
   if (mask && training()) {
     // Timestep masking: zero whole positions with probability mask_prob.
@@ -43,7 +43,7 @@ Tensor Ts2Vec::Encode(const Tensor& x, bool mask) {
   return h;
 }
 
-Tensor Ts2Vec::Forward(const data::Batch& batch) {
+Tensor Ts2Vec::Forward(const data::Batch& batch) const {
   const int64_t batch_size = batch.x.size(0);
   Tensor repr = Encode(batch.x, /*mask=*/false);
   Tensor last = Squeeze(Slice(repr, 1, repr.size(1) - 1, repr.size(1)), 1);

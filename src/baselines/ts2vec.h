@@ -21,7 +21,7 @@ class Ts2Vec : public Forecaster {
   Ts2Vec(data::WindowConfig window, int64_t dims, int64_t hidden = 32,
          float mask_prob = 0.15f, float contrastive_weight = 0.5f);
 
-  Tensor Forward(const data::Batch& batch) override;
+  Tensor Forward(const data::Batch& batch) const override;
 
   /// Contrastive objective + forecasting MSE (the head learns from a
   /// detached representation to mimic the two-stage protocol).
@@ -32,7 +32,7 @@ class Ts2Vec : public Forecaster {
  private:
   /// Per-timestep representation [B, L, hidden]; `mask` drops random
   /// timesteps before encoding (training augmentation).
-  Tensor Encode(const Tensor& x, bool mask);
+  Tensor Encode(const Tensor& x, bool mask) const;
 
   int64_t hidden_;
   float mask_prob_;
@@ -40,7 +40,7 @@ class Ts2Vec : public Forecaster {
   std::shared_ptr<nn::Linear> input_proj_;
   std::vector<std::shared_ptr<nn::Conv1dLayer>> dilated_;  // dilations 1,2,4
   std::shared_ptr<nn::Linear> head_;
-  Rng rng_;
+  mutable Rng rng_;  // Timestamp masking; mutated by const Encode.
 };
 
 }  // namespace conformer::models

@@ -68,7 +68,7 @@ ConformerModel::ConformerModel(const ConformerConfig& config,
 }
 
 ConformerModel::Parts ConformerModel::Run(const data::Batch& batch,
-                                          bool sample_flow) {
+                                          bool sample_flow) const {
   EncoderOutput enc = encoder_->Forward(batch.x, batch.x_mark);
   Tensor dec_in = DecoderInput(batch);
   DecoderOutput dec = decoder_->Forward(dec_in, batch.y_mark, enc.sequence);
@@ -86,7 +86,7 @@ ConformerModel::Parts ConformerModel::Run(const data::Batch& batch,
   return parts;
 }
 
-Tensor ConformerModel::Forward(const data::Batch& batch) {
+Tensor ConformerModel::Forward(const data::Batch& batch) const {
   CONFORMER_PROFILE_SCOPE_CAT("model", "conformer_forward");
   Parts parts = Run(batch, /*sample_flow=*/training());
   if (!parts.flow_series.defined()) return parts.decoder_series;

@@ -61,7 +61,7 @@ class ConformerModel : public models::Forecaster {
 
   /// Point forecast: lambda * decoder output + (1 - lambda) * flow output
   /// (mean path in eval mode).
-  Tensor Forward(const data::Batch& batch) override;
+  Tensor Forward(const data::Batch& batch) const override;
 
   /// Eq. (18): lambda * MSE(Y_out, Y) + (1 - lambda) * MSE(Z_out, Y).
   Tensor Loss(const data::Batch& batch) override;
@@ -82,14 +82,14 @@ class ConformerModel : public models::Forecaster {
     Tensor decoder_series;  ///< [B, pred_len, D]
     Tensor flow_series;     ///< [B, pred_len, D] or undefined when disabled.
   };
-  Parts Run(const data::Batch& batch, bool sample_flow);
+  Parts Run(const data::Batch& batch, bool sample_flow) const;
 
   ConformerConfig config_;
   std::shared_ptr<Encoder> encoder_;
   std::shared_ptr<Decoder> decoder_;
   std::shared_ptr<flow::NormalizingFlow> flow_;
   std::shared_ptr<flow::FlowOutputHead> flow_head_;
-  Rng rng_;
+  mutable Rng rng_;  // Flow sampling; mutated by const Forward.
 };
 
 }  // namespace conformer::core

@@ -1,0 +1,167 @@
+#include "serve/batching_queue.h"
+
+#include <chrono>
+#include <utility>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "util/profiler.h"
+
+namespace conformer::serve {
+
+namespace {
+
+metrics::Registry& Registry() { return metrics::Registry::Global(); }
+
+}  // namespace
+
+BatchingQueue::BatchingQueue(InferenceSession* session, QueueConfig config)
+    : session_(session), config_(config) {
+  CONFORMER_CHECK(session_ != nullptr);
+  if (config_.max_batch_size < 1) config_.max_batch_size = 1;
+  if (config_.max_queue_delay_us < 0) config_.max_queue_delay_us = 0;
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+BatchingQueue::~BatchingQueue() { Shutdown(); }
+
+std::future<Forecast> BatchingQueue::Submit(data::Batch request) {
+  CONFORMER_CHECK(request.x.defined() && request.size() > 0)
+      << "Submit() needs a non-empty batch";
+  Pending pending;
+  pending.batch = std::move(request);
+  pending.enqueue_ns = prof::internal::NowNs();
+  std::future<Forecast> future = pending.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CONFORMER_CHECK(!shutdown_) << "Submit() after Shutdown()";
+    queue_.push_back(std::move(pending));
+    Registry().GetCounter("serve.requests").Increment();
+    Registry().GetGauge("serve.queue_depth")
+        .Set(static_cast<double>(queue_.size()));
+  }
+  cv_.notify_all();
+  return future;
+}
+
+void BatchingQueue::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_ && !dispatcher_.joinable()) return;
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+int64_t BatchingQueue::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(queue_.size());
+}
+
+void BatchingQueue::DispatchLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (shutdown_) return;
+      continue;
+    }
+    // Hold an underfull batch open until the configured delay after its
+    // oldest request — unless draining for shutdown, when latency no
+    // longer matters and everything queued goes out as fast as possible.
+    if (!shutdown_ && config_.max_queue_delay_us > 0) {
+      const auto full = [this] {
+        if (shutdown_) return true;
+        int64_t series = 0;
+        for (const Pending& p : queue_) series += p.batch.size();
+        return series >= config_.max_batch_size;
+      };
+      const int64_t waited_ns =
+          prof::internal::NowNs() - queue_.front().enqueue_ns;
+      const int64_t remaining_ns =
+          config_.max_queue_delay_us * 1000 - waited_ns;
+      if (remaining_ns > 0 && !full()) {
+        cv_.wait_for(lock, std::chrono::nanoseconds(remaining_ns), full);
+      }
+      if (queue_.empty()) continue;  // Raced a concurrent drain.
+    }
+    ServeBatch(lock);
+  }
+}
+
+void BatchingQueue::ServeBatch(std::unique_lock<std::mutex>& lock) {
+  // Pop the longest prefix that fits max_batch_size series; the first
+  // request always ships, even if alone it exceeds the cap.
+  std::vector<Pending> taken;
+  int64_t series = 0;
+  while (!queue_.empty()) {
+    const int64_t next = queue_.front().batch.size();
+    if (!taken.empty() && series + next > config_.max_batch_size) break;
+    series += next;
+    taken.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  Registry().GetGauge("serve.queue_depth")
+      .Set(static_cast<double>(queue_.size()));
+  lock.unlock();
+
+  const int64_t start_ns = prof::internal::NowNs();
+  Forecast merged;
+  {
+    CONFORMER_PROFILE_SCOPE_CAT("serve", "batch");
+    if (taken.size() == 1) {
+      merged = session_->Predict(taken[0].batch);
+    } else {
+      std::vector<Tensor> x, x_mark, y, y_mark;
+      for (const Pending& p : taken) {
+        x.push_back(p.batch.x);
+        x_mark.push_back(p.batch.x_mark);
+        y.push_back(p.batch.y);
+        y_mark.push_back(p.batch.y_mark);
+      }
+      data::Batch batch;
+      batch.x = Concat(x, 0);
+      batch.x_mark = Concat(x_mark, 0);
+      batch.y = Concat(y, 0);
+      batch.y_mark = Concat(y_mark, 0);
+      merged = session_->Predict(batch);
+    }
+  }
+  const int64_t end_ns = prof::internal::NowNs();
+
+  int64_t offset = 0;
+  for (Pending& p : taken) {
+    const int64_t rows = p.batch.size();
+    Forecast slice;
+    if (taken.size() == 1) {
+      slice = merged;
+    } else {
+      slice.point = Slice(merged.point, 0, offset, offset + rows);
+      if (merged.lower.defined()) {
+        slice.lower = Slice(merged.lower, 0, offset, offset + rows);
+        slice.upper = Slice(merged.upper, 0, offset, offset + rows);
+      }
+    }
+    offset += rows;
+    p.promise.set_value(std::move(slice));
+    Registry().GetHistogram("serve.request_latency_seconds")
+        .Observe(static_cast<double>(end_ns - p.enqueue_ns) * 1e-9);
+  }
+
+  metrics::Registry& registry = Registry();
+  registry.GetCounter("serve.batches").Increment();
+  registry.GetHistogram("serve.batch_size",
+                        {1, 2, 4, 8, 16, 32, 64, 128})
+      .Observe(static_cast<double>(series));
+  registry.GetGauge("serve.batch_occupancy")
+      .Set(static_cast<double>(series) /
+           static_cast<double>(config_.max_batch_size));
+  registry.GetHistogram("serve.batch_latency_seconds")
+      .Observe(static_cast<double>(end_ns - start_ns) * 1e-9);
+
+  lock.lock();
+}
+
+}  // namespace conformer::serve

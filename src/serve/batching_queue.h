@@ -1,0 +1,93 @@
+// Dynamic micro-batching for concurrent forecast requests
+// (docs/SERVING.md).
+//
+// Callers Submit() single-series (or small) batches and get a future; a
+// dedicated dispatcher thread coalesces whatever is queued — up to
+// max_batch_size series, waiting at most max_queue_delay_us after the first
+// request of a batch — into one InferenceSession::Predict call, then slices
+// the result back per request. The dispatcher is a plain std::thread, NOT a
+// ThreadPool task: pool workers that block would deadlock nested kernels
+// (nested ParallelFor runs sequentially), while a dedicated thread leaves
+// the whole pool to the coalesced forward pass.
+//
+// Batching is transparent: kernels are row-independent with thread-count-
+// invariant chunking (docs/THREADING.md), so a request's rows are bitwise
+// identical whether served alone or inside any micro-batch.
+
+#ifndef CONFORMER_SERVE_BATCHING_QUEUE_H_
+#define CONFORMER_SERVE_BATCHING_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/inference_session.h"
+
+namespace conformer::serve {
+
+/// \brief Micro-batching knobs.
+struct QueueConfig {
+  /// Series coalesced into one forward pass; larger batches amortize
+  /// per-call overhead and feed the kernels wider ParallelFor ranges.
+  int64_t max_batch_size = 8;
+  /// How long the dispatcher holds an underfull batch open waiting for
+  /// company, counted from the first queued request. 0 = never wait:
+  /// coalesce only what is already queued.
+  int64_t max_queue_delay_us = 1000;
+};
+
+/// \brief Coalesces concurrent requests into micro-batches over one
+/// InferenceSession. Thread-safe; destruction drains the queue.
+class BatchingQueue {
+ public:
+  /// `session` must outlive the queue.
+  BatchingQueue(InferenceSession* session, QueueConfig config);
+  /// Calls Shutdown().
+  ~BatchingQueue();
+
+  BatchingQueue(const BatchingQueue&) = delete;
+  BatchingQueue& operator=(const BatchingQueue&) = delete;
+
+  /// Enqueues one request (any batch size >= 1 with the session's window
+  /// geometry) and returns a future for its forecast. Bumps serve.requests
+  /// and observes serve.request_latency_seconds on completion.
+  std::future<Forecast> Submit(data::Batch request);
+
+  /// Drains every queued request, then stops the dispatcher. Submit() after
+  /// shutdown is an error. Idempotent.
+  void Shutdown();
+
+  /// Requests currently waiting (not yet dispatched).
+  int64_t pending() const;
+
+  const QueueConfig& config() const { return config_; }
+
+ private:
+  struct Pending {
+    data::Batch batch;
+    std::promise<Forecast> promise;
+    int64_t enqueue_ns = 0;
+  };
+
+  void DispatchLoop();
+  /// Pops up to max_batch_size series worth of requests, runs them as one
+  /// batch, and fulfills their promises. `lock` is held on entry and exit.
+  void ServeBatch(std::unique_lock<std::mutex>& lock);
+
+  InferenceSession* session_;
+  QueueConfig config_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool shutdown_ = false;
+  std::thread dispatcher_;
+};
+
+}  // namespace conformer::serve
+
+#endif  // CONFORMER_SERVE_BATCHING_QUEUE_H_

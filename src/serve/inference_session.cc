@@ -1,0 +1,80 @@
+#include "serve/inference_session.h"
+
+#include <utility>
+
+#include "core/conformer_model.h"
+#include "train/checkpoint.h"
+#include "util/binary_io.h"
+#include "util/metrics.h"
+#include "util/profiler.h"
+
+namespace conformer::serve {
+
+namespace {
+
+std::string JoinPath(const std::string& dir, const std::string& name) {
+  if (dir.empty() || dir.back() == '/') return dir + name;
+  return dir + "/" + name;
+}
+
+}  // namespace
+
+InferenceSession::InferenceSession(SessionConfig config,
+                                   std::unique_ptr<models::Forecaster> model)
+    : config_(std::move(config)), model_(std::move(model)) {}
+
+Result<std::unique_ptr<InferenceSession>> InferenceSession::Open(
+    const SessionConfig& config, const std::string& checkpoint) {
+  CONFORMER_PROFILE_SCOPE_CAT("serve", "session_open");
+  Result<std::unique_ptr<models::Forecaster>> model = models::MakeForecaster(
+      config.model_name, config.window, config.dims, config.hyper);
+  if (!model.ok()) return model.status();
+  model.value()->SetTraining(false);
+
+  if (!checkpoint.empty()) {
+    // A directory is recognized by its MANIFEST; anything else must be a
+    // single checkpoint file.
+    Status restored = io::FileExists(JoinPath(checkpoint, "MANIFEST"))
+                          ? train::LoadLatestCheckpointParams(
+                                checkpoint, model.value().get())
+                          : train::LoadCheckpointParams(checkpoint,
+                                                        model.value().get());
+    if (!restored.ok()) return restored;
+  }
+
+  return std::unique_ptr<InferenceSession>(
+      new InferenceSession(config, std::move(model.value())));
+}
+
+Forecast InferenceSession::Predict(const data::Batch& batch) {
+  CONFORMER_PROFILE_SCOPE_CAT("serve", "predict");
+  CONFORMER_CHECK(batch.x.defined() && batch.size() > 0)
+      << "Predict() needs a non-empty batch";
+  CONFORMER_CHECK_EQ(batch.x.size(1), config_.window.input_len);
+  CONFORMER_CHECK_EQ(batch.x.size(2), config_.dims);
+
+  const int64_t start_ns = prof::internal::NowNs();
+  InferenceModeGuard inference_mode;
+
+  Forecast out;
+  out.point = model_->Predict(batch);
+  if (config_.quantile_samples > 0) {
+    // Flow-head quantiles: Conformer's normalizing flow is the only
+    // sampling head; other models stay point-only.
+    if (auto* conformer = dynamic_cast<core::ConformerModel*>(model_.get())) {
+      flow::UncertaintyBand band = conformer->PredictWithUncertainty(
+          batch, config_.quantile_samples, config_.coverage);
+      out.lower = band.lower;
+      out.upper = band.upper;
+    }
+  }
+
+  metrics::Registry& registry = metrics::Registry::Global();
+  registry.GetCounter("serve.predicts").Increment();
+  registry.GetCounter("serve.predicted_series").Increment(batch.size());
+  registry.GetHistogram("serve.predict_seconds")
+      .Observe(static_cast<double>(prof::internal::NowNs() - start_ns) * 1e-9);
+  return out;
+}
+
+}  // namespace conformer::serve

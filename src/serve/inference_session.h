@@ -1,0 +1,71 @@
+// Inference entry point for trained models (docs/SERVING.md).
+//
+// An InferenceSession owns one eval-mode Forecaster restored from a PR-3
+// checkpoint (model section only, every CRC validated) and answers
+// Predict() calls under InferenceModeGuard: no autograd tape, and op
+// outputs drawn from the calling thread's activation-buffer pool, so a
+// warm session allocates almost nothing per request. Results are bitwise
+// identical to an eval-mode training forward (see serve_test.cc).
+
+#ifndef CONFORMER_SERVE_INFERENCE_SESSION_H_
+#define CONFORMER_SERVE_INFERENCE_SESSION_H_
+
+#include <memory>
+#include <string>
+
+#include "baselines/registry.h"
+#include "data/window_dataset.h"
+#include "util/status.h"
+
+namespace conformer::serve {
+
+/// \brief Everything needed to rebuild the architecture a checkpoint was
+/// trained with; the checkpoint supplies only parameter values.
+struct SessionConfig {
+  std::string model_name = "conformer";  ///< models::MakeForecaster name.
+  data::WindowConfig window;
+  int64_t dims = 7;
+  models::ModelHyperParams hyper;
+  /// >0 draws this many flow samples per Predict to attach a quantile band
+  /// (Conformer only; other models serve point forecasts regardless).
+  int64_t quantile_samples = 0;
+  double coverage = 0.9;  ///< Band coverage when quantile_samples > 0.
+};
+
+/// \brief One forecast: point prediction plus an optional quantile band.
+struct Forecast {
+  Tensor point;  ///< [B, pred_len, D]
+  Tensor lower;  ///< Defined only when the session samples quantiles.
+  Tensor upper;
+};
+
+/// \brief A loaded model serving forecasts. Predict() is safe to call from
+/// any single thread at a time (the BatchingQueue serializes callers).
+class InferenceSession {
+ public:
+  /// Builds the model from `config` and restores parameters from
+  /// `checkpoint`: a .ckpt file, or a checkpoint directory whose MANIFEST
+  /// is walked newest-first. An empty path serves the freshly initialized
+  /// model (benchmarks, smoke tests).
+  static Result<std::unique_ptr<InferenceSession>> Open(
+      const SessionConfig& config, const std::string& checkpoint);
+
+  /// Forecasts one batch. Bumps serve.predicts and observes
+  /// serve.predict_seconds; quantile sampling (when enabled) draws from the
+  /// session's own RNG and does not perturb the point forecast.
+  Forecast Predict(const data::Batch& batch);
+
+  const models::Forecaster& model() const { return *model_; }
+  const SessionConfig& config() const { return config_; }
+
+ private:
+  InferenceSession(SessionConfig config,
+                   std::unique_ptr<models::Forecaster> model);
+
+  SessionConfig config_;
+  std::unique_ptr<models::Forecaster> model_;
+};
+
+}  // namespace conformer::serve
+
+#endif  // CONFORMER_SERVE_INFERENCE_SESSION_H_

@@ -1,0 +1,31 @@
+#include "serve/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace conformer::serve {
+
+double HistogramQuantile(const metrics::Histogram::Snapshot& snapshot,
+                         double q) {
+  if (snapshot.count <= 0 || snapshot.bounds.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(snapshot.count);
+  double seen = 0.0;
+  for (size_t i = 0; i < snapshot.counts.size(); ++i) {
+    const double in_bucket = static_cast<double>(snapshot.counts[i]);
+    if (seen + in_bucket < rank || in_bucket == 0.0) {
+      seen += in_bucket;
+      continue;
+    }
+    if (i >= snapshot.bounds.size()) return snapshot.bounds.back();
+    const double upper = snapshot.bounds[i];
+    const double lower = i == 0 ? 0.0 : snapshot.bounds[i - 1];
+    const double fraction = in_bucket == 0.0
+                                ? 1.0
+                                : std::min(1.0, (rank - seen) / in_bucket);
+    return lower + (upper - lower) * fraction;
+  }
+  return snapshot.bounds.back();
+}
+
+}  // namespace conformer::serve

@@ -1,0 +1,21 @@
+// Quantile estimation over metrics histograms, for the serving CLI / bench
+// p50/p95/p99 summaries (docs/SERVING.md).
+
+#ifndef CONFORMER_SERVE_STATS_H_
+#define CONFORMER_SERVE_STATS_H_
+
+#include "util/metrics.h"
+
+namespace conformer::serve {
+
+/// Estimates the `q`-quantile (q in [0, 1]) of the observations behind a
+/// histogram snapshot by linear interpolation inside the bucket holding the
+/// quantile rank. The overflow bucket reports its lower bound (the largest
+/// finite boundary); an empty histogram reports 0. Resolution is bucket
+/// granularity — fine for dashboards, not for asserting exact values.
+double HistogramQuantile(const metrics::Histogram::Snapshot& snapshot,
+                         double q);
+
+}  // namespace conformer::serve
+
+#endif  // CONFORMER_SERVE_STATS_H_

@@ -16,7 +16,7 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, Fn f, DfA dfda, DfB dfdb,
   CONFORMER_PROFILE_SCOPE(name);
   CONFORMER_CHECK(a.defined() && b.defined()) << name << " on undefined tensor";
   const Shape out_shape = kernels::BroadcastShape(a.shape(), b.shape());
-  std::vector<float> out(NumElements(out_shape));
+  std::vector<float> out = internal::AcquireBuffer(NumElements(out_shape));
   kernels::BroadcastBinary(a.data(), a.shape(), b.data(), b.shape(), out.data(),
                            out_shape, f);
   Tensor a_in = a;
@@ -69,7 +69,7 @@ Tensor UnaryOp(const Tensor& a, Fn f, Df df, const char* name) {
   CONFORMER_PROFILE_SCOPE(name);
   CONFORMER_CHECK(a.defined()) << name << " on undefined tensor";
   const int64_t n = a.numel();
-  std::vector<float> out(n);
+  std::vector<float> out = internal::AcquireBuffer(n);
   const float* ad = a.data();
   ParallelFor(0, n, kernels::kGrainElementwise, [&](int64_t cb, int64_t ce) {
     for (int64_t i = cb; i < ce; ++i) out[i] = f(ad[i]);

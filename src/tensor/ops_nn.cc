@@ -53,7 +53,7 @@ Tensor Softmax(const Tensor& a, int64_t dim) {
   CONFORMER_CHECK(dim >= 0 && dim < rank);
   const DimSplit s = SplitAt(a.shape(), dim);
 
-  std::vector<float> out(a.numel());
+  std::vector<float> out = internal::AcquireBuffer(a.numel());
   const float* ad = a.data();
   ParallelRows(s, [&](int64_t base) {
     float mx = ad[base];
@@ -100,7 +100,7 @@ Tensor LogSoftmax(const Tensor& a, int64_t dim) {
   if (dim < 0) dim += rank;
   const DimSplit s = SplitAt(a.shape(), dim);
 
-  std::vector<float> out(a.numel());
+  std::vector<float> out = internal::AcquireBuffer(a.numel());
   const float* ad = a.data();
   ParallelRows(s, [&](int64_t base) {
     float mx = ad[base];

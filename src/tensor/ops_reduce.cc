@@ -60,7 +60,7 @@ Tensor Sum(const Tensor& a, std::vector<int64_t> dims, bool keepdim) {
   const Shape keep_shape = KeepdimShape(in_shape, dims);
 
   const int64_t out_numel = NumElements(out_shape);
-  std::vector<float> out(out_numel, 0.0f);
+  std::vector<float> out = internal::AcquireBuffer(out_numel);
   // Accumulate via broadcast-strided iteration over the input.
   {
     const std::vector<int64_t> out_strides =

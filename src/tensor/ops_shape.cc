@@ -75,7 +75,7 @@ Tensor Permute(const Tensor& a, std::vector<int64_t> perm) {
   for (int64_t i = 0; i < rank; ++i) gather_strides[i] = in_strides[perm[i]];
 
   const int64_t n = a.numel();
-  std::vector<float> out(n);
+  std::vector<float> out = internal::AcquireBuffer(n);
   const float* ad = a.data();
   {
     std::vector<int64_t> index(rank, 0);
@@ -149,7 +149,7 @@ Tensor Slice(const Tensor& a, int64_t dim, int64_t start, int64_t end,
 
   Shape out_shape = in_shape;
   out_shape[dim] = count;
-  std::vector<float> out(NumElements(out_shape));
+  std::vector<float> out = internal::AcquireBuffer(NumElements(out_shape));
   const float* ad = a.data();
   for (int64_t o = 0; o < outer; ++o) {
     for (int64_t c = 0; c < count; ++c) {
@@ -203,7 +203,7 @@ Tensor Concat(const std::vector<Tensor>& parts, int64_t dim) {
 
   Shape out_shape = first;
   out_shape[dim] = total;
-  std::vector<float> out(NumElements(out_shape));
+  std::vector<float> out = internal::AcquireBuffer(NumElements(out_shape));
   std::vector<int64_t> sizes(parts.size());
   {
     int64_t offset = 0;  // running offset along `dim`

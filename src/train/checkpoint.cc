@@ -247,6 +247,42 @@ Status LoadCheckpointFile(const std::string& path, nn::Module* model,
   return Status::OK();
 }
 
+Status LoadCheckpointParams(const std::string& path, nn::Module* model) {
+  CONFORMER_PROFILE_SCOPE_CAT("checkpoint", "load_params");
+  Result<std::string> contents = io::ReadFileToString(path);
+  if (!contents.ok()) return contents.status();
+
+  std::map<std::string, std::string> sections;
+  CONFORMER_RETURN_IF_ERROR(ParseSections(contents.value(), path, &sections));
+  auto it = sections.find("model");
+  if (it == sections.end()) {
+    return Status::InvalidArgument(path + ": missing section 'model'");
+  }
+  std::istringstream in(it->second, std::ios::binary);
+  return nn::DeserializeModule(model, in, path + ": model section",
+                               it->second.size());
+}
+
+Status LoadLatestCheckpointParams(const std::string& dir, nn::Module* model) {
+  const CheckpointManager manager(dir);
+  Result<std::vector<std::string>> list = manager.ListCheckpoints();
+  if (!list.ok()) return list.status();
+  if (list.value().empty()) {
+    return Status::NotFound("checkpoint manifest is empty in " + dir);
+  }
+  Status last_error = Status::OK();
+  for (auto it = list.value().rbegin(); it != list.value().rend(); ++it) {
+    const Status st = LoadCheckpointParams(*it, model);
+    if (st.ok()) return st;
+    last_error = st;
+    CONFORMER_LOG(Warning) << "checkpoint " << *it
+                           << " failed to load params: " << st.ToString();
+  }
+  return Status::IOError("every retained checkpoint in " + dir +
+                         " failed to load; last error: " +
+                         last_error.message());
+}
+
 CheckpointManager::CheckpointManager(std::string dir, int64_t keep_last)
     : dir_(std::move(dir)), keep_last_(keep_last < 1 ? 1 : keep_last) {}
 

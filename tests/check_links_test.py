@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Exit-code contract tests for tools/check_links.py.
+
+Run as: check_links_test.py <path-to-check_links.py>
+
+Builds throwaway Markdown trees and checks: valid relative links and
+anchors pass; a missing file, a missing anchor, and a bad cross-file anchor
+fail with a diagnostic naming the offender; links inside fenced code
+blocks, external URLs, and targets escaping the root are ignored; duplicate
+headings get GitHub's -1 suffix.
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def write(root, rel, content):
+    path = os.path.join(root, rel)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w") as f:
+        f.write(content)
+    return path
+
+
+def run(checker, root):
+    proc = subprocess.run(
+        [sys.executable, checker, root],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+    )
+    return proc.returncode, proc.stdout.decode()
+
+
+def main():
+    if len(sys.argv) != 2:
+        print("usage: check_links_test.py <check_links.py>")
+        return 1
+    checker = sys.argv[1]
+    failures = []
+
+    def expect(name, got, want):
+        if got != want:
+            failures.append("%s: expected %r, got %r" % (name, want, got))
+
+    # A healthy tree: relative links, same-file and cross-file anchors,
+    # external URLs, code fences, and an escaping target.
+    with tempfile.TemporaryDirectory() as root:
+        write(
+            root,
+            "README.md",
+            "# Top\n\n## Build & Test\n\n"
+            "[docs](docs/GUIDE.md) [anchor](#build--test)\n"
+            "[deep](docs/GUIDE.md#second-part)\n"
+            "[ext](https://example.com/missing) [mail](mailto:x@y.z)\n"
+            "[badge](../../actions/workflows/ci.yml)\n"
+            "```\n[fake](nope.md)\n```\n",
+        )
+        write(
+            root,
+            "docs/GUIDE.md",
+            "# Guide\n\n## Part\n\n## Part\n\n## Second part\n\n"
+            "[back](../README.md#top) [dup](#part-1)\n",
+        )
+        code, out = run(checker, root)
+        expect("healthy tree exit", code, 0)
+        expect("healthy tree count", "2 file(s)" in out, True)
+
+    # One broken file link.
+    with tempfile.TemporaryDirectory() as root:
+        write(root, "a.md", "[gone](missing.md)\n")
+        code, out = run(checker, root)
+        expect("broken link exit", code, 1)
+        expect("broken link named", "missing.md" in out, True)
+
+    # Same-file anchor that matches no heading.
+    with tempfile.TemporaryDirectory() as root:
+        write(root, "a.md", "# Real Heading\n\n[bad](#not-here)\n")
+        code, out = run(checker, root)
+        expect("missing anchor exit", code, 1)
+        expect("missing anchor named", "#not-here" in out, True)
+
+    # Cross-file anchor that matches no heading in the target.
+    with tempfile.TemporaryDirectory() as root:
+        write(root, "a.md", "[bad](b.md#absent)\n")
+        write(root, "b.md", "# Only This\n")
+        code, out = run(checker, root)
+        expect("cross-file anchor exit", code, 1)
+
+    # build*/ directories are pruned.
+    with tempfile.TemporaryDirectory() as root:
+        write(root, "a.md", "# Fine\n")
+        write(root, "build/junk.md", "[gone](nowhere.md)\n")
+        code, _ = run(checker, root)
+        expect("build dir pruned", code, 0)
+
+    # Usage errors exit 2.
+    code, _ = run(checker, os.path.join("/", "no", "such", "dir"))
+    expect("bad root exit", code, 2)
+
+    if failures:
+        print("FAILED:")
+        for failure in failures:
+            print("  " + failure)
+        return 1
+    print("check_links_test: all cases passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,404 @@
+// Serving-layer suite (docs/SERVING.md): inference-mode bitwise parity with
+// the recording forward pass, activation-buffer-pool reuse, params-only
+// checkpoint loading, checkpoint -> InferenceSession -> Predict round-trips
+// for Conformer and three registered baselines, batched-vs-single bitwise
+// transparency, BatchingQueue coalescing/drain behaviour, and the latency
+// quantile helper behind the CLI's p50/p95/p99 summary.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "baselines/registry.h"
+#include "data/dataset_registry.h"
+#include "serve/batching_queue.h"
+#include "serve/inference_session.h"
+#include "serve/stats.h"
+#include "train/checkpoint.h"
+#include "train/trainer.h"
+#include "util/metrics.h"
+
+namespace conformer::serve {
+namespace {
+
+constexpr const char* kRoundTripModels[] = {"conformer", "gru", "linear",
+                                            "informer"};
+
+data::WindowConfig TestWindow() {
+  return {.input_len = 24, .label_len = 8, .pred_len = 8};
+}
+
+data::DatasetSplits MakeTestSplits() {
+  data::TimeSeries series = data::MakeDataset("etth1", 0.05).value();
+  return data::MakeSplits(series, TestWindow());
+}
+
+std::string MakeTempDir(const std::string& tag) {
+  const std::string dir = "/tmp/conformer_serve_" + tag + "_" +
+                          std::to_string(static_cast<int64_t>(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+void ExpectTensorsBitwiseEqual(const Tensor& a, const Tensor& b,
+                               const std::string& what) {
+  ASSERT_EQ(a.shape(), b.shape()) << what;
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.numel() * sizeof(float)), 0)
+      << what << " differs";
+}
+
+// -- Inference mode vs. recording forward ---------------------------------
+
+TEST(InferenceModeTest, BitwiseEqualsRecordingForward) {
+  data::DatasetSplits splits = MakeTestSplits();
+  const data::Batch batch = splits.test.GetRange(0, 3);
+  for (const char* name : kRoundTripModels) {
+    auto model = models::MakeForecaster(name, TestWindow(),
+                                        splits.test.dims())
+                     .value();
+    model->SetTraining(false);
+    // Recording path: parameters require grad, so this builds a tape.
+    const Tensor recorded = model->Forward(batch);
+    EXPECT_TRUE(recorded.requires_grad()) << name;
+
+    ClearBufferPool();
+    Tensor inference_cold, inference_warm;
+    {
+      InferenceModeGuard guard;
+      inference_cold = model->Forward(batch);  // Pool empty: all misses.
+      inference_warm = model->Forward(batch);  // Recycled buffers.
+    }
+    EXPECT_FALSE(inference_cold.requires_grad()) << name;
+    ASSERT_EQ(inference_cold.impl()->node, nullptr) << name;
+    ExpectTensorsBitwiseEqual(recorded, inference_cold,
+                              std::string(name) + " cold inference");
+    ExpectTensorsBitwiseEqual(recorded, inference_warm,
+                              std::string(name) + " warm inference");
+    ClearBufferPool();
+  }
+}
+
+TEST(InferenceModeTest, BufferPoolRecyclesAcrossCalls) {
+  data::DatasetSplits splits = MakeTestSplits();
+  const data::Batch batch = splits.test.GetRange(0, 2);
+  auto model =
+      models::MakeForecaster("gru", TestWindow(), splits.test.dims()).value();
+  model->SetTraining(false);
+
+  metrics::Counter& hits =
+      metrics::Registry::Global().GetCounter("tensor.pool_hits");
+  ClearBufferPool();
+  {
+    InferenceModeGuard guard;
+    EXPECT_TRUE(BufferPoolEnabled());
+    (void)model->Forward(batch);
+    const int64_t hits_after_cold = hits.value();
+    (void)model->Forward(batch);
+    EXPECT_GT(hits.value(), hits_after_cold)
+        << "second forward should reuse recycled activation buffers";
+  }
+  EXPECT_FALSE(BufferPoolEnabled());
+  ClearBufferPool();
+}
+
+TEST(InferenceModeTest, GuardRestoresPreviousState) {
+  EXPECT_TRUE(GradRecordingEnabled());
+  EXPECT_FALSE(BufferPoolEnabled());
+  {
+    InferenceModeGuard outer;
+    EXPECT_FALSE(GradRecordingEnabled());
+    EXPECT_TRUE(BufferPoolEnabled());
+    {
+      InferenceModeGuard inner;
+      EXPECT_FALSE(GradRecordingEnabled());
+    }
+    EXPECT_FALSE(GradRecordingEnabled());
+    EXPECT_TRUE(BufferPoolEnabled());
+  }
+  EXPECT_TRUE(GradRecordingEnabled());
+  EXPECT_FALSE(BufferPoolEnabled());
+}
+
+// -- Params-only checkpoint loading ---------------------------------------
+
+TEST(LoadCheckpointParamsTest, RestoresModelSectionOnly) {
+  data::DatasetSplits splits = MakeTestSplits();
+  const std::string dir = MakeTempDir("params_only");
+
+  auto src =
+      models::MakeForecaster("gru", TestWindow(), splits.test.dims()).value();
+  train::Adam optimizer(src->Parameters());
+  train::TrainProgress progress;
+  progress.global_step = 7;
+  progress.epoch_rng_state = Rng(3).Serialize();
+  train::CheckpointManager manager(dir);
+  ASSERT_TRUE(manager.Save(*src, optimizer, progress).ok());
+  const std::string path = manager.ListCheckpoints().value().back();
+
+  auto dst =
+      models::MakeForecaster("gru", TestWindow(), splits.test.dims(),
+                             {.seed = 99})
+          .value();
+  ASSERT_TRUE(train::LoadCheckpointParams(path, dst.get()).ok());
+  src->SetTraining(false);
+  dst->SetTraining(false);
+  const data::Batch batch = splits.test.GetRange(0, 2);
+  ExpectTensorsBitwiseEqual(src->Predict(batch), dst->Predict(batch),
+                            "params-only restore");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(LoadCheckpointParamsTest, RejectsCorruptionAnywhereInFile) {
+  data::DatasetSplits splits = MakeTestSplits();
+  const std::string dir = MakeTempDir("params_corrupt");
+
+  auto model =
+      models::MakeForecaster("gru", TestWindow(), splits.test.dims()).value();
+  train::Adam optimizer(model->Parameters());
+  train::TrainProgress progress;
+  progress.global_step = 1;
+  progress.epoch_rng_state = Rng(3).Serialize();
+  train::CheckpointManager manager(dir);
+  ASSERT_TRUE(manager.Save(*model, optimizer, progress).ok());
+  const std::string path = manager.ListCheckpoints().value().back();
+
+  // Flip one byte near the end of the file — inside the trainer section,
+  // which a params-only load never applies but must still validate.
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign((std::istreambuf_iterator<char>(in)),
+                 std::istreambuf_iterator<char>());
+  }
+  bytes[bytes.size() - 3] ^= 0x40;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_FALSE(train::LoadCheckpointParams(path, model.get()).ok());
+  std::filesystem::remove_all(dir);
+}
+
+// -- Checkpoint -> InferenceSession -> Predict round-trip ------------------
+
+TEST(InferenceSessionTest, TrainerCheckpointRoundTripAllModels) {
+  data::DatasetSplits splits = MakeTestSplits();
+  for (const char* name : kRoundTripModels) {
+    const std::string dir = MakeTempDir(std::string("roundtrip_") + name);
+    auto model =
+        models::MakeForecaster(name, TestWindow(), splits.test.dims()).value();
+
+    train::TrainConfig config;
+    config.epochs = 1;
+    config.max_train_batches = 4;
+    config.max_eval_batches = 2;
+    config.batch_size = 8;
+    config.checkpoint_dir = dir;
+    train::Trainer(config).Fit(model.get(), splits.train, splits.val);
+
+    // Re-checkpoint the final (best-validation) weights the way a training
+    // job would publish a model for serving.
+    train::Adam optimizer(model->Parameters());
+    train::TrainProgress progress;
+    progress.global_step = 1000;
+    progress.epoch_rng_state = Rng(5).Serialize();
+    train::CheckpointManager manager(dir);
+    ASSERT_TRUE(manager.Save(*model, optimizer, progress).ok());
+
+    SessionConfig session_config;
+    session_config.model_name = name;
+    session_config.window = TestWindow();
+    session_config.dims = splits.test.dims();
+    auto session = InferenceSession::Open(session_config, dir);
+    ASSERT_TRUE(session.ok()) << session.status().ToString();
+
+    model->SetTraining(false);
+    const data::Batch batch = splits.test.GetRange(1, 2);
+    const Forecast served = session.value()->Predict(batch);
+    ExpectTensorsBitwiseEqual(model->Predict(batch), served.point,
+                              std::string(name) + " round trip");
+    std::filesystem::remove_all(dir);
+  }
+}
+
+TEST(InferenceSessionTest, OpenRejectsMissingCheckpoint) {
+  SessionConfig config;
+  config.model_name = "gru";
+  config.window = TestWindow();
+  config.dims = 7;
+  EXPECT_FALSE(InferenceSession::Open(config, "/tmp/does-not-exist-xyz").ok());
+}
+
+TEST(InferenceSessionTest, ConformerQuantileBandOrdersAroundPoint) {
+  data::DatasetSplits splits = MakeTestSplits();
+  SessionConfig config;
+  config.model_name = "conformer";
+  config.window = TestWindow();
+  config.dims = splits.test.dims();
+  config.quantile_samples = 4;
+  auto session = InferenceSession::Open(config, "");
+  ASSERT_TRUE(session.ok());
+
+  const data::Batch batch = splits.test.GetRange(0, 2);
+  const Forecast forecast = session.value()->Predict(batch);
+  ASSERT_TRUE(forecast.lower.defined());
+  ASSERT_TRUE(forecast.upper.defined());
+  ASSERT_EQ(forecast.lower.shape(), forecast.point.shape());
+  for (int64_t i = 0; i < forecast.lower.numel(); ++i) {
+    EXPECT_LE(forecast.lower.data()[i], forecast.upper.data()[i]);
+  }
+  // Sampling advances the session's RNG between calls; the point path must
+  // not notice (eval-mode forward never samples).
+  const Forecast again = session.value()->Predict(batch);
+  ExpectTensorsBitwiseEqual(again.point, forecast.point,
+                            "point forecast across sampling calls");
+}
+
+// -- Batching transparency -------------------------------------------------
+
+TEST(InferenceSessionTest, BatchedPredictBitwiseEqualsSingles) {
+  data::DatasetSplits splits = MakeTestSplits();
+  SessionConfig config;
+  config.model_name = "conformer";
+  config.window = TestWindow();
+  config.dims = splits.test.dims();
+  auto session = InferenceSession::Open(config, "");
+  ASSERT_TRUE(session.ok());
+
+  const int64_t kBatch = 4;
+  const data::Batch merged = splits.test.GetRange(0, kBatch);
+  const Tensor batched = session.value()->Predict(merged).point;
+  for (int64_t r = 0; r < kBatch; ++r) {
+    const Tensor single =
+        session.value()->Predict(splits.test.GetRange(r, 1)).point;
+    const Tensor row = Slice(batched, 0, r, r + 1);
+    ExpectTensorsBitwiseEqual(single, row,
+                              "row " + std::to_string(r) + " of micro-batch");
+  }
+}
+
+// -- BatchingQueue ---------------------------------------------------------
+
+TEST(BatchingQueueTest, CoalescesAndMatchesDirectPredict) {
+  data::DatasetSplits splits = MakeTestSplits();
+  SessionConfig config;
+  config.model_name = "gru";
+  config.window = TestWindow();
+  config.dims = splits.test.dims();
+  auto session = InferenceSession::Open(config, "");
+  ASSERT_TRUE(session.ok());
+
+  metrics::Registry& registry = metrics::Registry::Global();
+  const int64_t batches_before = registry.GetCounter("serve.batches").value();
+
+  const int64_t kRequests = 8;
+  std::vector<Tensor> direct;
+  for (int64_t r = 0; r < kRequests; ++r) {
+    direct.push_back(
+        session.value()->Predict(splits.test.GetRange(r, 1)).point);
+  }
+
+  BatchingQueue queue(session.value().get(),
+                      {.max_batch_size = kRequests,
+                       .max_queue_delay_us = 50 * 1000});
+  std::vector<std::future<Forecast>> futures;
+  for (int64_t r = 0; r < kRequests; ++r) {
+    futures.push_back(queue.Submit(splits.test.GetRange(r, 1)));
+  }
+  for (int64_t r = 0; r < kRequests; ++r) {
+    ExpectTensorsBitwiseEqual(futures[r].get().point, direct[r],
+                              "queued request " + std::to_string(r));
+  }
+  queue.Shutdown();
+  EXPECT_EQ(queue.pending(), 0);
+
+  // All eight requests arrived well inside the 50ms window, so the
+  // dispatcher must have coalesced them into very few batches.
+  const int64_t batches = registry.GetCounter("serve.batches").value() -
+                          batches_before;
+  EXPECT_GE(batches, 1);
+  EXPECT_LE(batches, 3);
+  EXPECT_GT(registry.GetHistogram("serve.request_latency_seconds")
+                .GetSnapshot()
+                .count,
+            0);
+}
+
+TEST(BatchingQueueTest, ShutdownDrainsPendingRequests) {
+  data::DatasetSplits splits = MakeTestSplits();
+  SessionConfig config;
+  config.model_name = "linear";
+  config.window = TestWindow();
+  config.dims = splits.test.dims();
+  auto session = InferenceSession::Open(config, "");
+  ASSERT_TRUE(session.ok());
+
+  std::vector<std::future<Forecast>> futures;
+  {
+    // Long delay + immediate destruction: every future must still resolve.
+    BatchingQueue queue(session.value().get(),
+                        {.max_batch_size = 64,
+                         .max_queue_delay_us = 10 * 1000 * 1000});
+    for (int64_t r = 0; r < 5; ++r) {
+      futures.push_back(queue.Submit(splits.test.GetRange(r, 1)));
+    }
+  }
+  for (auto& f : futures) {
+    const Forecast forecast = f.get();
+    EXPECT_EQ(forecast.point.size(0), 1);
+    EXPECT_EQ(forecast.point.size(1), TestWindow().pred_len);
+  }
+}
+
+TEST(BatchingQueueTest, MultiSeriesRequestsSliceCorrectly) {
+  data::DatasetSplits splits = MakeTestSplits();
+  SessionConfig config;
+  config.model_name = "linear";
+  config.window = TestWindow();
+  config.dims = splits.test.dims();
+  auto session = InferenceSession::Open(config, "");
+  ASSERT_TRUE(session.ok());
+
+  BatchingQueue queue(session.value().get(),
+                      {.max_batch_size = 8, .max_queue_delay_us = 20 * 1000});
+  std::future<Forecast> two = queue.Submit(splits.test.GetRange(0, 2));
+  std::future<Forecast> three = queue.Submit(splits.test.GetRange(2, 3));
+  ExpectTensorsBitwiseEqual(
+      two.get().point, session.value()->Predict(splits.test.GetRange(0, 2)).point,
+      "two-series request");
+  ExpectTensorsBitwiseEqual(
+      three.get().point,
+      session.value()->Predict(splits.test.GetRange(2, 3)).point,
+      "three-series request");
+  queue.Shutdown();
+}
+
+// -- Latency quantiles -----------------------------------------------------
+
+TEST(HistogramQuantileTest, InterpolatesWithinBuckets) {
+  metrics::Histogram histogram({1.0, 2.0, 4.0});
+  // 10 observations in (1, 2]: the p50 rank sits mid-bucket.
+  for (int i = 0; i < 10; ++i) histogram.Observe(1.5);
+  const metrics::Histogram::Snapshot snapshot = histogram.GetSnapshot();
+  const double p50 = HistogramQuantile(snapshot, 0.5);
+  EXPECT_GT(p50, 1.0);
+  EXPECT_LE(p50, 2.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snapshot, 1.0), 2.0);
+}
+
+TEST(HistogramQuantileTest, EmptyAndOverflowEdgeCases) {
+  metrics::Histogram histogram({1.0, 2.0});
+  EXPECT_EQ(HistogramQuantile(histogram.GetSnapshot(), 0.5), 0.0);
+  histogram.Observe(100.0);  // Overflow bucket.
+  EXPECT_EQ(HistogramQuantile(histogram.GetSnapshot(), 0.99), 2.0);
+}
+
+}  // namespace
+}  // namespace conformer::serve

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the docs index (CI docs job; stdlib only).
+
+Usage: check_links.py [ROOT]
+
+Walks every ``*.md`` under ROOT (default: the current directory), extracts
+inline ``[text](target)`` links outside fenced code blocks, and validates:
+
+* relative file targets exist (links are resolved against the linking
+  file's directory);
+* ``#anchor`` fragments — same-file or cross-file — match a heading in the
+  target document, using GitHub's slug rules (lowercase, punctuation
+  stripped, spaces to hyphens, ``-N`` suffixes for duplicates).
+
+Skipped: absolute ``http(s)://`` / ``mailto:`` targets (no network in CI),
+and targets that resolve outside ROOT (e.g. the README's ``../../actions``
+badge, which only exists on the GitHub side).
+
+Exit code 0 when every link resolves, 1 with one line per broken link
+otherwise, 2 on usage errors.
+"""
+
+import os
+import re
+import sys
+
+INLINE_LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^()\s]+(?:\([^()]*\))?)\)")
+IMAGE_LINK = re.compile(r"\!\[[^\]]*\]\(([^()\s]+)\)")
+HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+FENCE = re.compile(r"^\s*(```|~~~)")
+
+SKIP_DIRS = {".git", ".github", "third_party"}
+
+
+def find_markdown(root):
+    """All .md files under root, pruning VCS/build directories."""
+    found = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(
+            d
+            for d in dirnames
+            if d not in SKIP_DIRS and not d.startswith("build")
+        )
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                found.append(os.path.join(dirpath, name))
+    return found
+
+
+def strip_fenced_code(lines):
+    """Lines with fenced code blocks blanked out (links in code are prose
+    about syntax, not navigation)."""
+    kept = []
+    in_fence = False
+    for line in lines:
+        if FENCE.match(line):
+            in_fence = not in_fence
+            kept.append("")
+        elif in_fence:
+            kept.append("")
+        else:
+            kept.append(line)
+    return kept
+
+
+def github_slug(title, seen):
+    """GitHub's anchor slug for a heading, tracking duplicates in `seen`."""
+    slug = title.strip().lower()
+    slug = re.sub(r"[`*_~\[\]()!\"#$%&'+,./:;<=>?@\\^{|}]", "", slug)
+    slug = re.sub(r"\s", "-", slug)
+    count = seen.get(slug, 0)
+    seen[slug] = count + 1
+    return slug if count == 0 else "%s-%d" % (slug, count)
+
+
+def heading_slugs(path):
+    with open(path, encoding="utf-8") as f:
+        lines = strip_fenced_code(f.read().splitlines())
+    seen = {}
+    slugs = set()
+    for line in lines:
+        match = HEADING.match(line)
+        if match:
+            slugs.add(github_slug(match.group(2), seen))
+    return slugs
+
+
+def extract_links(path):
+    """(line_number, target) pairs for inline links and images."""
+    with open(path, encoding="utf-8") as f:
+        lines = strip_fenced_code(f.read().splitlines())
+    links = []
+    for number, line in enumerate(lines, start=1):
+        line = re.sub(r"`[^`]*`", "", line)  # Inline code spans.
+        for pattern in (INLINE_LINK, IMAGE_LINK):
+            for match in pattern.finditer(line):
+                links.append((number, match.group(1)))
+    return links
+
+
+def check_file(md_path, root):
+    """Broken-link messages for one Markdown file."""
+    errors = []
+    for number, target in extract_links(md_path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, anchor = target.partition("#")
+        if path_part:
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(md_path), path_part)
+            )
+            if not resolved.startswith(os.path.normpath(root) + os.sep):
+                continue  # Outside the repo (e.g. ../../actions badge).
+            if not os.path.exists(resolved):
+                errors.append(
+                    "%s:%d: broken link: %s" % (md_path, number, target)
+                )
+                continue
+            anchor_file = resolved
+        else:
+            anchor_file = md_path
+        if anchor:
+            if not anchor_file.endswith(".md") or os.path.isdir(anchor_file):
+                continue  # Anchors into non-Markdown files: not checkable.
+            if anchor.lower() not in heading_slugs(anchor_file):
+                errors.append(
+                    "%s:%d: missing anchor: %s" % (md_path, number, target)
+                )
+    return errors
+
+
+def main(argv):
+    if len(argv) > 2:
+        print(__doc__)
+        return 2
+    root = os.path.abspath(argv[1]) if len(argv) == 2 else os.getcwd()
+    if not os.path.isdir(root):
+        print("check_links: not a directory: %s" % root)
+        return 2
+
+    files = find_markdown(root)
+    errors = []
+    checked = 0
+    for md_path in files:
+        errors.extend(check_file(md_path, root))
+        checked += 1
+    for message in errors:
+        print(message)
+    print(
+        "check_links: %d file(s), %d broken link(s)" % (checked, len(errors))
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
