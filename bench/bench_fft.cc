@@ -1,0 +1,167 @@
+// FFT subsystem benchmark: the Eq. 1-2 input-representation correlation path
+// at the paper's non-power-of-two benchmark lengths (96/192/336/720), the
+// arbitrary-length (Bluestein) transform, and the thread scaling of the
+// batched auto-correlation. Emits the bench_parallel_kernels JSON schema so
+// CI can diff runs against bench/baselines/bench_fft.json:
+//
+//   {"hardware_concurrency": N,
+//    "results": [{"kernel": "input_corr_fft_336", "threads": 1,
+//                 "ops_per_sec": ...}]}
+//
+// The input_corr_direct_* rows time a faithful replica of the pre-PR O(L^2)
+// fallback over the same (batch, variable) columns, so the in-run ratio
+// input_corr_fft_* / input_corr_direct_* is the rewrite's speedup; CI
+// asserts it stays >= 5x at L = 336 and 720 (single thread).
+
+#include <algorithm>
+#include <chrono>
+#include <complex>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "fft/autocorrelation.h"
+#include "fft/fft.h"
+#include "fft/plan.h"
+#include "util/env.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace conformer::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Per-measurement wall budget; CONFORMER_BENCH_MIN_MILLIS overrides the
+// default 100ms (CI uses 300ms to tame runner noise).
+double MinSeconds() {
+  static const double min_seconds =
+      static_cast<double>(GetEnvInt("CONFORMER_BENCH_MIN_MILLIS", 100)) * 1e-3;
+  return min_seconds;
+}
+
+template <typename Fn>
+double MeasureOpsPerSec(Fn fn, double min_seconds = MinSeconds()) {
+  fn();  // warm-up (also builds/caches any FFT plan the loop needs)
+  int64_t iters = 0;
+  const auto start = Clock::now();
+  double elapsed = 0.0;
+  do {
+    fn();
+    ++iters;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (elapsed < min_seconds);
+  return static_cast<double>(iters) / elapsed;
+}
+
+struct Result {
+  std::string kernel;
+  int64_t threads;
+  double ops_per_sec;
+};
+
+// Faithful replica of the pre-PR non-power-of-two fallback in
+// fft::AutoCorrelation (direct O(n^2) circular correlation).
+void DirectAutoCorrelation(const double* signal, int64_t n, double* out) {
+  for (int64_t lag = 0; lag < n; ++lag) {
+    double acc = 0.0;
+    for (int64_t t = 0; t < n; ++t) acc += signal[t] * signal[(t + lag) % n];
+    out[lag] = acc;
+  }
+}
+
+// The input-representation correlation workload: every (batch, variable)
+// column of a [batch, length, dims] window, as one contiguous row batch.
+std::vector<double> MakeColumns(int64_t count, int64_t length, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> columns(count * length);
+  for (auto& x : columns) x = rng.Normal();
+  return columns;
+}
+
+int Main() {
+  const int64_t hw = std::max<int64_t>(
+      1, static_cast<int64_t>(std::thread::hardware_concurrency()));
+  // The paper's window: 4 batch rows x 7 ETT variables = 28 columns per step.
+  const int64_t kBatchDims = 28;
+  std::vector<Result> results;
+
+  ThreadPool::Global().SetNumThreads(1);
+
+  // Direct-vs-FFT on the two acceptance lengths (single thread), plus the
+  // shorter paper lengths FFT-only for coverage.
+  for (int64_t length : {336, 720}) {
+    std::vector<double> columns = MakeColumns(kBatchDims, length, 7);
+    std::vector<double> out(columns.size());
+    results.push_back(
+        {"input_corr_direct_" + std::to_string(length), 1,
+         MeasureOpsPerSec([&] {
+           for (int64_t i = 0; i < kBatchDims; ++i) {
+             DirectAutoCorrelation(columns.data() + i * length, length,
+                                   out.data() + i * length);
+           }
+         })});
+    results.push_back({"input_corr_fft_" + std::to_string(length), 1,
+                       MeasureOpsPerSec([&] {
+                         out = fft::AutoCorrelationBatch(columns, kBatchDims,
+                                                         length);
+                       })});
+  }
+  for (int64_t length : {96, 192}) {
+    std::vector<double> columns = MakeColumns(kBatchDims, length, 7);
+    std::vector<double> out(columns.size());
+    results.push_back({"input_corr_fft_" + std::to_string(length), 1,
+                       MeasureOpsPerSec([&] {
+                         out = fft::AutoCorrelationBatch(columns, kBatchDims,
+                                                         length);
+                       })});
+  }
+
+  // Arbitrary-length transform (Bluestein) vs the radix-2 core at the
+  // nearest power of two, one signal per iteration.
+  for (int64_t length : {336, 720, 1024}) {
+    Rng rng(11);
+    std::vector<std::complex<double>> signal(length);
+    for (auto& x : signal) x = {rng.Normal(), rng.Normal()};
+    results.push_back({"transform_" + std::to_string(length), 1,
+                       MeasureOpsPerSec([&] {
+                         std::vector<std::complex<double>> copy = signal;
+                         fft::Transform(&copy, false);
+                       })});
+  }
+
+  // Thread scaling of the batched path (static-stripe ParallelFor; on a
+  // single-core host the >1-thread rows measure oversubscription overhead).
+  {
+    const int64_t length = 336;
+    std::vector<double> columns = MakeColumns(kBatchDims, length, 7);
+    std::vector<int64_t> counts = {1, 2, 4, hw};
+    std::sort(counts.begin(), counts.end());
+    counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+    for (int64_t t : counts) {
+      ThreadPool::Global().SetNumThreads(t);
+      results.push_back({"autocorr_batch_336", t, MeasureOpsPerSec([&] {
+                           std::vector<double> out = fft::AutoCorrelationBatch(
+                               columns, kBatchDims, length);
+                           (void)out;
+                         })});
+    }
+  }
+  ThreadPool::Global().SetNumThreads(hw);
+
+  std::printf("{\"hardware_concurrency\": %lld, \"results\": [",
+              static_cast<long long>(hw));
+  for (size_t i = 0; i < results.size(); ++i) {
+    std::printf(
+        "%s\n  {\"kernel\": \"%s\", \"threads\": %lld, \"ops_per_sec\": %.3f}",
+        i == 0 ? "" : ",", results[i].kernel.c_str(),
+        static_cast<long long>(results[i].threads), results[i].ops_per_sec);
+  }
+  std::printf("\n]}\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace conformer::bench
+
+int main() { return conformer::bench::Main(); }

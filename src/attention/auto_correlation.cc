@@ -36,6 +36,9 @@ Tensor AutoCorrelationAttention::Forward(const Tensor& q, const Tensor& k_in,
   const int64_t length = lq;
 
   // --- Candidate lags from the FFT of the batch-averaged correlation. ---
+  // fft::CrossCorrelation is exact and O(L log L) at any query length (it
+  // folds the padded linear correlation back to circular), so non-power-of-
+  // two decoder lengths no longer fall back to a direct O(L^2) scan.
   const int64_t top_k = std::min<int64_t>(
       length - 1,
       factor_ * static_cast<int64_t>(

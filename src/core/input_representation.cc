@@ -115,22 +115,33 @@ Tensor InputRepresentation::MultivariateWeights(const Tensor& x) const {
   // softmax across variables per lag. Computed outside the tape — the
   // weights depend only on the raw input.
   NoGradGuard guard;
+  CONFORMER_PROFILE_SCOPE_CAT("model", "multivariate_correlation");
   const int64_t batch = x.size(0);
   const int64_t length = x.size(1);
   const int64_t dims = x.size(2);
-  std::vector<float> corr(batch * length * dims);
   const float* xd = x.data();
-  std::vector<double> column(length);
+  // Gather the (batch, variable) columns into contiguous rows and run one
+  // batched FFT auto-correlation over all of them (threaded; see
+  // fft::AutoCorrelationBatch for the determinism contract).
+  std::vector<double> columns(batch * dims * length);
   for (int64_t b = 0; b < batch; ++b) {
     for (int64_t d = 0; d < dims; ++d) {
+      double* column = columns.data() + (b * dims + d) * length;
       for (int64_t t = 0; t < length; ++t) {
         column[t] = xd[(b * length + t) * dims + d];
       }
-      const std::vector<double> ac = fft::AutoCorrelation(column);
+    }
+  }
+  const std::vector<double> ac =
+      fft::AutoCorrelationBatch(columns, batch * dims, length);
+  std::vector<float> corr(batch * length * dims);
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t d = 0; d < dims; ++d) {
+      const double* row = ac.data() + (b * dims + d) * length;
       // Normalize by lag-0 energy so variables are comparable.
-      const double denom = std::max(std::fabs(ac[0]), 1e-8);
+      const double denom = std::max(std::fabs(row[0]), 1e-8);
       for (int64_t t = 0; t < length; ++t) {
-        corr[(b * length + t) * dims + d] = static_cast<float>(ac[t] / denom);
+        corr[(b * length + t) * dims + d] = static_cast<float>(row[t] / denom);
       }
     }
   }

@@ -61,13 +61,15 @@ class InputRepresentation : public nn::Module {
   /// x [B, L, dims] (standardized values), marks [B, L, kNumTimeFeatures].
   Tensor Forward(const Tensor& x, const Tensor& marks) const;
 
+  /// Eq. (1)-(2): softmax over variables of the per-lag auto-correlation;
+  /// constant w.r.t. parameters (computed from the raw input). Public so the
+  /// FFT bench and the rewrite-regression test can drive the correlation
+  /// path in isolation; Forward is the production entry point.
+  Tensor MultivariateWeights(const Tensor& x) const;
+
   const InputRepresentationConfig& config() const { return config_; }
 
  private:
-  /// Eq. (1)-(2): softmax over variables of the per-lag auto-correlation;
-  /// constant w.r.t. parameters (computed from the raw input).
-  Tensor MultivariateWeights(const Tensor& x) const;
-
   /// Eq. (3)-(4): multiscale calendar embedding, [B, L, d_model].
   Tensor MultiscaleDynamics(const Tensor& marks) const;
 

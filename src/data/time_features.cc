@@ -10,7 +10,14 @@ void TimeFeaturesOf(int64_t unix_seconds, float* out) {
   out[1] = static_cast<float>(ct.hour) / 23.0f - 0.5f;
   out[2] = static_cast<float>(DayOfWeek(unix_seconds)) / 6.0f - 0.5f;
   out[3] = static_cast<float>(ct.day - 1) / 30.0f - 0.5f;
-  out[4] = static_cast<float>(DayOfYear(unix_seconds) - 1) / 365.0f - 0.5f;
+  // Normalize by the actual year length: a fixed 365 pushed day 366 of leap
+  // years past the documented [-0.5, 0.5] range. Like the other features,
+  // the divisor is cardinality - 1 so Jan 1 -> -0.5 and Dec 31 -> +0.5 in
+  // every year.
+  const int days_in_year = IsLeapYear(ct.year) ? 366 : 365;
+  out[4] = static_cast<float>(DayOfYear(unix_seconds) - 1) /
+               static_cast<float>(days_in_year - 1) -
+           0.5f;
 }
 
 std::vector<float> ExtractTimeFeatures(const std::vector<int64_t>& timestamps) {

@@ -4,45 +4,90 @@
 #include <complex>
 
 #include "fft/fft.h"
+#include "fft/plan.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace conformer::fft {
+
+namespace {
+
+bool IsPowerOfTwo(int64_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+// Transform length used for the circular correlation of a length-n series:
+// n itself when the circular FFT applies directly, otherwise the padded
+// power of two >= 2n that holds the full linear correlation.
+int64_t CircularPlanLength(int64_t n) {
+  return IsPowerOfTwo(n) ? n : NextPowerOfTwo(2 * n);
+}
+
+// Circular auto-correlation of x[0..n) into out[0..n) using `plan` (whose
+// length must be CircularPlanLength(n)). For padded plans the linear
+// correlation lin[k] comes back in buffer[k] (k >= 0) and buffer[m - k]
+// (k < 0), and the circular result is the wrap-around fold
+// circ[lag] = lin[lag] + lin[lag - n].
+void CircularAutoCorrelationInto(const double* x, int64_t n,
+                                 const FftPlan& plan, double* out) {
+  const int64_t m = plan.length();
+  std::vector<std::complex<double>> buffer(m, {0.0, 0.0});
+  for (int64_t i = 0; i < n; ++i) buffer[i] = {x[i], 0.0};
+  plan.Forward(buffer.data());
+  for (auto& c : buffer) c *= std::conj(c);
+  plan.Inverse(buffer.data());
+  if (m == n) {
+    for (int64_t lag = 0; lag < n; ++lag) out[lag] = buffer[lag].real();
+    return;
+  }
+  out[0] = buffer[0].real();
+  for (int64_t lag = 1; lag < n; ++lag) {
+    out[lag] = buffer[lag].real() + buffer[m - n + lag].real();
+  }
+}
+
+}  // namespace
 
 std::vector<double> AutoCorrelation(const std::vector<double>& signal,
                                     bool circular) {
   const int64_t n = static_cast<int64_t>(signal.size());
   CONFORMER_CHECK_GT(n, 0);
-  const int64_t padded = NextPowerOfTwo(circular ? n : 2 * n);
-  std::vector<std::complex<double>> buffer(padded, {0.0, 0.0});
   if (circular) {
-    // Tile the signal so the transform length stays a power of two while the
-    // correlation remains circular in the original period... impossible in
-    // general; instead compute directly when n is not a power of two.
-    if (padded == n) {
-      for (int64_t i = 0; i < n; ++i) buffer[i] = {signal[i], 0.0};
-      Transform(&buffer, false);
-      for (auto& x : buffer) x *= std::conj(x);
-      Transform(&buffer, true);
-      std::vector<double> out(n);
-      for (int64_t i = 0; i < n; ++i) out[i] = buffer[i].real();
-      return out;
-    }
-    // Direct O(n^2) circular correlation fallback for non-power-of-two n.
-    std::vector<double> out(n, 0.0);
-    for (int64_t lag = 0; lag < n; ++lag) {
-      double acc = 0.0;
-      for (int64_t t = 0; t < n; ++t) acc += signal[t] * signal[(t + lag) % n];
-      out[lag] = acc;
-    }
+    std::vector<double> out(n);
+    std::shared_ptr<const FftPlan> plan = GetPlan(CircularPlanLength(n));
+    CircularAutoCorrelationInto(signal.data(), n, *plan, out.data());
     return out;
   }
-  // Linear correlation via zero padding.
+  // Linear correlation: zero padding to >= 2n leaves no wrap-around term.
+  const int64_t padded = NextPowerOfTwo(2 * n);
+  std::shared_ptr<const FftPlan> plan = GetPlan(padded);
+  std::vector<std::complex<double>> buffer(padded, {0.0, 0.0});
   for (int64_t i = 0; i < n; ++i) buffer[i] = {signal[i], 0.0};
-  Transform(&buffer, false);
-  for (auto& x : buffer) x *= std::conj(x);
-  Transform(&buffer, true);
+  plan->Forward(buffer.data());
+  for (auto& c : buffer) c *= std::conj(c);
+  plan->Inverse(buffer.data());
   std::vector<double> out(n);
   for (int64_t i = 0; i < n; ++i) out[i] = buffer[i].real();
+  return out;
+}
+
+std::vector<double> AutoCorrelationBatch(const std::vector<double>& series,
+                                         int64_t count, int64_t length) {
+  CONFORMER_CHECK_GE(count, 0);
+  CONFORMER_CHECK_GT(length, 0);
+  CONFORMER_CHECK_EQ(static_cast<int64_t>(series.size()), count * length);
+  std::vector<double> out(series.size());
+  if (count == 0) return out;
+  // Warm the plan before fanning out so workers never contend on the cache
+  // mutex (and the one-time build is attributed to the dispatching thread).
+  std::shared_ptr<const FftPlan> plan = GetPlan(CircularPlanLength(length));
+  // Disjoint writes: row i is written by exactly one chunk, and chunk
+  // boundaries depend only on (0, count, 1) — bitwise identical at any
+  // thread count (docs/THREADING.md contract 1).
+  ParallelFor(0, count, /*grain=*/1, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      CircularAutoCorrelationInto(series.data() + i * length, length, *plan,
+                                  out.data() + i * length);
+    }
+  });
   return out;
 }
 
@@ -50,27 +95,29 @@ std::vector<double> CrossCorrelation(const std::vector<double>& a,
                                      const std::vector<double>& b) {
   CONFORMER_CHECK_EQ(a.size(), b.size());
   const int64_t n = static_cast<int64_t>(a.size());
-  const int64_t padded = NextPowerOfTwo(n);
-  if (padded == n) {
-    std::vector<std::complex<double>> fa(padded), fb(padded);
-    for (int64_t i = 0; i < n; ++i) {
-      fa[i] = {a[i], 0.0};
-      fb[i] = {b[i], 0.0};
-    }
-    Transform(&fa, false);
-    Transform(&fb, false);
-    for (int64_t i = 0; i < padded; ++i) fa[i] *= std::conj(fb[i]);
-    Transform(&fa, true);
-    std::vector<double> out(n);
-    for (int64_t i = 0; i < n; ++i) out[i] = fa[i].real();
+  CONFORMER_CHECK_GT(n, 0);
+  const int64_t m = CircularPlanLength(n);
+  std::shared_ptr<const FftPlan> plan = GetPlan(m);
+  std::vector<std::complex<double>> fa(m, {0.0, 0.0});
+  std::vector<std::complex<double>> fb(m, {0.0, 0.0});
+  for (int64_t i = 0; i < n; ++i) {
+    fa[i] = {a[i], 0.0};
+    fb[i] = {b[i], 0.0};
+  }
+  plan->Forward(fa.data());
+  plan->Forward(fb.data());
+  for (int64_t i = 0; i < m; ++i) fa[i] *= std::conj(fb[i]);
+  plan->Inverse(fa.data());
+  std::vector<double> out(n);
+  if (m == n) {
+    for (int64_t lag = 0; lag < n; ++lag) out[lag] = fa[lag].real();
     return out;
   }
-  // Direct circular correlation for non-power-of-two lengths.
-  std::vector<double> out(n, 0.0);
-  for (int64_t lag = 0; lag < n; ++lag) {
-    double acc = 0.0;
-    for (int64_t t = 0; t < n; ++t) acc += a[(t + lag) % n] * b[t];
-    out[lag] = acc;
+  // Fold the padded linear correlation back to circular:
+  // circ[lag] = lin[lag] + lin[lag - n], with lin[-j] stored at fa[m - j].
+  out[0] = fa[0].real();
+  for (int64_t lag = 1; lag < n; ++lag) {
+    out[lag] = fa[lag].real() + fa[m - n + lag].real();
   }
   return out;
 }

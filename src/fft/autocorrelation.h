@@ -1,5 +1,12 @@
 // FFT-based auto-correlation (Wiener–Khinchin), implementing Eq. (1) of the
 // paper:  MR_XX = F^{-1}( F(X) conj(F(X)) ).
+//
+// Every entry point is O(n log n) at every length. Power-of-two lengths use
+// the length-n circular FFT directly; other lengths compute the linear
+// correlation at the next power of two >= 2n and fold the wrap-around term
+// (circ[lag] = lin[lag] + lin[lag - n]), which is exact — no O(n^2) fallback
+// and no spectral-leakage approximation. Transform plans come from the
+// process-wide cache in fft/plan.h.
 
 #ifndef CONFORMER_FFT_AUTOCORRELATION_H_
 #define CONFORMER_FFT_AUTOCORRELATION_H_
@@ -10,10 +17,19 @@
 namespace conformer::fft {
 
 /// Circular auto-correlation of `signal` at all lags [0, n): the inverse FFT
-/// of the power spectrum, computed with zero padding to 2n to avoid wrap
+/// of the power spectrum, computed with zero padding to >= 2n to avoid wrap
 /// contamination when `circular` is false.
 std::vector<double> AutoCorrelation(const std::vector<double>& signal,
                                     bool circular = true);
+
+/// Circular auto-correlation of `count` series of length `length`, stored
+/// back-to-back in `series` (row-major [count, length]). Returns the same
+/// layout. Rows fan out across util::ParallelFor under the determinism
+/// contract of docs/THREADING.md: each row is one disjoint output slice, so
+/// the result is bitwise identical to calling AutoCorrelation per row at any
+/// thread count. The FFT plan is warmed once before the parallel region.
+std::vector<double> AutoCorrelationBatch(const std::vector<double>& series,
+                                         int64_t count, int64_t length);
 
 /// Circular cross-correlation of `a` against `b` at all lags [0, n):
 /// F^{-1}(F(a) conj(F(b))). Both inputs must have the same length.

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "fft/plan.h"
 #include "util/logging.h"
 
 namespace conformer::fft {
@@ -15,44 +16,21 @@ int64_t NextPowerOfTwo(int64_t n) {
 }
 
 void Transform(std::vector<std::complex<double>>* signal, bool inverse) {
-  auto& a = *signal;
-  const int64_t n = static_cast<int64_t>(a.size());
-  CONFORMER_CHECK(n > 0 && (n & (n - 1)) == 0)
-      << "FFT length must be a power of two, got " << n;
-
-  // Bit-reversal permutation.
-  for (int64_t i = 1, j = 0; i < n; ++i) {
-    int64_t bit = n >> 1;
-    for (; j & bit; bit >>= 1) j ^= bit;
-    j ^= bit;
-    if (i < j) std::swap(a[i], a[j]);
-  }
-
-  for (int64_t len = 2; len <= n; len <<= 1) {
-    const double angle =
-        2.0 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1.0 : -1.0);
-    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
-    for (int64_t i = 0; i < n; i += len) {
-      std::complex<double> w(1.0, 0.0);
-      for (int64_t j = 0; j < len / 2; ++j) {
-        const std::complex<double> u = a[i + j];
-        const std::complex<double> v = a[i + j + len / 2] * w;
-        a[i + j] = u + v;
-        a[i + j + len / 2] = u - v;
-        w *= wlen;
-      }
-    }
-  }
-
+  const int64_t n = static_cast<int64_t>(signal->size());
+  CONFORMER_CHECK_GT(n, 0) << "FFT of an empty signal";
+  std::shared_ptr<const FftPlan> plan = GetPlan(n);
   if (inverse) {
-    for (auto& x : a) x /= static_cast<double>(n);
+    plan->Inverse(signal->data());
+  } else {
+    plan->Forward(signal->data());
   }
 }
 
 std::vector<std::complex<double>> RealFft(const std::vector<double>& signal) {
-  const int64_t padded = NextPowerOfTwo(static_cast<int64_t>(signal.size()));
-  std::vector<std::complex<double>> buffer(padded, {0.0, 0.0});
-  for (size_t i = 0; i < signal.size(); ++i) buffer[i] = {signal[i], 0.0};
+  const int64_t n = static_cast<int64_t>(signal.size());
+  CONFORMER_CHECK_GT(n, 0) << "FFT of an empty signal";
+  std::vector<std::complex<double>> buffer(n);
+  for (int64_t i = 0; i < n; ++i) buffer[i] = {signal[i], 0.0};
   Transform(&buffer, /*inverse=*/false);
   return buffer;
 }

@@ -1,6 +1,12 @@
-// Iterative radix-2 fast Fourier transform. Used by the Conformer input
+// Fast Fourier transforms at arbitrary lengths. Used by the Conformer input
 // representation (Eq. 1: multivariate auto-correlation) and by the fast path
 // of the Autoformer-style auto-correlation baseline.
+//
+// Power-of-two lengths run the iterative radix-2 kernel; every other length
+// runs the Bluestein chirp-z transform, so the spectrum is exact at any n —
+// never the spectrum of a zero-padded (spectrally leaked) surrogate. Both
+// paths draw their twiddle/chirp tables from the process-wide plan cache
+// (fft/plan.h).
 //
 // These routines operate on plain double buffers (no autograd): in Conformer
 // the FFT consumes raw input data, so no gradient flows through it (see
@@ -15,15 +21,17 @@
 
 namespace conformer::fft {
 
-/// In-place FFT of a power-of-two-length complex signal; `inverse` applies
-/// the conjugate transform and divides by n.
+/// In-place DFT of a complex signal of any length >= 1; `inverse` applies
+/// the conjugate transform and divides by n. Exact at every length (radix-2
+/// for powers of two, Bluestein otherwise).
 void Transform(std::vector<std::complex<double>>* signal, bool inverse);
 
 /// Next power of two >= n (n >= 1).
 int64_t NextPowerOfTwo(int64_t n);
 
-/// Forward FFT of a real signal, zero-padded to the next power of two.
-/// Returns the padded-length complex spectrum.
+/// Forward DFT of a real signal. Contract: returns exactly `signal.size()`
+/// complex bins for any length — bin k is the true DFT coefficient X[k] of
+/// the unpadded signal (Hermitian: X[n-k] = conj(X[k])).
 std::vector<std::complex<double>> RealFft(const std::vector<double>& signal);
 
 /// Naive O(n^2) DFT used as a test oracle.

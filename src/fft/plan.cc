@@ -1,0 +1,181 @@
+#include "fft/plan.h"
+
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <numbers>
+
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "util/profiler.h"
+
+namespace conformer::fft {
+
+namespace {
+
+bool IsPowerOfTwo(int64_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+int64_t CeilPowerOfTwo(int64_t n) {
+  int64_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+FftPlan::FftPlan(int64_t n) : n_(n), pow2_(IsPowerOfTwo(n)) {
+  CONFORMER_CHECK_GE(n, 1);
+  CONFORMER_PROFILE_SCOPE_CAT("fft", "fft.plan_build");
+  // Bluestein turns a length-n DFT into a linear convolution of length
+  // 2n-1, which the radix-2 core evaluates at the next power of two.
+  m_ = pow2_ ? n_ : CeilPowerOfTwo(2 * n_ - 1);
+
+  // Bit-reversal permutation of the radix-2 core.
+  bitrev_.assign(m_, 0);
+  for (int64_t i = 1, j = 0; i < m_; ++i) {
+    int64_t bit = m_ >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    bitrev_[i] = j;
+  }
+
+  // Forward twiddles, flattened by stage: stage `len` contributes the len/2
+  // factors w_len^j = exp(-2*pi*i*j/len) at offset len/2 - 1.
+  twiddle_.resize(m_ > 1 ? m_ - 1 : 0);
+  for (int64_t len = 2; len <= m_; len <<= 1) {
+    const int64_t half = len / 2;
+    std::complex<double>* stage = twiddle_.data() + (half - 1);
+    for (int64_t j = 0; j < half; ++j) {
+      const double angle =
+          -2.0 * std::numbers::pi * static_cast<double>(j) / static_cast<double>(len);
+      stage[j] = {std::cos(angle), std::sin(angle)};
+    }
+  }
+
+  if (!pow2_) {
+    // chirp[k] = exp(-i*pi*k^2/n). k^2 is reduced mod 2n before the division
+    // so the angle stays O(1) and full double precision survives large n.
+    chirp_.resize(n_);
+    for (int64_t k = 0; k < n_; ++k) {
+      const int64_t k2 = (k * k) % (2 * n_);
+      const double angle =
+          -std::numbers::pi * static_cast<double>(k2) / static_cast<double>(n_);
+      chirp_[k] = {std::cos(angle), std::sin(angle)};
+    }
+    // Chirp filter b[j] = conj(chirp[|j|]) laid out circularly over m_, then
+    // pre-transformed once: the per-call convolution needs only one forward
+    // and one inverse radix-2 pass.
+    chirp_fft_.assign(m_, {0.0, 0.0});
+    for (int64_t j = 0; j < n_; ++j) {
+      const std::complex<double> b = std::conj(chirp_[j]);
+      chirp_fft_[j] = b;
+      if (j > 0) chirp_fft_[m_ - j] = b;
+    }
+    TransformPow2(chirp_fft_.data(), /*inverse=*/false);
+  }
+}
+
+void FftPlan::TransformPow2(std::complex<double>* a, bool inverse) const {
+  const int64_t m = m_;
+  for (int64_t i = 1; i < m; ++i) {
+    const int64_t j = bitrev_[i];
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (int64_t len = 2; len <= m; len <<= 1) {
+    const int64_t half = len / 2;
+    const std::complex<double>* stage = twiddle_.data() + (half - 1);
+    for (int64_t i = 0; i < m; i += len) {
+      for (int64_t j = 0; j < half; ++j) {
+        const std::complex<double> w =
+            inverse ? std::conj(stage[j]) : stage[j];
+        const std::complex<double> u = a[i + j];
+        const std::complex<double> v = a[i + j + half] * w;
+        a[i + j] = u + v;
+        a[i + j + half] = u - v;
+      }
+    }
+  }
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(m);
+    for (int64_t i = 0; i < m; ++i) a[i] *= scale;
+  }
+}
+
+void FftPlan::BluesteinForward(std::complex<double>* data) const {
+  // X[k] = chirp[k] * sum_t (x[t]*chirp[t]) * conj(chirp[k-t]): a linear
+  // convolution with the pre-transformed chirp filter.
+  std::vector<std::complex<double>> work(m_, {0.0, 0.0});
+  for (int64_t t = 0; t < n_; ++t) work[t] = data[t] * chirp_[t];
+  TransformPow2(work.data(), /*inverse=*/false);
+  for (int64_t i = 0; i < m_; ++i) work[i] *= chirp_fft_[i];
+  TransformPow2(work.data(), /*inverse=*/true);
+  for (int64_t k = 0; k < n_; ++k) data[k] = work[k] * chirp_[k];
+}
+
+void FftPlan::Forward(std::complex<double>* data) const {
+  CONFORMER_PROFILE_SCOPE_CAT("fft", "fft.transform");
+  if (pow2_) {
+    TransformPow2(data, /*inverse=*/false);
+  } else {
+    BluesteinForward(data);
+  }
+}
+
+void FftPlan::Inverse(std::complex<double>* data) const {
+  CONFORMER_PROFILE_SCOPE_CAT("fft", "fft.transform");
+  if (pow2_) {
+    TransformPow2(data, /*inverse=*/true);
+    return;
+  }
+  // IDFT(x) = conj(DFT(conj(x))) / n.
+  for (int64_t i = 0; i < n_; ++i) data[i] = std::conj(data[i]);
+  BluesteinForward(data);
+  const double scale = 1.0 / static_cast<double>(n_);
+  for (int64_t i = 0; i < n_; ++i) data[i] = std::conj(data[i]) * scale;
+}
+
+namespace {
+
+struct PlanCache {
+  std::mutex mu;
+  std::map<int64_t, std::shared_ptr<const FftPlan>> plans;
+};
+
+PlanCache& Cache() {
+  static PlanCache* cache = new PlanCache();  // leaky: usable at shutdown
+  return *cache;
+}
+
+}  // namespace
+
+std::shared_ptr<const FftPlan> GetPlan(int64_t n) {
+  static metrics::Counter& hits =
+      metrics::Registry::Global().GetCounter("fft.plan_hits");
+  static metrics::Counter& misses =
+      metrics::Registry::Global().GetCounter("fft.plan_misses");
+  PlanCache& cache = Cache();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  auto it = cache.plans.find(n);
+  if (it != cache.plans.end()) {
+    hits.Increment();
+    return it->second;
+  }
+  misses.Increment();
+  auto plan = std::make_shared<const FftPlan>(n);
+  cache.plans.emplace(n, plan);
+  return plan;
+}
+
+int64_t PlanCacheSize() {
+  PlanCache& cache = Cache();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  return static_cast<int64_t>(cache.plans.size());
+}
+
+void ClearPlanCacheForTesting() {
+  PlanCache& cache = Cache();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  cache.plans.clear();
+}
+
+}  // namespace conformer::fft

@@ -1,0 +1,85 @@
+// Arbitrary-length FFT plans with a process-wide cache.
+//
+// An FftPlan precomputes everything a transform of one fixed length needs:
+// the bit-reversal permutation and per-stage twiddle factors of the radix-2
+// core, and — for non-power-of-two lengths — the Bluestein chirp-z tables
+// (chirp sequence plus the pre-transformed chirp filter). Plans are immutable
+// after construction, so one plan can serve any number of threads
+// concurrently; per-call scratch lives on the caller's stack/heap, never in
+// the plan.
+//
+// GetPlan(n) is the shared entry point: a mutex-guarded cache keyed by
+// length hands out shared_ptr<const FftPlan>, building at most one plan per
+// length for the process lifetime. Cache traffic is observable through the
+// metrics counters `fft.plan_hits` / `fft.plan_misses`, and plan
+// construction is profiled under the `fft.plan_build` scope (category
+// "fft"). Hot loops that fan transforms across the thread pool should call
+// GetPlan once up front and reuse the plan inside the parallel region.
+
+#ifndef CONFORMER_FFT_PLAN_H_
+#define CONFORMER_FFT_PLAN_H_
+
+#include <complex>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace conformer::fft {
+
+/// \brief Precomputed tables for DFTs of one fixed length (any n >= 1).
+class FftPlan {
+ public:
+  /// Builds the tables for length `n`. Power-of-two lengths get radix-2
+  /// tables only; other lengths additionally get Bluestein chirp tables
+  /// (whose internal convolution uses a radix-2 core of the padded size).
+  explicit FftPlan(int64_t n);
+
+  FftPlan(const FftPlan&) = delete;
+  FftPlan& operator=(const FftPlan&) = delete;
+
+  /// The transform length this plan was built for.
+  int64_t length() const { return n_; }
+
+  /// Radix-2 convolution length backing this plan (== length() when the
+  /// length is a power of two).
+  int64_t conv_length() const { return m_; }
+
+  /// In-place forward DFT of `data[0..length())`. Exact at any length —
+  /// non-power-of-two lengths run the Bluestein chirp-z transform, never a
+  /// zero-padded approximation. Thread-safe (const, no shared scratch).
+  void Forward(std::complex<double>* data) const;
+
+  /// In-place inverse DFT (conjugate transform divided by n).
+  void Inverse(std::complex<double>* data) const;
+
+ private:
+  /// Radix-2 core over `data[0..m_)`; `inverse` conjugates the twiddles and
+  /// divides by m_.
+  void TransformPow2(std::complex<double>* data, bool inverse) const;
+  /// Bluestein chirp-z forward DFT of `data[0..n_)`.
+  void BluesteinForward(std::complex<double>* data) const;
+
+  int64_t n_;         // requested transform length
+  int64_t m_;         // radix-2 core length (n_ if pow2, else >= 2n_-1)
+  bool pow2_;         // n_ is a power of two
+  std::vector<int64_t> bitrev_;                 // size m_
+  std::vector<std::complex<double>> twiddle_;   // forward stages, size m_-1
+  // Bluestein tables (empty when pow2_):
+  std::vector<std::complex<double>> chirp_;      // exp(-i pi k^2 / n), size n_
+  std::vector<std::complex<double>> chirp_fft_;  // FFT_m of conj-chirp filter
+};
+
+/// Returns the cached plan for length `n`, building it on first use.
+/// Thread-safe; bumps `fft.plan_hits` / `fft.plan_misses`.
+std::shared_ptr<const FftPlan> GetPlan(int64_t n);
+
+/// Number of distinct lengths currently cached.
+int64_t PlanCacheSize();
+
+/// Drops every cached plan (outstanding shared_ptrs stay valid). Test-only:
+/// lets suites assert hit/miss counters from a known-empty cache.
+void ClearPlanCacheForTesting();
+
+}  // namespace conformer::fft
+
+#endif  // CONFORMER_FFT_PLAN_H_

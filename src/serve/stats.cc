@@ -9,21 +9,32 @@ double HistogramQuantile(const metrics::Histogram::Snapshot& snapshot,
                          double q) {
   if (snapshot.count <= 0 || snapshot.bounds.empty()) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
-  const double rank = q * static_cast<double>(snapshot.count);
+  // Empirical quantile, ceil-rank convention: the target is the k-th
+  // smallest observation with k = max(1, ceil(q * count)), so a rank that
+  // lands exactly on a bucket boundary resolves to the bucket that actually
+  // holds that observation (the old continuous rank with a strict `<`
+  // mis-assigned boundary ranks to the following bucket's lower edge).
+  const double rank =
+      std::max(1.0, std::ceil(q * static_cast<double>(snapshot.count)));
   double seen = 0.0;
   for (size_t i = 0; i < snapshot.counts.size(); ++i) {
     const double in_bucket = static_cast<double>(snapshot.counts[i]);
-    if (seen + in_bucket < rank || in_bucket == 0.0) {
+    // `seen < rank` holds on every iteration, so empty buckets fall through
+    // this skip naturally (no special case) and the selected bucket always
+    // has in_bucket >= rank - seen > 0.
+    if (seen + in_bucket < rank) {
       seen += in_bucket;
       continue;
     }
+    // The overflow bucket has no upper edge: deliberately pin to the largest
+    // finite bound — q=1.0 with overflow samples reports the histogram's
+    // measurable ceiling, not an invented extrapolation.
     if (i >= snapshot.bounds.size()) return snapshot.bounds.back();
-    const double upper = snapshot.bounds[i];
     const double lower = i == 0 ? 0.0 : snapshot.bounds[i - 1];
-    const double fraction = in_bucket == 0.0
-                                ? 1.0
-                                : std::min(1.0, (rank - seen) / in_bucket);
-    return lower + (upper - lower) * fraction;
+    const double upper = snapshot.bounds[i];
+    // Interpolate by the target's fractional position in the bucket;
+    // (rank - seen) / in_bucket is in (0, 1] by construction.
+    return lower + (upper - lower) * ((rank - seen) / in_bucket);
   }
   return snapshot.bounds.back();
 }

@@ -9,10 +9,14 @@
 namespace conformer::serve {
 
 /// Estimates the `q`-quantile (q in [0, 1]) of the observations behind a
-/// histogram snapshot by linear interpolation inside the bucket holding the
-/// quantile rank. The overflow bucket reports its lower bound (the largest
-/// finite boundary); an empty histogram reports 0. Resolution is bucket
-/// granularity — fine for dashboards, not for asserting exact values.
+/// histogram snapshot. Convention: the target is the k-th smallest
+/// observation, k = max(1, ceil(q * count)), linearly interpolated by its
+/// fractional position inside the bucket that holds it — so a rank exactly
+/// on a bucket boundary reports that bucket's upper edge. The overflow
+/// bucket reports the largest finite boundary (q = 1.0 with overflow
+/// samples is deliberately pinned to bounds.back()); an empty histogram
+/// reports 0. Resolution is bucket granularity — fine for dashboards, not
+/// for asserting exact values.
 double HistogramQuantile(const metrics::Histogram::Snapshot& snapshot,
                          double q);
 

@@ -1,29 +1,49 @@
 #include "tensor/alloc_stats.h"
 
-#include <algorithm>
+#include <atomic>
 
 namespace conformer {
 
 namespace {
-AllocStats g_stats;
+// Atomics rather than a struct behind a mutex: RecordAlloc sits on the
+// constructor path of every TensorImpl, and the serving dispatcher thread
+// allocates concurrently with callers (tsan-verified). Relaxed ordering is
+// enough — the counters are monotonic accounting, not synchronization.
+std::atomic<int64_t> g_current_bytes{0};
+std::atomic<int64_t> g_peak_bytes{0};
+std::atomic<int64_t> g_total_allocs{0};
 }  // namespace
 
-AllocStats GetAllocStats() { return g_stats; }
+AllocStats GetAllocStats() {
+  AllocStats stats;
+  stats.current_bytes = g_current_bytes.load(std::memory_order_relaxed);
+  stats.peak_bytes = g_peak_bytes.load(std::memory_order_relaxed);
+  stats.total_allocs = g_total_allocs.load(std::memory_order_relaxed);
+  return stats;
+}
 
 void ResetAllocPeak() {
-  g_stats.peak_bytes = g_stats.current_bytes;
-  g_stats.total_allocs = 0;
+  g_peak_bytes.store(g_current_bytes.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  g_total_allocs.store(0, std::memory_order_relaxed);
 }
 
 namespace internal {
 
 void RecordAlloc(int64_t bytes) {
-  g_stats.current_bytes += bytes;
-  g_stats.peak_bytes = std::max(g_stats.peak_bytes, g_stats.current_bytes);
-  g_stats.total_allocs += 1;
+  const int64_t current =
+      g_current_bytes.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  int64_t peak = g_peak_bytes.load(std::memory_order_relaxed);
+  while (current > peak &&
+         !g_peak_bytes.compare_exchange_weak(peak, current,
+                                             std::memory_order_relaxed)) {
+  }
+  g_total_allocs.fetch_add(1, std::memory_order_relaxed);
 }
 
-void RecordFree(int64_t bytes) { g_stats.current_bytes -= bytes; }
+void RecordFree(int64_t bytes) {
+  g_current_bytes.fetch_sub(bytes, std::memory_order_relaxed);
+}
 
 }  // namespace internal
 }  // namespace conformer

@@ -156,6 +156,50 @@ TEST(InputReprTest, VariantsChangeTheOutput) {
   EXPECT_GT(b, 0.0);
 }
 
+TEST(InputReprTest, MultivariateWeightsMatchDirectCorrelationOracle) {
+  // Regression pin for the FFT rewrite of the Eq. 1-2 path: the softmaxed
+  // correlation weights must match the pre-rewrite direct O(L^2) circular
+  // correlation (what the old non-power-of-two fallback computed) within fp
+  // tolerance, at a benchmark length that used to hit that fallback.
+  const int64_t batch = 2;
+  const int64_t length = 96;
+  const int64_t dims = 3;
+  InputRepresentationConfig c = SmallInputConfig(length);
+  InputRepresentation repr(c);
+  GlobalRng() = Rng(21);
+  Tensor x = Tensor::Randn({batch, length, dims});
+  Tensor weights = repr.MultivariateWeights(x);
+  ASSERT_EQ(weights.shape(), (Shape{batch, length, dims}));
+
+  // Old pipeline, replicated: direct circular auto-correlation per (batch,
+  // variable) column, lag-0 normalization, softmax over variables.
+  std::vector<float> corr(batch * length * dims);
+  const float* xd = x.data();
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t d = 0; d < dims; ++d) {
+      std::vector<double> column(length);
+      for (int64_t t = 0; t < length; ++t) {
+        column[t] = xd[(b * length + t) * dims + d];
+      }
+      std::vector<double> ac(length, 0.0);
+      for (int64_t lag = 0; lag < length; ++lag) {
+        for (int64_t t = 0; t < length; ++t) {
+          ac[lag] += column[t] * column[(t + lag) % length];
+        }
+      }
+      const double denom = std::max(std::fabs(ac[0]), 1e-8);
+      for (int64_t t = 0; t < length; ++t) {
+        corr[(b * length + t) * dims + d] = static_cast<float>(ac[t] / denom);
+      }
+    }
+  }
+  Tensor expected =
+      Softmax(Tensor::FromVector(std::move(corr), {batch, length, dims}), -1);
+  for (int64_t i = 0; i < weights.numel(); ++i) {
+    EXPECT_NEAR(weights.data()[i], expected.data()[i], 1e-5) << "i=" << i;
+  }
+}
+
 TEST(InputReprTest, GradientReachesParameters) {
   InputRepresentation repr(SmallInputConfig());
   Tensor x = Tensor::Randn({1, 12, 3});

@@ -162,6 +162,43 @@ TEST(TimeFeaturesTest, RangeAndValues) {
   }
 }
 
+TEST(TimeFeaturesTest, LeapYearStaysInRange) {
+  // Regression: day 366 of a leap year used to evaluate past +0.5 because
+  // the day-of-year feature was normalized by a fixed 365 regardless of the
+  // actual year length.
+  float f[kNumTimeFeatures];
+
+  // 2020-12-31 (day 366 of a leap year) must sit exactly at the top of the
+  // documented [-0.5, 0.5] range.
+  TimeFeaturesOf(UnixSecondsFromCivil({2020, 12, 31, 12, 0, 0}), f);
+  EXPECT_NEAR(f[4], 0.5f, 1e-6);
+
+  // 2020-02-29 is day 60 of 366.
+  TimeFeaturesOf(UnixSecondsFromCivil({2020, 2, 29, 0, 0, 0}), f);
+  EXPECT_NEAR(f[4], 59.0f / 365.0f - 0.5f, 1e-6);
+  EXPECT_GE(f[4], -0.5f);
+  EXPECT_LE(f[4], 0.5f);
+
+  // Non-leap Dec 31 (day 365 of 365) also lands exactly on +0.5, and Jan 1
+  // on -0.5, in both year kinds.
+  TimeFeaturesOf(UnixSecondsFromCivil({2021, 12, 31, 0, 0, 0}), f);
+  EXPECT_NEAR(f[4], 0.5f, 1e-6);
+  TimeFeaturesOf(UnixSecondsFromCivil({2020, 1, 1, 0, 0, 0}), f);
+  EXPECT_NEAR(f[4], -0.5f, 1e-6);
+  TimeFeaturesOf(UnixSecondsFromCivil({2021, 1, 1, 0, 0, 0}), f);
+  EXPECT_NEAR(f[4], -0.5f, 1e-6);
+
+  // Every feature stays in range across a leap-year boundary sweep.
+  for (int64_t ts = UnixSecondsFromCivil({2020, 2, 28, 0, 0, 0});
+       ts <= UnixSecondsFromCivil({2020, 3, 1, 0, 0, 0}); ts += 3600) {
+    TimeFeaturesOf(ts, f);
+    for (int i = 0; i < kNumTimeFeatures; ++i) {
+      EXPECT_GE(f[i], -0.5f) << "ts=" << ts << " i=" << i;
+      EXPECT_LE(f[i], 0.5f) << "ts=" << ts << " i=" << i;
+    }
+  }
+}
+
 TEST(TimeFeaturesTest, MatrixLayout) {
   std::vector<int64_t> ts = {0, 3600, 7200};
   std::vector<float> m = ExtractTimeFeatures(ts);

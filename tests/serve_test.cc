@@ -384,12 +384,11 @@ TEST(BatchingQueueTest, MultiSeriesRequestsSliceCorrectly) {
 
 TEST(HistogramQuantileTest, InterpolatesWithinBuckets) {
   metrics::Histogram histogram({1.0, 2.0, 4.0});
-  // 10 observations in (1, 2]: the p50 rank sits mid-bucket.
+  // 10 observations in (1, 2]: the p50 rank (5th of 10) sits mid-bucket.
   for (int i = 0; i < 10; ++i) histogram.Observe(1.5);
   const metrics::Histogram::Snapshot snapshot = histogram.GetSnapshot();
   const double p50 = HistogramQuantile(snapshot, 0.5);
-  EXPECT_GT(p50, 1.0);
-  EXPECT_LE(p50, 2.0);
+  EXPECT_DOUBLE_EQ(p50, 1.5);
   EXPECT_DOUBLE_EQ(HistogramQuantile(snapshot, 1.0), 2.0);
 }
 
@@ -398,6 +397,68 @@ TEST(HistogramQuantileTest, EmptyAndOverflowEdgeCases) {
   EXPECT_EQ(HistogramQuantile(histogram.GetSnapshot(), 0.5), 0.0);
   histogram.Observe(100.0);  // Overflow bucket.
   EXPECT_EQ(HistogramQuantile(histogram.GetSnapshot(), 0.99), 2.0);
+}
+
+TEST(HistogramQuantileTest, RankOnBucketBoundaryReportsThatBucketsUpperEdge) {
+  // 5 samples <= 1 and 5 in (1, 2]: the p50 target is the 5th observation,
+  // which lives in the first bucket — exactly its upper edge. The old
+  // continuous-rank comparison drifted into the neighbor for q just below
+  // the boundary.
+  metrics::Histogram histogram({1.0, 2.0});
+  for (int i = 0; i < 5; ++i) histogram.Observe(0.5);
+  for (int i = 0; i < 5; ++i) histogram.Observe(1.5);
+  const metrics::Histogram::Snapshot snapshot = histogram.GetSnapshot();
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snapshot, 0.5), 1.0);
+  // Just past the boundary the target is the 6th observation: bucket 2.
+  EXPECT_GT(HistogramQuantile(snapshot, 0.51), 1.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snapshot, 1.0), 2.0);
+}
+
+TEST(HistogramQuantileTest, EmptyBucketsAreSkippedNotInterpolated) {
+  // Samples only in buckets 1 and 4; the quantile must never land inside an
+  // intermediate empty bucket.
+  metrics::Histogram histogram({1.0, 2.0, 3.0, 4.0});
+  for (int i = 0; i < 4; ++i) histogram.Observe(0.5);
+  for (int i = 0; i < 4; ++i) histogram.Observe(3.5);
+  const metrics::Histogram::Snapshot snapshot = histogram.GetSnapshot();
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snapshot, 0.5), 1.0);
+  const double p75 = HistogramQuantile(snapshot, 0.75);
+  EXPECT_GT(p75, 3.0);
+  EXPECT_LE(p75, 4.0);
+}
+
+TEST(HistogramQuantileTest, TrailingEmptyBucketsDoNotInflateTheMax) {
+  // All samples in the first bucket: q=1.0 must report that bucket's upper
+  // edge, not the histogram's largest bound.
+  metrics::Histogram histogram({1.0, 2.0, 8.0});
+  for (int i = 0; i < 5; ++i) histogram.Observe(0.5);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(histogram.GetSnapshot(), 1.0), 1.0);
+}
+
+TEST(HistogramQuantileTest, OverflowSamplesPinToLargestFiniteBound) {
+  // q=1.0 with overflow samples is deliberately bounds.back(): the histogram
+  // cannot measure past its largest finite boundary.
+  metrics::Histogram histogram({1.0, 2.0});
+  histogram.Observe(0.5);
+  for (int i = 0; i < 9; ++i) histogram.Observe(50.0);
+  const metrics::Histogram::Snapshot snapshot = histogram.GetSnapshot();
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snapshot, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snapshot, 0.5), 2.0);
+}
+
+TEST(HistogramQuantileTest, ExtremeQsClampAndStayInNonEmptyBuckets) {
+  metrics::Histogram histogram({1.0, 2.0});
+  for (int i = 0; i < 4; ++i) histogram.Observe(1.5);
+  const metrics::Histogram::Snapshot snapshot = histogram.GetSnapshot();
+  // q=0 targets the first observation (rank clamped to 1): inside bucket 2.
+  const double p0 = HistogramQuantile(snapshot, 0.0);
+  EXPECT_GT(p0, 1.0);
+  EXPECT_LE(p0, 2.0);
+  // Out-of-range q clamps.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snapshot, -0.5),
+                   HistogramQuantile(snapshot, 0.0));
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snapshot, 1.5),
+                   HistogramQuantile(snapshot, 1.0));
 }
 
 }  // namespace
