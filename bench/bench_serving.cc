@@ -21,6 +21,7 @@
 
 #include "data/dataset_registry.h"
 #include "serve/batching_queue.h"
+#include "tensor/tensor.h"
 #include "util/env.h"
 #include "util/thread_pool.h"
 #include "util/metrics.h"
@@ -38,8 +39,15 @@ double MinSeconds() {
 
 /// Runs `fn` (one full pass over `series_per_iter` series) until the wall
 /// budget is spent; returns series forecast per second.
+///
+/// Every row starts from an empty activation-buffer pool (re-warmed by the
+/// untimed first pass), so each row measures its own steady state: the pool
+/// recycles by buffer size, and a row that ran earlier with a different
+/// batch geometry would otherwise leave the pool full of wrong-sized
+/// buffers and flip later rows into a different allocation mode.
 template <typename Fn>
 double MeasureSeriesPerSec(int64_t series_per_iter, Fn fn) {
+  ClearBufferPool();
   fn();  // Warm-up: populates the session's activation-buffer pool.
   int64_t iters = 0;
   const auto start = Clock::now();
@@ -96,6 +104,31 @@ int Main() {
                     MeasureSeriesPerSec(kRequests, [&] {
                       for (const data::Batch& b : merged) session->Predict(b);
                     })});
+  }
+
+  // Static-runtime replay (docs/STATIC_RUNTIME.md) of the same coalesced
+  // batches: the first Predict per geometry traces and compiles the plan
+  // (outside the timed region via MeasureSeriesPerSec's warm-up pass), the
+  // measured iterations replay it with zero per-op dispatch. The row pair
+  // serve_plan_bN / serve_direct_bN is the static-runtime speedup.
+  {
+    serve::SessionConfig plan_config = config;
+    plan_config.use_static_plan = true;
+    std::unique_ptr<serve::InferenceSession> plan_session =
+        serve::InferenceSession::Open(plan_config, "").value();
+    for (const int64_t batch : {8, 16}) {
+      std::vector<data::Batch> merged;
+      for (int64_t first = 0; first < kRequests; first += batch) {
+        merged.push_back(
+            splits.test.GetRange(first % splits.test.size(), batch));
+      }
+      rows.push_back({"serve_plan_b" + std::to_string(batch), threads,
+                      MeasureSeriesPerSec(kRequests, [&] {
+                        for (const data::Batch& b : merged) {
+                          plan_session->Predict(b);
+                        }
+                      })});
+    }
   }
 
   // The real serving path: concurrent clients through the BatchingQueue.

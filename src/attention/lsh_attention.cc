@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "tensor/capture.h"
 #include "util/thread_pool.h"
 #include "util/profiler.h"
 
@@ -17,6 +18,16 @@ LshAttention::LshAttention(int64_t buckets, int64_t chunk, uint64_t seed)
 
 Tensor LshAttention::Forward(const Tensor& q, const Tensor& k, const Tensor& v,
                              bool causal) const {
+  // Deterministic given (q, k, v): hashing draws from a fresh Rng(seed_)
+  // per call, so the static runtime may replay this as one opaque step.
+  return conformer::internal::CaptureOpaque(
+      "LshAttention", {q, k, v}, [this, causal](const std::vector<Tensor>& in) {
+        return ForwardEager(in[0], in[1], in[2], causal);
+      });
+}
+
+Tensor LshAttention::ForwardEager(const Tensor& q, const Tensor& k,
+                                  const Tensor& v, bool causal) const {
   CONFORMER_PROFILE_SCOPE_CAT("attention", "lsh");
   (void)causal;  // Bucketed chunks approximate locality; causal masking is
                  // not modelled (matches this repo's encoder-only usage).

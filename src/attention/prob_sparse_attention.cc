@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "attention/full_attention.h"
+#include "tensor/capture.h"
 #include "util/thread_pool.h"
 #include "util/profiler.h"
 
@@ -17,6 +18,17 @@ ProbSparseAttention::ProbSparseAttention(int64_t factor, uint64_t seed)
 
 Tensor ProbSparseAttention::Forward(const Tensor& q, const Tensor& k,
                                     const Tensor& v, bool causal) const {
+  // Deterministic given (q, k, v): sampling uses a fresh Rng(seed_) per
+  // call, so the static runtime may replay this as one opaque step.
+  return conformer::internal::CaptureOpaque(
+      "ProbSparseAttention", {q, k, v},
+      [this, causal](const std::vector<Tensor>& in) {
+        return ForwardEager(in[0], in[1], in[2], causal);
+      });
+}
+
+Tensor ProbSparseAttention::ForwardEager(const Tensor& q, const Tensor& k,
+                                         const Tensor& v, bool causal) const {
   CONFORMER_PROFILE_SCOPE_CAT("attention", "prob_sparse");
   const int64_t bh = q.size(0);
   const int64_t lq = q.size(1);

@@ -4,6 +4,7 @@
 
 #include "fft/autocorrelation.h"
 #include "nn/init.h"
+#include "tensor/capture.h"
 #include "tensor/ops.h"
 #include "util/profiler.h"
 
@@ -111,6 +112,15 @@ InputRepresentation::InputRepresentation(const InputRepresentationConfig& config
 }
 
 Tensor InputRepresentation::MultivariateWeights(const Tensor& x) const {
+  // The FFT auto-correlation reads raw values on the host; the static
+  // runtime replays the whole block as one opaque step.
+  return conformer::internal::CaptureOpaque(
+      "MultivariateWeights", {x}, [this](const std::vector<Tensor>& in) {
+        return MultivariateWeightsImpl(in[0]);
+      });
+}
+
+Tensor InputRepresentation::MultivariateWeightsImpl(const Tensor& x) const {
   // Eq. (1): per-variable auto-correlation over the window; Eq. (2):
   // softmax across variables per lag. Computed outside the tape — the
   // weights depend only on the raw input.
@@ -150,6 +160,15 @@ Tensor InputRepresentation::MultivariateWeights(const Tensor& x) const {
 }
 
 Tensor InputRepresentation::MultiscaleDynamics(const Tensor& marks) const {
+  // Calendar index decoding reads mark values on the host; the static
+  // runtime replays the whole block as one opaque step.
+  return conformer::internal::CaptureOpaque(
+      "MultiscaleDynamics", {marks}, [this](const std::vector<Tensor>& in) {
+        return MultiscaleDynamicsImpl(in[0]);
+      });
+}
+
+Tensor InputRepresentation::MultiscaleDynamicsImpl(const Tensor& marks) const {
   const int64_t batch = marks.size(0);
   const int64_t length = marks.size(1);
   CONFORMER_CHECK_EQ(length, config_.length)

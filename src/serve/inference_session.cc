@@ -17,6 +17,24 @@ std::string JoinPath(const std::string& dir, const std::string& name) {
   return dir + "/" + name;
 }
 
+// Plan-cache key: the shapes of the four batch tensors ("-" when undefined).
+// Two batches with equal keys replay through the same plan.
+std::string GeometryKey(const data::Batch& batch) {
+  std::string key;
+  for (const Tensor* t : {&batch.x, &batch.x_mark, &batch.y, &batch.y_mark}) {
+    if (!t->defined()) {
+      key += "-|";
+      continue;
+    }
+    for (int64_t i = 0; i < t->dim(); ++i) {
+      if (i > 0) key += 'x';
+      key += std::to_string(t->size(i));
+    }
+    key += '|';
+  }
+  return key;
+}
+
 }  // namespace
 
 InferenceSession::InferenceSession(SessionConfig config,
@@ -57,7 +75,8 @@ Forecast InferenceSession::Predict(const data::Batch& batch) {
   InferenceModeGuard inference_mode;
 
   Forecast out;
-  out.point = model_->Predict(batch);
+  out.point = config_.use_static_plan ? PredictPoint(batch)
+                                      : model_->Predict(batch);
   if (config_.quantile_samples > 0) {
     // Flow-head quantiles: Conformer's normalizing flow is the only
     // sampling head; other models stay point-only.
@@ -75,6 +94,66 @@ Forecast InferenceSession::Predict(const data::Batch& batch) {
   registry.GetHistogram("serve.predict_seconds")
       .Observe(static_cast<double>(prof::internal::NowNs() - start_ns) * 1e-9);
   return out;
+}
+
+Tensor InferenceSession::PredictPoint(const data::Batch& batch) {
+  metrics::Registry& registry = metrics::Registry::Global();
+  const std::string key = GeometryKey(batch);
+
+  auto it = plans_.find(key);
+  if (it != plans_.end()) {
+    CONFORMER_PROFILE_SCOPE_CAT("serve", "plan_replay");
+    registry.GetCounter("serve.plan_hits").Increment();
+    if (config_.static_parity_check) {
+      Tensor replay_out;
+      runtime::ParityReport report = runtime::VerifyParity(
+          *it->second,
+          [this](const data::Batch& b) { return model_->Predict(b); }, batch,
+          &replay_out);
+      CONFORMER_CHECK(report.ok())
+          << "static plan diverged from eager Predict: "
+          << (report.structural_ok
+                  ? (report.mismatches.empty()
+                         ? std::string("unknown")
+                         : "step " +
+                               std::to_string(report.mismatches[0].step_index) +
+                               " (" + report.mismatches[0].op_name + ")")
+                  : report.structural_error);
+      return replay_out;
+    }
+    return it->second->Run(batch);
+  }
+
+  if (failed_geometries_.count(key) > 0) {
+    registry.GetCounter("serve.plan_fallbacks").Increment();
+    return model_->Predict(batch);
+  }
+
+  // First call at this geometry: trace the eager forward into a plan. The
+  // traced output doubles as this call's response, so a miss costs one eager
+  // forward plus planning — never two forwards.
+  CONFORMER_PROFILE_SCOPE_CAT("serve", "plan_build");
+  Result<runtime::TraceResult> traced = runtime::CapturePredictPlan(
+      [this](const data::Batch& b) { return model_->Predict(b); }, batch);
+  if (!traced.ok()) {
+    CONFORMER_LOG(Warning) << "static plan trace failed for " << key << ": "
+                           << traced.status().message()
+                           << "; serving eagerly for this geometry";
+    failed_geometries_.insert(key);
+    registry.GetCounter("serve.plan_fallbacks").Increment();
+    return model_->Predict(batch);
+  }
+  registry.GetCounter("serve.plan_builds").Increment();
+  Tensor output = traced.value().output;
+  plans_.emplace(key, std::make_unique<runtime::PlanExecutor>(
+                          std::move(traced.value().plan)));
+  return output;
+}
+
+const runtime::Plan* InferenceSession::plan_for(
+    const data::Batch& batch) const {
+  auto it = plans_.find(GeometryKey(batch));
+  return it == plans_.end() ? nullptr : &it->second->plan();
 }
 
 }  // namespace conformer::serve

@@ -12,9 +12,12 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "baselines/registry.h"
 #include "data/window_dataset.h"
+#include "runtime/static_runtime.h"
 #include "util/status.h"
 
 namespace conformer::serve {
@@ -30,6 +33,15 @@ struct SessionConfig {
   /// (Conformer only; other models serve point forecasts regardless).
   int64_t quantile_samples = 0;
   double coverage = 0.9;  ///< Band coverage when quantile_samples > 0.
+  /// Serve point forecasts through the static runtime (docs/STATIC_RUNTIME.md):
+  /// the first Predict for each batch geometry traces the model into an
+  /// AOT-planned replay program; later calls with the same geometry replay it
+  /// with zero per-op dispatch. Models the tracer cannot plan (and geometries
+  /// that fail to trace) fall back to the eager path permanently.
+  bool use_static_plan = false;
+  /// Debug: re-run the eager model on every plan hit and CHECK that replay
+  /// matches bitwise per node. Serving cost doubles; off in production.
+  bool static_parity_check = false;
 };
 
 /// \brief One forecast: point prediction plus an optional quantile band.
@@ -58,12 +70,26 @@ class InferenceSession {
   const models::Forecaster& model() const { return *model_; }
   const SessionConfig& config() const { return config_; }
 
+  /// The cached plan for `batch`'s geometry, or nullptr when none exists yet
+  /// (or tracing failed). Test/bench introspection only.
+  const runtime::Plan* plan_for(const data::Batch& batch) const;
+
  private:
   InferenceSession(SessionConfig config,
                    std::unique_ptr<models::Forecaster> model);
 
+  /// Point forecast through the plan cache: hit -> replay, miss -> trace and
+  /// cache (the traced output is the response), failed trace -> eager with a
+  /// negative-cache entry so the geometry is not re-traced every call.
+  Tensor PredictPoint(const data::Batch& batch);
+
   SessionConfig config_;
   std::unique_ptr<models::Forecaster> model_;
+  /// Geometry-keyed plan cache. Unsynchronized by design: Predict() has a
+  /// single caller at a time (see class comment).
+  std::unordered_map<std::string, std::unique_ptr<runtime::PlanExecutor>>
+      plans_;
+  std::unordered_set<std::string> failed_geometries_;
 };
 
 }  // namespace conformer::serve

@@ -1,0 +1,32 @@
+#include "tensor/capture.h"
+
+namespace conformer::internal {
+
+namespace {
+thread_local CaptureSink* g_capture_sink = nullptr;
+}  // namespace
+
+CaptureSink* ActiveCaptureSink() { return g_capture_sink; }
+
+CaptureSink* SwapCaptureSink(CaptureSink* sink) {
+  CaptureSink* previous = g_capture_sink;
+  g_capture_sink = sink;
+  return previous;
+}
+
+Tensor CaptureOpaque(const char* name, std::vector<Tensor> inputs,
+                     std::function<Tensor(const std::vector<Tensor>&)> fn) {
+  CaptureSink* sink = g_capture_sink;
+  if (sink == nullptr) return fn(inputs);
+  Tensor out;
+  {
+    // The composite's internal ops run eagerly but unrecorded; the sink
+    // sees the whole call as one step.
+    CaptureSuspendGuard suspend;
+    out = fn(inputs);
+  }
+  sink->RecordOpaque(out, inputs, std::move(fn), name);
+  return out;
+}
+
+}  // namespace conformer::internal

@@ -1,5 +1,6 @@
 #include <algorithm>
 
+#include "tensor/capture.h"
 #include "tensor/kernels.h"
 #include "tensor/ops.h"
 #include "util/profiler.h"
@@ -87,23 +88,26 @@ Tensor AvgPool1d(const Tensor& input, int64_t kernel, int64_t stride) {
   Shape out_shape = input.shape();
   out_shape[rank - 1] = out_len;
   std::vector<float> out = internal::AcquireBuffer(outer * out_len);
-  const float* ad = input.data();
   const float inv_k = 1.0f / static_cast<float>(kernel);
   // Each outer index owns disjoint input/output rows in both directions
   // (windows may overlap within a row, never across rows).
   const int64_t pool_grain = std::max<int64_t>(
       1, kernels::kGrainStrided / std::max<int64_t>(1, out_len * kernel));
-  ParallelFor(0, outer, pool_grain, [&](int64_t o0, int64_t o1) {
-    for (int64_t o = o0; o < o1; ++o) {
-      const float* row = ad + o * length;
-      for (int64_t j = 0; j < out_len; ++j) {
-        float acc = 0.0f;
-        const float* window = row + j * stride;
-        for (int64_t k = 0; k < kernel; ++k) acc += window[k];
-        out[o * out_len + j] = acc * inv_k;
+  auto forward = [outer, length, out_len, kernel, stride, inv_k,
+                  pool_grain](const float* ad, float* dst) {
+    ParallelFor(0, outer, pool_grain, [&](int64_t o0, int64_t o1) {
+      for (int64_t o = o0; o < o1; ++o) {
+        const float* row = ad + o * length;
+        for (int64_t j = 0; j < out_len; ++j) {
+          float acc = 0.0f;
+          const float* window = row + j * stride;
+          for (int64_t k = 0; k < kernel; ++k) acc += window[k];
+          dst[o * out_len + j] = acc * inv_k;
+        }
       }
-    }
-  });
+    });
+  };
+  forward(input.data(), out.data());
 
   Tensor a_in = input;
   auto backward = [a_in, outer, length, out_len, kernel, stride, inv_k,
@@ -122,8 +126,17 @@ Tensor AvgPool1d(const Tensor& input, int64_t kernel, int64_t stride) {
     });
     a_in.impl()->AccumulateGrad(delta.data(), a_in.numel());
   };
-  return internal::MakeOpResult(std::move(out_shape), std::move(out), {input},
-                                std::move(backward), "AvgPool1d");
+  Tensor result = internal::MakeOpResult(std::move(out_shape), std::move(out),
+                                         {input}, std::move(backward),
+                                         "AvgPool1d");
+  internal::MaybeCaptureStep(
+      result, {input},
+      {"AvgPool1d", /*zero_init=*/false, /*inplace_safe=*/false}, [&] {
+        return [forward](const float* const* in, float* o) {
+          forward(in[0], o);
+        };
+      });
+  return result;
 }
 
 Tensor MaxPool1d(const Tensor& input, int64_t kernel, int64_t stride) {
@@ -143,27 +156,30 @@ Tensor MaxPool1d(const Tensor& input, int64_t kernel, int64_t stride) {
   out_shape[rank - 1] = out_len;
   std::vector<float> out = internal::AcquireBuffer(outer * out_len);
   std::vector<int64_t> argmax(outer * out_len);
-  const float* ad = input.data();
   const int64_t pool_grain = std::max<int64_t>(
       1, kernels::kGrainStrided / std::max<int64_t>(1, out_len * kernel));
-  ParallelFor(0, outer, pool_grain, [&](int64_t o0, int64_t o1) {
-    for (int64_t o = o0; o < o1; ++o) {
-      const float* row = ad + o * length;
-      for (int64_t j = 0; j < out_len; ++j) {
-        const int64_t start = j * stride;
-        float best = row[start];
-        int64_t arg = start;
-        for (int64_t k = 1; k < kernel; ++k) {
-          if (row[start + k] > best) {
-            best = row[start + k];
-            arg = start + k;
+  auto forward = [outer, length, out_len, kernel, stride,
+                  pool_grain](const float* ad, float* dst, int64_t* arg_out) {
+    ParallelFor(0, outer, pool_grain, [&](int64_t o0, int64_t o1) {
+      for (int64_t o = o0; o < o1; ++o) {
+        const float* row = ad + o * length;
+        for (int64_t j = 0; j < out_len; ++j) {
+          const int64_t start = j * stride;
+          float best = row[start];
+          int64_t arg = start;
+          for (int64_t k = 1; k < kernel; ++k) {
+            if (row[start + k] > best) {
+              best = row[start + k];
+              arg = start + k;
+            }
           }
+          dst[o * out_len + j] = best;
+          arg_out[o * out_len + j] = arg;
         }
-        out[o * out_len + j] = best;
-        argmax[o * out_len + j] = arg;
       }
-    }
-  });
+    });
+  };
+  forward(input.data(), out.data(), argmax.data());
 
   Tensor a_in = input;
   auto backward = [a_in, argmax, outer, length, out_len,
@@ -180,8 +196,19 @@ Tensor MaxPool1d(const Tensor& input, int64_t kernel, int64_t stride) {
     });
     a_in.impl()->AccumulateGrad(delta.data(), a_in.numel());
   };
-  return internal::MakeOpResult(std::move(out_shape), std::move(out), {input},
-                                std::move(backward), "MaxPool1d");
+  Tensor result = internal::MakeOpResult(std::move(out_shape), std::move(out),
+                                         {input}, std::move(backward),
+                                         "MaxPool1d");
+  internal::MaybeCaptureStep(
+      result, {input},
+      {"MaxPool1d", /*zero_init=*/false, /*inplace_safe=*/false}, [&] {
+        return [forward, scratch = outer * out_len](const float* const* in,
+                                                    float* o) {
+          std::vector<int64_t> arg(scratch);
+          forward(in[0], o, arg.data());
+        };
+      });
+  return result;
 }
 
 Tensor Cumsum(const Tensor& a, int64_t dim) {
@@ -198,22 +225,24 @@ Tensor Cumsum(const Tensor& a, int64_t dim) {
   for (int64_t i = dim + 1; i < rank; ++i) inner *= shape[i];
 
   std::vector<float> out = internal::AcquireBuffer(a.numel());
-  const float* ad = a.data();
   // Parallel over (outer, inner) scan lanes; each lane's running sum stays
   // sequential, so the result is thread-count independent.
   const int64_t lane_grain = std::max<int64_t>(
       1, kernels::kGrainStrided / std::max<int64_t>(1, n));
-  ParallelFor(0, outer * inner, lane_grain, [&](int64_t r0, int64_t r1) {
-    for (int64_t r = r0; r < r1; ++r) {
-      const int64_t o = r / inner;
-      const int64_t i = r % inner;
-      float acc = 0.0f;
-      for (int64_t j = 0; j < n; ++j) {
-        acc += ad[(o * n + j) * inner + i];
-        out[(o * n + j) * inner + i] = acc;
+  auto forward = [outer, inner, n, lane_grain](const float* ad, float* dst) {
+    ParallelFor(0, outer * inner, lane_grain, [&](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        const int64_t o = r / inner;
+        const int64_t i = r % inner;
+        float acc = 0.0f;
+        for (int64_t j = 0; j < n; ++j) {
+          acc += ad[(o * n + j) * inner + i];
+          dst[(o * n + j) * inner + i] = acc;
+        }
       }
-    }
-  });
+    });
+  };
+  forward(a.data(), out.data());
 
   Tensor a_in = a;
   auto backward = [a_in, outer, inner, n, lane_grain](TensorImpl& self) mutable {
@@ -233,8 +262,16 @@ Tensor Cumsum(const Tensor& a, int64_t dim) {
     });
     a_in.impl()->AccumulateGrad(delta.data(), a_in.numel());
   };
-  return internal::MakeOpResult(a.shape(), std::move(out), {a},
-                                std::move(backward), "Cumsum");
+  Tensor result = internal::MakeOpResult(a.shape(), std::move(out), {a},
+                                         std::move(backward), "Cumsum");
+  internal::MaybeCaptureStep(
+      result, {a}, {"Cumsum", /*zero_init=*/false, /*inplace_safe=*/false},
+      [&] {
+        return [forward](const float* const* in, float* o) {
+          forward(in[0], o);
+        };
+      });
+  return result;
 }
 
 }  // namespace conformer

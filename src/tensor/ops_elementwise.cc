@@ -1,5 +1,6 @@
 #include <cmath>
 
+#include "tensor/capture.h"
 #include "tensor/kernels.h"
 #include "tensor/ops.h"
 #include "util/profiler.h"
@@ -58,8 +59,31 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, Fn f, DfA dfda, DfB dfdb,
       }
     }
   };
-  return internal::MakeOpResult(out_shape, std::move(out), {a, b},
-                                std::move(backward), name);
+  Tensor result = internal::MakeOpResult(out_shape, std::move(out), {a, b},
+                                         std::move(backward), name);
+  // BroadcastBinary fully overwrites and reads operand i of iteration i only
+  // within that iteration, so replay with out == in[0] is safe whenever the
+  // first operand is not broadcast.
+  internal::MaybeCaptureStep(
+      result, {a, b},
+      {name, /*zero_init=*/false, /*inplace_safe=*/a.shape() == out_shape},
+      [&] {
+        return [f, a_shape = a.shape(), b_shape = b.shape(),
+                out_shape](const float* const* in, float* o) {
+          kernels::BroadcastBinary(in[0], a_shape, in[1], b_shape, o,
+                                   out_shape, f);
+        };
+      });
+  return result;
+}
+
+// The forward loop shared by the eager path and the captured replay closure
+// of every unary op.
+template <typename Fn>
+void UnaryForward(int64_t n, Fn f, const float* a, float* out) {
+  ParallelFor(0, n, kernels::kGrainElementwise, [&](int64_t cb, int64_t ce) {
+    for (int64_t i = cb; i < ce; ++i) out[i] = f(a[i]);
+  });
 }
 
 // Shared plumbing for unary ops: `f` computes out_i from a_i, `df` computes
@@ -70,10 +94,7 @@ Tensor UnaryOp(const Tensor& a, Fn f, Df df, const char* name) {
   CONFORMER_CHECK(a.defined()) << name << " on undefined tensor";
   const int64_t n = a.numel();
   std::vector<float> out = internal::AcquireBuffer(n);
-  const float* ad = a.data();
-  ParallelFor(0, n, kernels::kGrainElementwise, [&](int64_t cb, int64_t ce) {
-    for (int64_t i = cb; i < ce; ++i) out[i] = f(ad[i]);
-  });
+  UnaryForward(n, f, a.data(), out.data());
   Tensor a_in = a;
   auto backward = [a_in, df](TensorImpl& self) mutable {
     const int64_t n = static_cast<int64_t>(self.data.size());
@@ -86,8 +107,15 @@ Tensor UnaryOp(const Tensor& a, Fn f, Df df, const char* name) {
     });
     a_in.impl()->AccumulateGrad(delta.data(), n);
   };
-  return internal::MakeOpResult(a.shape(), std::move(out), {a},
-                                std::move(backward), name);
+  Tensor result = internal::MakeOpResult(a.shape(), std::move(out), {a},
+                                         std::move(backward), name);
+  internal::MaybeCaptureStep(
+      result, {a}, {name, /*zero_init=*/false, /*inplace_safe=*/true}, [&] {
+        return [n, f](const float* const* in, float* o) {
+          UnaryForward(n, f, in[0], o);
+        };
+      });
+  return result;
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include <algorithm>
 
+#include "tensor/capture.h"
 #include "tensor/kernels.h"
 #include "tensor/ops.h"
 #include "util/profiler.h"
@@ -29,17 +30,20 @@ Tensor IndexSelect(const Tensor& a, int64_t dim,
   Shape out_shape = in_shape;
   out_shape[dim] = count;
   std::vector<float> out = internal::AcquireBuffer(NumElements(out_shape));
-  const float* ad = a.data();
   const int64_t o_grain = std::max<int64_t>(
       1, kernels::kGrainStrided / std::max<int64_t>(1, count * inner));
-  ParallelFor(0, outer, o_grain, [&](int64_t o0, int64_t o1) {
-    for (int64_t o = o0; o < o1; ++o) {
-      for (int64_t c = 0; c < count; ++c) {
-        const float* src = ad + (o * size + indices[c]) * inner;
-        std::copy(src, src + inner, out.begin() + (o * count + c) * inner);
+  auto forward = [indices, outer, inner, size, count,
+                  o_grain](const float* ad, float* dst) {
+    ParallelFor(0, outer, o_grain, [&](int64_t o0, int64_t o1) {
+      for (int64_t o = o0; o < o1; ++o) {
+        for (int64_t c = 0; c < count; ++c) {
+          const float* src = ad + (o * size + indices[c]) * inner;
+          std::copy(src, src + inner, dst + (o * count + c) * inner);
+        }
       }
-    }
-  });
+    });
+  };
+  forward(a.data(), out.data());
 
   Tensor a_in = a;
   std::vector<int64_t> idx = indices;
@@ -60,8 +64,16 @@ Tensor IndexSelect(const Tensor& a, int64_t dim,
     });
     a_in.impl()->AccumulateGrad(delta.data(), a_in.numel());
   };
-  return internal::MakeOpResult(std::move(out_shape), std::move(out), {a},
-                                std::move(backward), "IndexSelect");
+  Tensor result = internal::MakeOpResult(std::move(out_shape), std::move(out),
+                                         {a}, std::move(backward), "IndexSelect");
+  internal::MaybeCaptureStep(
+      result, {a},
+      {"IndexSelect", /*zero_init=*/false, /*inplace_safe=*/false}, [&] {
+        return [forward](const float* const* in, float* o) {
+          forward(in[0], o);
+        };
+      });
+  return result;
 }
 
 Tensor BatchedIndexSelect(const Tensor& a, const std::vector<int64_t>& indices,
@@ -78,17 +90,20 @@ Tensor BatchedIndexSelect(const Tensor& a, const std::vector<int64_t>& indices,
   }
 
   std::vector<float> out = internal::AcquireBuffer(batch * k * depth);
-  const float* ad = a.data();
   const int64_t b_grain = std::max<int64_t>(
       1, kernels::kGrainStrided / std::max<int64_t>(1, k * depth));
-  ParallelFor(0, batch, b_grain, [&](int64_t b0, int64_t b1) {
-    for (int64_t b = b0; b < b1; ++b) {
-      for (int64_t c = 0; c < k; ++c) {
-        const float* src = ad + (b * length + indices[b * k + c]) * depth;
-        std::copy(src, src + depth, out.begin() + (b * k + c) * depth);
+  auto forward = [indices, batch, length, depth, k,
+                  b_grain](const float* ad, float* dst) {
+    ParallelFor(0, batch, b_grain, [&](int64_t b0, int64_t b1) {
+      for (int64_t b = b0; b < b1; ++b) {
+        for (int64_t c = 0; c < k; ++c) {
+          const float* src = ad + (b * length + indices[b * k + c]) * depth;
+          std::copy(src, src + depth, dst + (b * k + c) * depth);
+        }
       }
-    }
-  });
+    });
+  };
+  forward(a.data(), out.data());
 
   Tensor a_in = a;
   std::vector<int64_t> idx = indices;
@@ -109,8 +124,18 @@ Tensor BatchedIndexSelect(const Tensor& a, const std::vector<int64_t>& indices,
     });
     a_in.impl()->AccumulateGrad(delta.data(), a_in.numel());
   };
-  return internal::MakeOpResult({batch, k, depth}, std::move(out), {a},
-                                std::move(backward), "BatchedIndexSelect");
+  Tensor result = internal::MakeOpResult({batch, k, depth}, std::move(out), {a},
+                                         std::move(backward),
+                                         "BatchedIndexSelect");
+  internal::MaybeCaptureStep(
+      result, {a},
+      {"BatchedIndexSelect", /*zero_init=*/false, /*inplace_safe=*/false},
+      [&] {
+        return [forward](const float* const* in, float* o) {
+          forward(in[0], o);
+        };
+      });
+  return result;
 }
 
 Tensor Roll(const Tensor& a, int64_t dim, int64_t shift) {

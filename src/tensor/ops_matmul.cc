@@ -1,5 +1,6 @@
 #include <utility>
 
+#include "tensor/capture.h"
 #include "tensor/kernels.h"
 #include "tensor/ops.h"
 #include "util/profiler.h"
@@ -67,12 +68,12 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   // the backward Gemm accumulations can run batch-parallel.
   const bool batches_disjoint = a_batch == batch && b_batch == batch;
 
-  {
-    const float* ad = a.data();
-    const float* bd = b.data();
-    float* od = out.data();
-    // Each batch writes its own out slice; the per-batch Gemm runs inline
-    // when nested (its own ParallelFor covers the single-batch case).
+  // Each batch writes its own out slice; the per-batch Gemm runs inline
+  // when nested (its own ParallelFor covers the single-batch case). The
+  // eager pass and the captured replay closure share this loop.
+  auto forward = [batch_offsets, m, n, k, num_batches](const float* ad,
+                                                       const float* bd,
+                                                       float* od) {
     ParallelFor(0, num_batches, 1, [&](int64_t bb, int64_t be) {
       for (int64_t i = bb; i < be; ++i) {
         const auto [a_off, b_off] = batch_offsets(i);
@@ -80,7 +81,8 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
                       bd + b_off * k * n, od + i * m * n, /*accumulate=*/false);
       }
     });
-  }
+  };
+  forward(a.data(), b.data(), out.data());
 
   Tensor a_in = a;
   Tensor b_in = b;
@@ -120,8 +122,16 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
     if (need_a) a_in.impl()->AccumulateGrad(da.data(), a_in.numel());
     if (need_b) b_in.impl()->AccumulateGrad(db.data(), b_in.numel());
   };
-  return internal::MakeOpResult(std::move(out_shape), std::move(out), {a, b},
-                                std::move(backward), "MatMul");
+  Tensor result = internal::MakeOpResult(std::move(out_shape), std::move(out),
+                                         {a, b}, std::move(backward), "MatMul");
+  internal::MaybeCaptureStep(
+      result, {a, b}, {"MatMul", /*zero_init=*/false, /*inplace_safe=*/false},
+      [&] {
+        return [forward](const float* const* in, float* o) {
+          forward(in[0], in[1], o);
+        };
+      });
+  return result;
 }
 
 }  // namespace conformer

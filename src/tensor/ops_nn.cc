@@ -1,6 +1,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/capture.h"
 #include "tensor/kernels.h"
 #include "tensor/ops.h"
 #include "util/profiler.h"
@@ -54,21 +55,23 @@ Tensor Softmax(const Tensor& a, int64_t dim) {
   const DimSplit s = SplitAt(a.shape(), dim);
 
   std::vector<float> out = internal::AcquireBuffer(a.numel());
-  const float* ad = a.data();
-  ParallelRows(s, [&](int64_t base) {
-    float mx = ad[base];
-    for (int64_t j = 1; j < s.n; ++j) {
-      mx = std::max(mx, ad[base + j * s.inner]);
-    }
-    float total = 0.0f;
-    for (int64_t j = 0; j < s.n; ++j) {
-      const float e = std::exp(ad[base + j * s.inner] - mx);
-      out[base + j * s.inner] = e;
-      total += e;
-    }
-    const float inv = 1.0f / total;
-    for (int64_t j = 0; j < s.n; ++j) out[base + j * s.inner] *= inv;
-  });
+  auto forward = [s](const float* ad, float* dst) {
+    ParallelRows(s, [&](int64_t base) {
+      float mx = ad[base];
+      for (int64_t j = 1; j < s.n; ++j) {
+        mx = std::max(mx, ad[base + j * s.inner]);
+      }
+      float total = 0.0f;
+      for (int64_t j = 0; j < s.n; ++j) {
+        const float e = std::exp(ad[base + j * s.inner] - mx);
+        dst[base + j * s.inner] = e;
+        total += e;
+      }
+      const float inv = 1.0f / total;
+      for (int64_t j = 0; j < s.n; ++j) dst[base + j * s.inner] *= inv;
+    });
+  };
+  forward(a.data(), out.data());
 
   Tensor a_in = a;
   auto backward = [a_in, s](TensorImpl& self) mutable {
@@ -89,8 +92,16 @@ Tensor Softmax(const Tensor& a, int64_t dim) {
     });
     a_in.impl()->AccumulateGrad(delta.data(), a_in.numel());
   };
-  return internal::MakeOpResult(a.shape(), std::move(out), {a},
-                                std::move(backward), "Softmax");
+  Tensor result = internal::MakeOpResult(a.shape(), std::move(out), {a},
+                                         std::move(backward), "Softmax");
+  internal::MaybeCaptureStep(
+      result, {a}, {"Softmax", /*zero_init=*/false, /*inplace_safe=*/false},
+      [&] {
+        return [forward](const float* const* in, float* o) {
+          forward(in[0], o);
+        };
+      });
+  return result;
 }
 
 Tensor LogSoftmax(const Tensor& a, int64_t dim) {
@@ -101,21 +112,23 @@ Tensor LogSoftmax(const Tensor& a, int64_t dim) {
   const DimSplit s = SplitAt(a.shape(), dim);
 
   std::vector<float> out = internal::AcquireBuffer(a.numel());
-  const float* ad = a.data();
-  ParallelRows(s, [&](int64_t base) {
-    float mx = ad[base];
-    for (int64_t j = 1; j < s.n; ++j) {
-      mx = std::max(mx, ad[base + j * s.inner]);
-    }
-    float total = 0.0f;
-    for (int64_t j = 0; j < s.n; ++j) {
-      total += std::exp(ad[base + j * s.inner] - mx);
-    }
-    const float lse = mx + std::log(total);
-    for (int64_t j = 0; j < s.n; ++j) {
-      out[base + j * s.inner] = ad[base + j * s.inner] - lse;
-    }
-  });
+  auto forward = [s](const float* ad, float* dst) {
+    ParallelRows(s, [&](int64_t base) {
+      float mx = ad[base];
+      for (int64_t j = 1; j < s.n; ++j) {
+        mx = std::max(mx, ad[base + j * s.inner]);
+      }
+      float total = 0.0f;
+      for (int64_t j = 0; j < s.n; ++j) {
+        total += std::exp(ad[base + j * s.inner] - mx);
+      }
+      const float lse = mx + std::log(total);
+      for (int64_t j = 0; j < s.n; ++j) {
+        dst[base + j * s.inner] = ad[base + j * s.inner] - lse;
+      }
+    });
+  };
+  forward(a.data(), out.data());
 
   Tensor a_in = a;
   auto backward = [a_in, s](TensorImpl& self) mutable {
@@ -133,8 +146,16 @@ Tensor LogSoftmax(const Tensor& a, int64_t dim) {
     });
     a_in.impl()->AccumulateGrad(delta.data(), a_in.numel());
   };
-  return internal::MakeOpResult(a.shape(), std::move(out), {a},
-                                std::move(backward), "LogSoftmax");
+  Tensor result = internal::MakeOpResult(a.shape(), std::move(out), {a},
+                                         std::move(backward), "LogSoftmax");
+  internal::MaybeCaptureStep(
+      result, {a}, {"LogSoftmax", /*zero_init=*/false, /*inplace_safe=*/false},
+      [&] {
+        return [forward](const float* const* in, float* o) {
+          forward(in[0], o);
+        };
+      });
+  return result;
 }
 
 Tensor DropoutOp(const Tensor& a, float p, bool training, Rng* rng) {

@@ -1,6 +1,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "tensor/capture.h"
 #include "tensor/kernels.h"
 #include "tensor/ops.h"
 #include "util/profiler.h"
@@ -61,15 +62,14 @@ Tensor Sum(const Tensor& a, std::vector<int64_t> dims, bool keepdim) {
 
   const int64_t out_numel = NumElements(out_shape);
   std::vector<float> out = internal::AcquireBuffer(out_numel);
-  // Accumulate via broadcast-strided iteration over the input.
-  {
-    const std::vector<int64_t> out_strides =
-        kernels::BroadcastStrides(keep_shape, in_shape);
-    const int64_t n = a.numel();
-    const float* ad = a.data();
-
-    // Accumulates input flat range [cb, ce) into `dst` (out-sized buffer).
-    auto sum_range = [&](int64_t cb, int64_t ce, float* dst) {
+  // Accumulate via broadcast-strided iteration over the input. The whole
+  // compute is one by-value closure so a captured replay re-runs the exact
+  // same code path over raw pointers (`dst` must be pre-zeroed).
+  auto forward = [in_shape, rank, out_numel,
+                  out_strides = kernels::BroadcastStrides(keep_shape, in_shape),
+                  n = a.numel()](const float* ad, float* dst) {
+    // Accumulates input flat range [cb, ce) into `acc` (out-sized buffer).
+    auto sum_range = [&](int64_t cb, int64_t ce, float* acc) {
       std::vector<int64_t> index(rank, 0);
       int64_t out_off = 0;
       int64_t rem = cb;
@@ -79,7 +79,7 @@ Tensor Sum(const Tensor& a, std::vector<int64_t> dims, bool keepdim) {
         out_off += index[d] * out_strides[d];
       }
       for (int64_t i = cb; i < ce; ++i) {
-        dst[out_off] += ad[i];
+        acc[out_off] += ad[i];
         for (int64_t d = rank - 1; d >= 0; --d) {
           ++index[d];
           out_off += out_strides[d];
@@ -99,7 +99,7 @@ Tensor Sum(const Tensor& a, std::vector<int64_t> dims, bool keepdim) {
       const int64_t row_grain =
           std::max<int64_t>(1, kernels::kGrainStrided / std::max<int64_t>(1, block));
       ParallelFor(0, lead, row_grain, [&](int64_t r0, int64_t r1) {
-        sum_range(r0 * block, r1 * block, out.data());
+        sum_range(r0 * block, r1 * block, dst);
       });
     } else if (n >= 2 * kernels::kGrainStrided && out_numel <= 4096) {
       // Leading dim reduced (e.g. full reduction to a scalar): fixed-order
@@ -124,11 +124,14 @@ Tensor Sum(const Tensor& a, std::vector<int64_t> dims, bool keepdim) {
             }
             return acc;
           });
-      if (!total.values.empty()) out = std::move(total.values);
+      if (!total.values.empty()) {
+        std::copy(total.values.begin(), total.values.end(), dst);
+      }
     } else {
-      sum_range(0, n, out.data());
+      sum_range(0, n, dst);
     }
-  }
+  };
+  forward(a.data(), out.data());
 
   Tensor a_in = a;
   auto backward = [a_in, keep_shape](TensorImpl& self) mutable {
@@ -162,8 +165,15 @@ Tensor Sum(const Tensor& a, std::vector<int64_t> dims, bool keepdim) {
     });
     a_in.impl()->AccumulateGrad(delta.data(), n);
   };
-  return internal::MakeOpResult(out_shape, std::move(out), {a},
-                                std::move(backward), "Sum");
+  Tensor result = internal::MakeOpResult(out_shape, std::move(out), {a},
+                                         std::move(backward), "Sum");
+  internal::MaybeCaptureStep(
+      result, {a}, {"Sum", /*zero_init=*/true, /*inplace_safe=*/false}, [&] {
+        return [forward](const float* const* in, float* o) {
+          forward(in[0], o);
+        };
+      });
+  return result;
 }
 
 Tensor Mean(const Tensor& a, std::vector<int64_t> dims, bool keepdim) {
@@ -205,24 +215,29 @@ Tensor ExtremeOverDim(const Tensor& a, int64_t dim, bool keepdim, Cmp cmp,
 
   std::vector<float> out(outer * inner, init);
   std::vector<int64_t> argbest(outer * inner, 0);
-  const float* ad = a.data();
-  // Each outer index owns a disjoint slice of out/argbest.
-  const int64_t o_grain = std::max<int64_t>(
-      1, kernels::kGrainStrided / std::max<int64_t>(1, reduce_n * inner));
-  ParallelFor(0, outer, o_grain, [&](int64_t o0, int64_t o1) {
-    for (int64_t o = o0; o < o1; ++o) {
-      for (int64_t r = 0; r < reduce_n; ++r) {
-        const float* row = ad + (o * reduce_n + r) * inner;
-        for (int64_t i = 0; i < inner; ++i) {
-          float& best = out[o * inner + i];
-          if (r == 0 || cmp(row[i], best)) {
-            best = row[i];
-            argbest[o * inner + i] = r;
+  // Each outer index owns a disjoint slice of out/argbest. The r == 0 case
+  // writes unconditionally, so `dst` needs no init prefill — the eager pass
+  // and a captured replay (which passes scratch arg storage) share this.
+  auto forward = [outer, inner, reduce_n, cmp](const float* ad, float* dst,
+                                               int64_t* arg) {
+    const int64_t o_grain = std::max<int64_t>(
+        1, kernels::kGrainStrided / std::max<int64_t>(1, reduce_n * inner));
+    ParallelFor(0, outer, o_grain, [&](int64_t o0, int64_t o1) {
+      for (int64_t o = o0; o < o1; ++o) {
+        for (int64_t r = 0; r < reduce_n; ++r) {
+          const float* row = ad + (o * reduce_n + r) * inner;
+          for (int64_t i = 0; i < inner; ++i) {
+            float& best = dst[o * inner + i];
+            if (r == 0 || cmp(row[i], best)) {
+              best = row[i];
+              arg[o * inner + i] = r;
+            }
           }
         }
       }
-    }
-  });
+    });
+  };
+  forward(a.data(), out.data(), argbest.data());
 
   Shape out_shape;
   for (int64_t i = 0; i < rank; ++i) {
@@ -246,8 +261,17 @@ Tensor ExtremeOverDim(const Tensor& a, int64_t dim, bool keepdim, Cmp cmp,
     }
     a_in.impl()->AccumulateGrad(delta.data(), a_in.numel());
   };
-  return internal::MakeOpResult(std::move(out_shape), std::move(out), {a},
-                                std::move(backward), name);
+  Tensor result = internal::MakeOpResult(std::move(out_shape), std::move(out),
+                                         {a}, std::move(backward), name);
+  internal::MaybeCaptureStep(
+      result, {a}, {name, /*zero_init=*/false, /*inplace_safe=*/false}, [&] {
+        return [forward, scratch = outer * inner](const float* const* in,
+                                                  float* o) {
+          std::vector<int64_t> arg(scratch);
+          forward(in[0], o, arg.data());
+        };
+      });
+  return result;
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include <algorithm>
 
+#include "tensor/capture.h"
 #include "tensor/kernels.h"
 #include "tensor/ops.h"
 
@@ -31,8 +32,12 @@ Tensor Reshape(const Tensor& a, Shape shape) {
     a_in.impl()->AccumulateGrad(self.grad.data(),
                                 static_cast<int64_t>(self.grad.size()));
   };
-  return internal::MakeOpResult(std::move(shape), a.impl()->data, {a},
-                                std::move(backward), "Reshape");
+  Tensor result = internal::MakeOpResult(std::move(shape), a.impl()->data, {a},
+                                         std::move(backward), "Reshape");
+  // The eager path copies the data; replay elides the copy entirely: the
+  // result is the same buffer viewed under a new shape.
+  internal::MaybeCaptureAlias(result, a, "Reshape");
+  return result;
 }
 
 Tensor Unsqueeze(const Tensor& a, int64_t dim) {
@@ -76,12 +81,12 @@ Tensor Permute(const Tensor& a, std::vector<int64_t> perm) {
 
   const int64_t n = a.numel();
   std::vector<float> out = internal::AcquireBuffer(n);
-  const float* ad = a.data();
-  {
+  auto forward = [n, rank, gather_strides, out_shape](const float* ad,
+                                                      float* dst) {
     std::vector<int64_t> index(rank, 0);
     int64_t in_off = 0;
     for (int64_t i = 0; i < n; ++i) {
-      out[i] = ad[in_off];
+      dst[i] = ad[in_off];
       for (int64_t d = rank - 1; d >= 0; --d) {
         ++index[d];
         in_off += gather_strides[d];
@@ -90,7 +95,8 @@ Tensor Permute(const Tensor& a, std::vector<int64_t> perm) {
         in_off -= gather_strides[d] * out_shape[d];
       }
     }
-  }
+  };
+  forward(a.data(), out.data());
 
   Tensor a_in = a;
   auto backward = [a_in, gather_strides, out_shape, rank](TensorImpl& self) mutable {
@@ -111,8 +117,16 @@ Tensor Permute(const Tensor& a, std::vector<int64_t> perm) {
     }
     a_in.impl()->AccumulateGrad(delta.data(), a_in.numel());
   };
-  return internal::MakeOpResult(std::move(out_shape), std::move(out), {a},
-                                std::move(backward), "Permute");
+  Tensor result = internal::MakeOpResult(std::move(out_shape), std::move(out),
+                                         {a}, std::move(backward), "Permute");
+  internal::MaybeCaptureStep(
+      result, {a}, {"Permute", /*zero_init=*/false, /*inplace_safe=*/false},
+      [&] {
+        return [forward](const float* const* in, float* o) {
+          forward(in[0], o);
+        };
+      });
+  return result;
 }
 
 Tensor Transpose(const Tensor& a, int64_t d0, int64_t d1) {
@@ -150,14 +164,17 @@ Tensor Slice(const Tensor& a, int64_t dim, int64_t start, int64_t end,
   Shape out_shape = in_shape;
   out_shape[dim] = count;
   std::vector<float> out = internal::AcquireBuffer(NumElements(out_shape));
-  const float* ad = a.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t c = 0; c < count; ++c) {
-      const int64_t src = o * size * inner + (start + c * step) * inner;
-      const int64_t dst = o * count * inner + c * inner;
-      std::copy(ad + src, ad + src + inner, out.begin() + dst);
+  auto forward = [outer, inner, size, start, step, count](const float* ad,
+                                                          float* dst_base) {
+    for (int64_t o = 0; o < outer; ++o) {
+      for (int64_t c = 0; c < count; ++c) {
+        const int64_t src = o * size * inner + (start + c * step) * inner;
+        const int64_t dst = o * count * inner + c * inner;
+        std::copy(ad + src, ad + src + inner, dst_base + dst);
+      }
     }
-  }
+  };
+  forward(a.data(), out.data());
 
   Tensor a_in = a;
   auto backward = [a_in, outer, inner, size, start, step,
@@ -173,8 +190,16 @@ Tensor Slice(const Tensor& a, int64_t dim, int64_t start, int64_t end,
     }
     a_in.impl()->AccumulateGrad(delta.data(), a_in.numel());
   };
-  return internal::MakeOpResult(std::move(out_shape), std::move(out), {a},
-                                std::move(backward), "Slice");
+  Tensor result = internal::MakeOpResult(std::move(out_shape), std::move(out),
+                                         {a}, std::move(backward), "Slice");
+  internal::MaybeCaptureStep(
+      result, {a}, {"Slice", /*zero_init=*/false, /*inplace_safe=*/false},
+      [&] {
+        return [forward](const float* const* in, float* o) {
+          forward(in[0], o);
+        };
+      });
+  return result;
 }
 
 Tensor Concat(const std::vector<Tensor>& parts, int64_t dim) {
@@ -205,18 +230,24 @@ Tensor Concat(const std::vector<Tensor>& parts, int64_t dim) {
   out_shape[dim] = total;
   std::vector<float> out = internal::AcquireBuffer(NumElements(out_shape));
   std::vector<int64_t> sizes(parts.size());
-  {
+  for (size_t p = 0; p < parts.size(); ++p) sizes[p] = parts[p].shape()[dim];
+  auto forward = [sizes, outer, inner, total](const float* const* in,
+                                              float* dst) {
     int64_t offset = 0;  // running offset along `dim`
-    for (size_t p = 0; p < parts.size(); ++p) {
-      const int64_t sz = parts[p].shape()[dim];
-      sizes[p] = sz;
-      const float* src = parts[p].data();
+    for (size_t p = 0; p < sizes.size(); ++p) {
+      const int64_t sz = sizes[p];
+      const float* src = in[p];
       for (int64_t o = 0; o < outer; ++o) {
         std::copy(src + o * sz * inner, src + (o + 1) * sz * inner,
-                  out.begin() + o * total * inner + offset * inner);
+                  dst + o * total * inner + offset * inner);
       }
       offset += sz;
     }
+  };
+  {
+    std::vector<const float*> srcs(parts.size());
+    for (size_t p = 0; p < parts.size(); ++p) srcs[p] = parts[p].data();
+    forward(srcs.data(), out.data());
   }
 
   std::vector<Tensor> inputs = parts;
@@ -237,8 +268,12 @@ Tensor Concat(const std::vector<Tensor>& parts, int64_t dim) {
       offset += sz;
     }
   };
-  return internal::MakeOpResult(std::move(out_shape), std::move(out), parts,
-                                std::move(backward), "Concat");
+  Tensor result = internal::MakeOpResult(std::move(out_shape), std::move(out),
+                                         parts, std::move(backward), "Concat");
+  internal::MaybeCaptureStep(
+      result, parts, {"Concat", /*zero_init=*/false, /*inplace_safe=*/false},
+      [&] { return internal::ReplayFn(forward); });
+  return result;
 }
 
 Tensor StackTensors(const std::vector<Tensor>& parts, int64_t dim) {

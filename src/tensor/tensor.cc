@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "tensor/alloc_stats.h"
+#include "tensor/capture.h"
 #include "util/metrics.h"
 
 namespace conformer {
@@ -206,12 +207,16 @@ Tensor Tensor::Detach() const {
   CONFORMER_CHECK(defined());
   // Fresh impl with copied values: no tape, no leaf status.
   auto impl = std::make_shared<TensorImpl>(impl_->shape, impl_->data);
-  return Tensor(std::move(impl));
+  Tensor result(std::move(impl));
+  internal::MaybeCaptureAlias(result, *this, "Detach");
+  return result;
 }
 
 Tensor Tensor::Clone() const {
   CONFORMER_CHECK(defined());
-  return Tensor::FromVector(impl_->data, impl_->shape);
+  Tensor result = Tensor::FromVector(impl_->data, impl_->shape);
+  internal::MaybeCaptureAlias(result, *this, "Clone");
+  return result;
 }
 
 void Tensor::CopyDataFrom(const Tensor& src) {
@@ -344,7 +349,11 @@ Tensor MakeOpResult(Shape shape, std::vector<float> values,
     impl->node = std::move(node);
     impl->requires_grad = true;
   }
-  return Tensor(std::move(impl));
+  Tensor result(std::move(impl));
+  if (CaptureSink* sink = ActiveCaptureSink()) {
+    sink->RecordRaw(result, op_name);
+  }
+  return result;
 }
 
 }  // namespace internal

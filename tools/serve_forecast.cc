@@ -39,6 +39,8 @@ struct Options {
   int64_t delay_us = 2000;
   int64_t quantile_samples = 0;
   double coverage = 0.9;
+  bool static_plan = false;
+  bool parity_check = false;
   int64_t input_len = 32;
   int64_t label_len = 16;
   int64_t pred_len = 16;
@@ -61,6 +63,10 @@ void Usage() {
       "  --delay-us N          max queueing delay per batch (default 2000)\n"
       "  --quantile-samples N  flow samples per request for a quantile band\n"
       "  --coverage C          band coverage (default 0.9)\n"
+      "  --static-plan         serve point forecasts through the static\n"
+      "                        runtime (docs/STATIC_RUNTIME.md)\n"
+      "  --parity-check        verify every replay per node against the\n"
+      "                        eager path (debug; implies --static-plan)\n"
       "  --input-len/--label-len/--pred-len N   window geometry (32/16/16)\n"
       "  --metrics-out FILE    write the metrics registry JSON here\n");
 }
@@ -80,6 +86,11 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
     const char* v = nullptr;
     if (arg == "--train-if-missing") {
       opts->train_if_missing = true;
+    } else if (arg == "--static-plan") {
+      opts->static_plan = true;
+    } else if (arg == "--parity-check") {
+      opts->static_plan = true;
+      opts->parity_check = true;
     } else if (arg == "--model" && (v = next())) {
       opts->model = v;
     } else if (arg == "--dataset" && (v = next())) {
@@ -167,6 +178,8 @@ int Main(int argc, char** argv) {
   session_config.dims = series.value().dims();
   session_config.quantile_samples = opts.quantile_samples;
   session_config.coverage = opts.coverage;
+  session_config.use_static_plan = opts.static_plan;
+  session_config.static_parity_check = opts.parity_check;
   Result<std::unique_ptr<serve::InferenceSession>> session =
       serve::InferenceSession::Open(session_config, opts.checkpoint);
   if (!session.ok()) {
