@@ -1,6 +1,10 @@
 // Thread-scaling microbenchmark for the parallel kernel layer: Gemm, Conv1d
 // and sliding-window attention at 1, 2, 4 and hardware_concurrency threads
-// (deduplicated). Emits one JSON document on stdout so CI can diff runs:
+// (deduplicated), plus per-SIMD-level rows (docs/SIMD.md) — the same Gemm /
+// elementwise / softmax work pinned to 1 thread under each available
+// CONFORMER_SIMD_LEVEL, and a `gemm_dispatch` row at the auto-detected
+// level. CI's bench-smoke job asserts gemm_dispatch >= 1.5x gemm_scalar.
+// Emits one JSON document on stdout so CI can diff runs:
 //
 //   {"hardware_concurrency": N,
 //    "results": [{"kernel": "gemm_512", "threads": 1, "ops_per_sec": ...}]}
@@ -13,12 +17,14 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "attention/attention.h"
 #include "tensor/kernels.h"
 #include "tensor/ops.h"
+#include "tensor/vec/vec.h"
 #include "util/env.h"
 #include "util/thread_pool.h"
 
@@ -53,7 +59,7 @@ double MeasureOpsPerSec(Fn fn, double min_seconds = MinSeconds()) {
 }
 
 struct Result {
-  const char* kernel;
+  std::string kernel;
   int64_t threads;
   double ops_per_sec;
 };
@@ -103,6 +109,53 @@ void BenchAtThreadCount(int64_t threads, std::vector<Result>* results) {
   }
 }
 
+// Per-SIMD-level rows, all pinned to 1 thread so the ratio between levels
+// isolates vectorization (no pool dispatch in the numerator or denominator).
+// The raw span kernels are benched directly; Gemm goes through
+// kernels::Gemm, whose inner loops dispatch per level.
+void BenchSimdLevels(std::vector<Result>* results) {
+  ThreadPool::Global().SetNumThreads(1);
+  NoGradGuard guard;
+  Rng rng(11);
+  const vec::SimdLevel ambient = vec::ActiveSimdLevel();
+
+  const int64_t gn = 256;
+  Tensor ga = Tensor::Randn({gn, gn}, &rng);
+  Tensor gb = Tensor::Randn({gn, gn}, &rng);
+  std::vector<float> gc(gn * gn);
+  auto gemm = [&] {
+    kernels::Gemm(false, false, gn, gn, gn, ga.data(), gb.data(), gc.data(),
+                  /*accumulate=*/false);
+  };
+
+  const int64_t en = 1 << 20;
+  Tensor ea = Tensor::Randn({en}, &rng);
+  Tensor eb = Tensor::Randn({en}, &rng);
+  std::vector<float> eo(en);
+  auto elementwise = [&] { vec::AddN(ea.data(), eb.data(), eo.data(), en); };
+
+  const int64_t rows = 256, cols = 512;
+  Tensor sa = Tensor::Randn({rows, cols}, &rng);
+  std::vector<float> so(rows * cols);
+  auto softmax = [&] {
+    for (int64_t r = 0; r < rows; ++r) {
+      vec::SoftmaxRowN(sa.data() + r * cols, so.data() + r * cols, cols);
+    }
+  };
+
+  for (vec::SimdLevel level : vec::AvailableSimdLevels()) {
+    vec::SetSimdLevel(level);
+    const std::string name = vec::SimdLevelName(level);
+    results->push_back({"gemm_" + name, 1, MeasureOpsPerSec(gemm)});
+    results->push_back(
+        {"elementwise_" + name, 1, MeasureOpsPerSec(elementwise)});
+    results->push_back({"softmax_" + name, 1, MeasureOpsPerSec(softmax)});
+  }
+  vec::SetSimdLevel(vec::DetectedSimdLevel());
+  results->push_back({"gemm_dispatch", 1, MeasureOpsPerSec(gemm)});
+  vec::SetSimdLevel(ambient);
+}
+
 int Main() {
   const int64_t hw = std::max<int64_t>(
       1, static_cast<int64_t>(std::thread::hardware_concurrency()));
@@ -112,6 +165,7 @@ int Main() {
 
   std::vector<Result> results;
   for (int64_t t : counts) BenchAtThreadCount(t, &results);
+  BenchSimdLevels(&results);
   ThreadPool::Global().SetNumThreads(hw);
 
   std::printf("{\"hardware_concurrency\": %lld, \"results\": [",
@@ -119,7 +173,7 @@ int Main() {
   for (size_t i = 0; i < results.size(); ++i) {
     std::printf(
         "%s\n  {\"kernel\": \"%s\", \"threads\": %lld, \"ops_per_sec\": %.3f}",
-        i == 0 ? "" : ",", results[i].kernel,
+        i == 0 ? "" : ",", results[i].kernel.c_str(),
         static_cast<long long>(results[i].threads), results[i].ops_per_sec);
   }
   std::printf("\n]}\n");

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "tensor/vec/vec.h"
 #include "util/profiler.h"
 
 namespace conformer::kernels {
@@ -39,22 +40,19 @@ void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
         for (int64_t p = 0; p < k; ++p) {
           const float aip = a[i * k + p];
           if (aip == 0.0f) continue;
-          const float* brow = b + p * n;
-          float* crow = c + i * n;
-          for (int64_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+          vec::MulAddN(b + p * n, aip, c + i * n, n);
         }
       }
     });
   } else if (!trans_a && trans_b) {
-    // a: m x k, b: n x k
+    // a: m x k, b: n x k. The dot kernel accumulates into 8 logical bins
+    // folded in a fixed order (docs/SIMD.md), so the sum order differs from
+    // a sequential loop but is identical at every SIMD level & thread count.
     ParallelFor(0, m, grain, [&](int64_t i0, int64_t i1) {
       for (int64_t i = i0; i < i1; ++i) {
         const float* arow = a + i * k;
         for (int64_t j = 0; j < n; ++j) {
-          const float* brow = b + j * k;
-          float acc = 0.0f;
-          for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-          c[i * n + j] += acc;
+          c[i * n + j] += vec::DotN(arow, b + j * k, k);
         }
       }
     });
@@ -68,8 +66,7 @@ void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
         for (int64_t i = i0; i < i1; ++i) {
           const float api = arow[i];
           if (api == 0.0f) continue;
-          float* crow = c + i * n;
-          for (int64_t j = 0; j < n; ++j) crow[j] += api * brow[j];
+          vec::MulAddN(brow, api, c + i * n, n);
         }
       }
     });
@@ -89,7 +86,7 @@ void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
 
 void Axpy(int64_t n, float alpha, const float* x, float* out) {
   ParallelFor(0, n, kGrainElementwise, [&](int64_t cb, int64_t ce) {
-    for (int64_t i = cb; i < ce; ++i) out[i] += alpha * x[i];
+    vec::MulAddN(x + cb, alpha, out + cb, ce - cb);
   });
 }
 

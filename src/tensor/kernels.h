@@ -92,6 +92,26 @@ void BroadcastBinary(const float* a, const Shape& a_shape, const float* b,
   });
 }
 
+/// Like BroadcastBinary, but when both operands already have the output
+/// shape, each ParallelFor chunk is handed whole to `span(a+cb, b+cb,
+/// out+cb, len)` — the hook the SIMD layer (tensor/vec/vec.h) plugs into.
+/// Chunk boundaries are identical to BroadcastBinary's, so the 1-vs-N-thread
+/// determinism contract is unchanged. The strided broadcast path still runs
+/// the per-element functor `f`.
+template <typename Fn, typename SpanFn>
+void BroadcastBinarySpan(const float* a, const Shape& a_shape, const float* b,
+                         const Shape& b_shape, float* out,
+                         const Shape& out_shape, Fn f, SpanFn span) {
+  if (a_shape == out_shape && b_shape == out_shape) {
+    const int64_t n = NumElements(out_shape);
+    ParallelFor(0, n, kGrainElementwise, [&](int64_t cb, int64_t ce) {
+      span(a + cb, b + cb, out + cb, ce - cb);
+    });
+    return;
+  }
+  BroadcastBinary(a, a_shape, b, b_shape, out, out_shape, f);
+}
+
 /// Sums `grad` (of shape `grad_shape`) down to `target_shape` (which must
 /// broadcast to `grad_shape`), writing into `out` (pre-zeroed by caller or
 /// accumulated; this function ACCUMULATES).

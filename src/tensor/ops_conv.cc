@@ -3,6 +3,7 @@
 #include "tensor/capture.h"
 #include "tensor/kernels.h"
 #include "tensor/ops.h"
+#include "tensor/vec/vec.h"
 #include "util/profiler.h"
 
 namespace conformer {
@@ -98,6 +99,14 @@ Tensor AvgPool1d(const Tensor& input, int64_t kernel, int64_t stride) {
     ParallelFor(0, outer, pool_grain, [&](int64_t o0, int64_t o1) {
       for (int64_t o = o0; o < o1; ++o) {
         const float* row = ad + o * length;
+        if (stride == 1) {
+          // Stride-1 windows (the SIRN moving-average decomposition):
+          // dispatched SIMD kernel, vectorized across outputs with the same
+          // sequential per-output accumulation over the window — bitwise
+          // identical to the scalar loop below.
+          vec::MovingAvgN(row, out_len, kernel, inv_k, dst + o * out_len);
+          continue;
+        }
         for (int64_t j = 0; j < out_len; ++j) {
           float acc = 0.0f;
           const float* window = row + j * stride;

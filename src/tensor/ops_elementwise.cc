@@ -3,23 +3,42 @@
 #include "tensor/capture.h"
 #include "tensor/kernels.h"
 #include "tensor/ops.h"
+#include "tensor/vec/vec.h"
 #include "util/profiler.h"
 
 namespace conformer {
 
 namespace {
 
-// Shared plumbing for broadcasting binary ops. `f` computes the value;
+// Adapters turning a scalar functor into a span function, for ops without a
+// dedicated SIMD kernel in tensor/vec.
+template <typename Fn>
+auto ScalarBinarySpan(Fn f) {
+  return [f](const float* a, const float* b, float* o, int64_t n) {
+    for (int64_t i = 0; i < n; ++i) o[i] = f(a[i], b[i]);
+  };
+}
+template <typename Fn>
+auto ScalarUnarySpan(Fn f) {
+  return [f](const float* a, float* o, int64_t n) {
+    for (int64_t i = 0; i < n; ++i) o[i] = f(a[i]);
+  };
+}
+
+// Shared plumbing for broadcasting binary ops. `f` computes the value and
+// serves the strided broadcast path; `span` computes whole contiguous chunks
+// when no broadcasting is needed (usually a dispatched vec:: kernel and
+// bitwise-equal to looping `f` — except where noted at the call site);
 // `dfda` / `dfdb` compute local partials from (a_i, b_i, out_i).
-template <typename Fn, typename DfA, typename DfB>
-Tensor BinaryOp(const Tensor& a, const Tensor& b, Fn f, DfA dfda, DfB dfdb,
-                const char* name) {
+template <typename Fn, typename SpanFn, typename DfA, typename DfB>
+Tensor BinaryOpSpan(const Tensor& a, const Tensor& b, Fn f, SpanFn span,
+                    DfA dfda, DfB dfdb, const char* name) {
   CONFORMER_PROFILE_SCOPE(name);
   CONFORMER_CHECK(a.defined() && b.defined()) << name << " on undefined tensor";
   const Shape out_shape = kernels::BroadcastShape(a.shape(), b.shape());
   std::vector<float> out = internal::AcquireBuffer(NumElements(out_shape));
-  kernels::BroadcastBinary(a.data(), a.shape(), b.data(), b.shape(), out.data(),
-                           out_shape, f);
+  kernels::BroadcastBinarySpan(a.data(), a.shape(), b.data(), b.shape(),
+                               out.data(), out_shape, f, span);
   Tensor a_in = a;
   Tensor b_in = b;
   auto backward = [a_in, b_in, out_shape, dfda, dfdb](TensorImpl& self) mutable {
@@ -68,33 +87,39 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, Fn f, DfA dfda, DfB dfdb,
       result, {a, b},
       {name, /*zero_init=*/false, /*inplace_safe=*/a.shape() == out_shape},
       [&] {
-        return [f, a_shape = a.shape(), b_shape = b.shape(),
+        return [f, span, a_shape = a.shape(), b_shape = b.shape(),
                 out_shape](const float* const* in, float* o) {
-          kernels::BroadcastBinary(in[0], a_shape, in[1], b_shape, o,
-                                   out_shape, f);
+          kernels::BroadcastBinarySpan(in[0], a_shape, in[1], b_shape, o,
+                                       out_shape, f, span);
         };
       });
   return result;
 }
 
+template <typename Fn, typename DfA, typename DfB>
+Tensor BinaryOp(const Tensor& a, const Tensor& b, Fn f, DfA dfda, DfB dfdb,
+                const char* name) {
+  return BinaryOpSpan(a, b, f, ScalarBinarySpan(f), dfda, dfdb, name);
+}
+
 // The forward loop shared by the eager path and the captured replay closure
-// of every unary op.
-template <typename Fn>
-void UnaryForward(int64_t n, Fn f, const float* a, float* out) {
+// of every unary op: `span` computes one contiguous chunk at a time.
+template <typename SpanFn>
+void UnaryForward(int64_t n, SpanFn span, const float* a, float* out) {
   ParallelFor(0, n, kernels::kGrainElementwise, [&](int64_t cb, int64_t ce) {
-    for (int64_t i = cb; i < ce; ++i) out[i] = f(a[i]);
+    span(a + cb, out + cb, ce - cb);
   });
 }
 
-// Shared plumbing for unary ops: `f` computes out_i from a_i, `df` computes
-// d out_i / d a_i from (a_i, out_i).
-template <typename Fn, typename Df>
-Tensor UnaryOp(const Tensor& a, Fn f, Df df, const char* name) {
+// Shared plumbing for unary ops: `span` computes whole contiguous output
+// chunks from input chunks, `df` computes d out_i / d a_i from (a_i, out_i).
+template <typename SpanFn, typename Df>
+Tensor UnaryOpSpan(const Tensor& a, SpanFn span, Df df, const char* name) {
   CONFORMER_PROFILE_SCOPE(name);
   CONFORMER_CHECK(a.defined()) << name << " on undefined tensor";
   const int64_t n = a.numel();
   std::vector<float> out = internal::AcquireBuffer(n);
-  UnaryForward(n, f, a.data(), out.data());
+  UnaryForward(n, span, a.data(), out.data());
   Tensor a_in = a;
   auto backward = [a_in, df](TensorImpl& self) mutable {
     const int64_t n = static_cast<int64_t>(self.data.size());
@@ -111,60 +136,71 @@ Tensor UnaryOp(const Tensor& a, Fn f, Df df, const char* name) {
                                          std::move(backward), name);
   internal::MaybeCaptureStep(
       result, {a}, {name, /*zero_init=*/false, /*inplace_safe=*/true}, [&] {
-        return [n, f](const float* const* in, float* o) {
-          UnaryForward(n, f, in[0], o);
+        return [n, span](const float* const* in, float* o) {
+          UnaryForward(n, span, in[0], o);
         };
       });
   return result;
 }
 
+// `f` computes out_i from a_i, applied chunk-by-chunk via ScalarUnarySpan.
+template <typename Fn, typename Df>
+Tensor UnaryOp(const Tensor& a, Fn f, Df df, const char* name) {
+  return UnaryOpSpan(a, ScalarUnarySpan(f), df, name);
+}
+
 }  // namespace
 
 Tensor Add(const Tensor& a, const Tensor& b) {
-  return BinaryOp(
-      a, b, [](float x, float y) { return x + y; },
+  return BinaryOpSpan(
+      a, b, [](float x, float y) { return x + y; }, vec::AddN,
       [](float, float) { return 1.0f; }, [](float, float) { return 1.0f; },
       "Add");
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
-  return BinaryOp(
-      a, b, [](float x, float y) { return x - y; },
+  return BinaryOpSpan(
+      a, b, [](float x, float y) { return x - y; }, vec::SubN,
       [](float, float) { return 1.0f; }, [](float, float) { return -1.0f; },
       "Sub");
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
-  return BinaryOp(
-      a, b, [](float x, float y) { return x * y; },
+  return BinaryOpSpan(
+      a, b, [](float x, float y) { return x * y; }, vec::MulN,
       [](float, float y) { return y; }, [](float x, float) { return x; },
       "Mul");
 }
 
 Tensor Div(const Tensor& a, const Tensor& b) {
-  return BinaryOp(
-      a, b, [](float x, float y) { return x / y; },
+  return BinaryOpSpan(
+      a, b, [](float x, float y) { return x / y; }, vec::DivN,
       [](float, float y) { return 1.0f / y; },
       [](float x, float y) { return -x / (y * y); }, "Div");
 }
 
 Tensor Maximum(const Tensor& a, const Tensor& b) {
-  return BinaryOp(
-      a, b, [](float x, float y) { return x >= y ? x : y; },
+  // vec::MaxN matches `x >= y ? x : y` for all ordered lanes and ties (first
+  // operand wins a tie); lanes with a NaN operand may differ from the ternary
+  // (SSE max semantics, identical across SIMD levels).
+  return BinaryOpSpan(
+      a, b, [](float x, float y) { return x >= y ? x : y; }, vec::MaxN,
       [](float x, float y) { return x >= y ? 1.0f : 0.0f; },
       [](float x, float y) { return x >= y ? 0.0f : 1.0f; }, "Maximum");
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
-  return UnaryOp(
-      a, [s](float x) { return x + s; }, [](float, float) { return 1.0f; },
-      "AddScalar");
+  return UnaryOpSpan(
+      a,
+      [s](const float* x, float* o, int64_t n) { vec::AddScalarN(x, s, o, n); },
+      [](float, float) { return 1.0f; }, "AddScalar");
 }
 
 Tensor MulScalar(const Tensor& a, float s) {
-  return UnaryOp(
-      a, [s](float x) { return x * s; }, [s](float, float) { return s; },
-      "MulScalar");
+  return UnaryOpSpan(
+      a,
+      [s](const float* x, float* o, int64_t n) { vec::MulScalarN(x, s, o, n); },
+      [s](float, float) { return s; }, "MulScalar");
 }
 
 Tensor PowScalar(const Tensor& a, float p) {
@@ -176,9 +212,9 @@ Tensor PowScalar(const Tensor& a, float p) {
 Tensor Neg(const Tensor& a) { return MulScalar(a, -1.0f); }
 
 Tensor Exp(const Tensor& a) {
-  return UnaryOp(
-      a, [](float x) { return std::exp(x); },
-      [](float, float y) { return y; }, "Exp");
+  // vec::ExpN is the shared polynomial exp (docs/SIMD.md): ~1 ulp of
+  // std::exp, exact at 0, bitwise identical across SIMD levels.
+  return UnaryOpSpan(a, vec::ExpN, [](float, float y) { return y; }, "Exp");
 }
 
 Tensor Log(const Tensor& a) {
@@ -188,15 +224,15 @@ Tensor Log(const Tensor& a) {
 }
 
 Tensor Sqrt(const Tensor& a) {
-  return UnaryOp(
-      a, [](float x) { return std::sqrt(x); },
-      [](float, float y) { return 0.5f / y; }, "Sqrt");
+  // Hardware sqrt is IEEE correctly-rounded, so vec::SqrtN == std::sqrt.
+  return UnaryOpSpan(a, vec::SqrtN, [](float, float y) { return 0.5f / y; },
+                     "Sqrt");
 }
 
 Tensor Abs(const Tensor& a) {
-  return UnaryOp(
-      a, [](float x) { return std::fabs(x); },
-      [](float x, float) { return x >= 0.0f ? 1.0f : -1.0f; }, "Abs");
+  return UnaryOpSpan(a, vec::AbsN,
+                     [](float x, float) { return x >= 0.0f ? 1.0f : -1.0f; },
+                     "Abs");
 }
 
 Tensor Tanh(const Tensor& a) {
@@ -206,24 +242,16 @@ Tensor Tanh(const Tensor& a) {
 }
 
 Tensor Sigmoid(const Tensor& a) {
-  return UnaryOp(
-      a,
-      [](float x) {
-        // Stable in both tails.
-        if (x >= 0.0f) {
-          const float z = std::exp(-x);
-          return 1.0f / (1.0f + z);
-        }
-        const float z = std::exp(x);
-        return z / (1.0f + z);
-      },
-      [](float, float y) { return y * (1.0f - y); }, "Sigmoid");
+  // vec::SigmoidN uses the same tail-stable formulation (z = exp(-|x|),
+  // branch on sign) built on the shared polynomial exp.
+  return UnaryOpSpan(a, vec::SigmoidN,
+                     [](float, float y) { return y * (1.0f - y); }, "Sigmoid");
 }
 
 Tensor Relu(const Tensor& a) {
-  return UnaryOp(
-      a, [](float x) { return x > 0.0f ? x : 0.0f; },
-      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; }, "Relu");
+  return UnaryOpSpan(a, vec::ReluN,
+                     [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; },
+                     "Relu");
 }
 
 Tensor Gelu(const Tensor& a) {
@@ -276,9 +304,11 @@ Tensor Cos(const Tensor& a) {
 }
 
 Tensor Clamp(const Tensor& a, float lo, float hi) {
-  return UnaryOp(
+  return UnaryOpSpan(
       a,
-      [lo, hi](float x) { return x < lo ? lo : (x > hi ? hi : x); },
+      [lo, hi](const float* x, float* o, int64_t n) {
+        vec::ClampN(x, lo, hi, o, n);
+      },
       [lo, hi](float x, float) { return (x >= lo && x <= hi) ? 1.0f : 0.0f; },
       "Clamp");
 }

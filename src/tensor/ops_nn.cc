@@ -4,6 +4,7 @@
 #include "tensor/capture.h"
 #include "tensor/kernels.h"
 #include "tensor/ops.h"
+#include "tensor/vec/vec.h"
 #include "util/profiler.h"
 
 namespace conformer {
@@ -56,6 +57,14 @@ Tensor Softmax(const Tensor& a, int64_t dim) {
 
   std::vector<float> out = internal::AcquireBuffer(a.numel());
   auto forward = [s](const float* ad, float* dst) {
+    if (s.inner == 1) {
+      // Contiguous rows: the dispatched SIMD row kernel (same max/exp/sum
+      // algorithm with the fixed 8-bin fold; see docs/SIMD.md).
+      ParallelRows(s, [&](int64_t base) {
+        vec::SoftmaxRowN(ad + base, dst + base, s.n);
+      });
+      return;
+    }
     ParallelRows(s, [&](int64_t base) {
       float mx = ad[base];
       for (int64_t j = 1; j < s.n; ++j) {
@@ -113,6 +122,12 @@ Tensor LogSoftmax(const Tensor& a, int64_t dim) {
 
   std::vector<float> out = internal::AcquireBuffer(a.numel());
   auto forward = [s](const float* ad, float* dst) {
+    if (s.inner == 1) {
+      ParallelRows(s, [&](int64_t base) {
+        vec::LogSoftmaxRowN(ad + base, dst + base, s.n);
+      });
+      return;
+    }
     ParallelRows(s, [&](int64_t base) {
       float mx = ad[base];
       for (int64_t j = 1; j < s.n; ++j) {

@@ -4,6 +4,7 @@
 #include "tensor/capture.h"
 #include "tensor/kernels.h"
 #include "tensor/ops.h"
+#include "tensor/vec/vec.h"
 #include "util/profiler.h"
 
 namespace conformer {
@@ -62,12 +63,34 @@ Tensor Sum(const Tensor& a, std::vector<int64_t> dims, bool keepdim) {
 
   const int64_t out_numel = NumElements(out_shape);
   std::vector<float> out = internal::AcquireBuffer(out_numel);
+  // Reducing exactly a trailing block of dims [sp, rank) makes every output
+  // element the sum of one contiguous input row — the layout the SIMD row
+  // reduction handles. (Sum order becomes the fixed 8-bin fold instead of
+  // sequential; deterministic and identical across SIMD levels.)
+  const bool suffix_reduce = !dims.empty() && dims.back() == rank - 1 &&
+                             static_cast<int64_t>(dims.size()) ==
+                                 rank - dims.front() &&
+                             out_numel > 1;
+  int64_t suffix_row_len = 1;
+  if (suffix_reduce) {
+    for (int64_t d = dims.front(); d < rank; ++d) suffix_row_len *= in_shape[d];
+  }
   // Accumulate via broadcast-strided iteration over the input. The whole
   // compute is one by-value closure so a captured replay re-runs the exact
   // same code path over raw pointers (`dst` must be pre-zeroed).
-  auto forward = [in_shape, rank, out_numel,
+  auto forward = [in_shape, rank, out_numel, suffix_reduce, suffix_row_len,
                   out_strides = kernels::BroadcastStrides(keep_shape, in_shape),
                   n = a.numel()](const float* ad, float* dst) {
+    if (suffix_reduce && suffix_row_len > 0) {
+      const int64_t row_grain = std::max<int64_t>(
+          1, kernels::kGrainStrided / suffix_row_len);
+      ParallelFor(0, out_numel, row_grain, [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          dst[r] += vec::SumN(ad + r * suffix_row_len, suffix_row_len);
+        }
+      });
+      return;
+    }
     // Accumulates input flat range [cb, ce) into `acc` (out-sized buffer).
     auto sum_range = [&](int64_t cb, int64_t ce, float* acc) {
       std::vector<int64_t> index(rank, 0);

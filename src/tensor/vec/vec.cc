@@ -1,0 +1,168 @@
+// SIMD level detection, CONFORMER_SIMD_LEVEL resolution and kernel-table
+// dispatch. The active table pointer is a relaxed atomic: kernels read it
+// once per span, and SetSimdLevel (tests/benches only) must not race with
+// running kernels — see vec.h.
+
+#include "tensor/vec/vec.h"
+
+#include <atomic>
+
+#include "tensor/vec/vec_tables.h"
+#include "util/env.h"
+#include "util/logging.h"
+
+namespace conformer::vec {
+namespace {
+
+const internal::KernelTable* TableFor(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return internal::GetScalarTable();
+    case SimdLevel::kSse2:
+      return internal::GetSse2Table();
+    case SimdLevel::kAvx2:
+      return internal::GetAvx2Table();
+    case SimdLevel::kNeon:
+      return internal::GetNeonTable();
+  }
+  return nullptr;
+}
+
+bool CpuSupports(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return true;
+    case SimdLevel::kSse2:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("sse2");
+#else
+      return false;
+#endif
+    case SimdLevel::kAvx2:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx2");
+#else
+      return false;
+#endif
+    case SimdLevel::kNeon:
+#if defined(__aarch64__)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool LevelAvailable(SimdLevel level) {
+  return TableFor(level) != nullptr && CpuSupports(level);
+}
+
+// Resolved once; holds the table pointer and level together so readers see a
+// consistent pair.
+struct ActiveState {
+  std::atomic<const internal::KernelTable*> table{nullptr};
+  std::atomic<int> level{0};
+};
+
+SimdLevel ResolveInitialLevel() {
+  SimdLevel level = DetectedSimdLevel();
+  const std::string env = GetEnv("CONFORMER_SIMD_LEVEL");
+  if (!env.empty()) {
+    std::optional<SimdLevel> requested = ParseSimdLevel(env);
+    if (!requested.has_value()) {
+      CONFORMER_LOG(Warning)
+          << "CONFORMER_SIMD_LEVEL=" << env
+          << " is not one of scalar|sse2|avx2|neon|native; using "
+          << SimdLevelName(level);
+    } else if (!LevelAvailable(*requested)) {
+      CONFORMER_LOG(Warning)
+          << "CONFORMER_SIMD_LEVEL=" << env
+          << " is not available on this CPU/build; using "
+          << SimdLevelName(level);
+    } else {
+      level = *requested;
+    }
+  }
+  return level;
+}
+
+ActiveState& State() {
+  // Magic-statics make the one-time env resolution thread-safe.
+  static ActiveState& state = []() -> ActiveState& {
+    static ActiveState s;
+    SimdLevel level = ResolveInitialLevel();
+    s.table.store(TableFor(level), std::memory_order_relaxed);
+    s.level.store(static_cast<int>(level), std::memory_order_relaxed);
+    return s;
+  }();
+  return state;
+}
+
+}  // namespace
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSse2:
+      return "sse2";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+std::optional<SimdLevel> ParseSimdLevel(const std::string& name) {
+  if (name == "scalar") return SimdLevel::kScalar;
+  if (name == "sse2") return SimdLevel::kSse2;
+  if (name == "avx2") return SimdLevel::kAvx2;
+  if (name == "neon") return SimdLevel::kNeon;
+  if (name == "native") return DetectedSimdLevel();
+  return std::nullopt;
+}
+
+SimdLevel DetectedSimdLevel() {
+  static const SimdLevel detected = [] {
+    // Strongest-first within each architecture family.
+    for (SimdLevel level : {SimdLevel::kAvx2, SimdLevel::kSse2,
+                            SimdLevel::kNeon}) {
+      if (LevelAvailable(level)) return level;
+    }
+    return SimdLevel::kScalar;
+  }();
+  return detected;
+}
+
+std::vector<SimdLevel> AvailableSimdLevels() {
+  std::vector<SimdLevel> levels;
+  for (SimdLevel level : {SimdLevel::kScalar, SimdLevel::kSse2,
+                          SimdLevel::kAvx2, SimdLevel::kNeon}) {
+    if (LevelAvailable(level)) levels.push_back(level);
+  }
+  return levels;
+}
+
+SimdLevel ActiveSimdLevel() {
+  return static_cast<SimdLevel>(State().level.load(std::memory_order_relaxed));
+}
+
+bool SetSimdLevel(SimdLevel level) {
+  if (!LevelAvailable(level)) return false;
+  ActiveState& state = State();
+  state.table.store(TableFor(level), std::memory_order_relaxed);
+  state.level.store(static_cast<int>(level), std::memory_order_relaxed);
+  return true;
+}
+
+namespace internal {
+
+const KernelTable& ActiveTable() {
+  return *State().table.load(std::memory_order_relaxed);
+}
+
+}  // namespace internal
+
+}  // namespace conformer::vec

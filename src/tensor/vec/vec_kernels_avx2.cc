@@ -1,0 +1,31 @@
+// AVX2 backend: one logical Vec8f = one YMM register. This TU is the only
+// one compiled with -mavx2 (src/CMakeLists.txt sets the per-file flag when
+// the compiler supports it); every other TU stays at the baseline ISA so
+// the binary runs on non-AVX2 hardware — the dispatcher only selects this
+// table after a cpuid check. Without the flag (or off x86) it degrades to
+// a nullptr table.
+
+#include "tensor/vec/vec_tables.h"
+
+#if defined(__AVX2__)
+
+#define CONFORMER_SIMD_CAPABILITY_AVX2 1
+#define CONFORMER_SIMD_NAMESPACE avx2_impl
+#include "tensor/vec/kernels_impl.h"
+#undef CONFORMER_SIMD_NAMESPACE
+
+namespace conformer::vec::internal {
+
+const KernelTable* GetAvx2Table() { return &avx2_impl::Table(); }
+
+}  // namespace conformer::vec::internal
+
+#else
+
+namespace conformer::vec::internal {
+
+const KernelTable* GetAvx2Table() { return nullptr; }
+
+}  // namespace conformer::vec::internal
+
+#endif  // __AVX2__

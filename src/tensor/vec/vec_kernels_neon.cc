@@ -1,0 +1,29 @@
+// NEON backend (aarch64): one logical Vec8f = two 4-lane Q registers with
+// the same bin layout and fold order as the x86 backends. NEON is baseline
+// on aarch64, so no extra compile flags; elsewhere this degrades to a
+// nullptr table the dispatcher skips.
+
+#include "tensor/vec/vec_tables.h"
+
+#if defined(__aarch64__)
+
+#define CONFORMER_SIMD_CAPABILITY_NEON 1
+#define CONFORMER_SIMD_NAMESPACE neon_impl
+#include "tensor/vec/kernels_impl.h"
+#undef CONFORMER_SIMD_NAMESPACE
+
+namespace conformer::vec::internal {
+
+const KernelTable* GetNeonTable() { return &neon_impl::Table(); }
+
+}  // namespace conformer::vec::internal
+
+#else
+
+namespace conformer::vec::internal {
+
+const KernelTable* GetNeonTable() { return nullptr; }
+
+}  // namespace conformer::vec::internal
+
+#endif  // __aarch64__

@@ -1,0 +1,16 @@
+// Scalar reference backend: the same logical 8-lane algorithms as the SIMD
+// backends, executed lane-by-lane in plain C++. This TU is compiled with
+// auto-vectorization disabled (see src/CMakeLists.txt) so forcing
+// CONFORMER_SIMD_LEVEL=scalar really measures and exercises scalar code.
+
+#include "tensor/vec/vec_tables.h"
+
+#define CONFORMER_SIMD_NAMESPACE scalar_impl
+#include "tensor/vec/kernels_impl.h"
+#undef CONFORMER_SIMD_NAMESPACE
+
+namespace conformer::vec::internal {
+
+const KernelTable* GetScalarTable() { return &scalar_impl::Table(); }
+
+}  // namespace conformer::vec::internal

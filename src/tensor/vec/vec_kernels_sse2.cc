@@ -1,0 +1,29 @@
+// SSE2 backend: one logical Vec8f = two 4-lane XMM registers, so the bin
+// layout and fold order match the AVX2 backend bit-for-bit. SSE2 is the
+// x86-64 baseline, so this TU needs no extra compile flags there; on other
+// architectures it degrades to a nullptr table the dispatcher skips.
+
+#include "tensor/vec/vec_tables.h"
+
+#if defined(__SSE2__)
+
+#define CONFORMER_SIMD_CAPABILITY_SSE2 1
+#define CONFORMER_SIMD_NAMESPACE sse2_impl
+#include "tensor/vec/kernels_impl.h"
+#undef CONFORMER_SIMD_NAMESPACE
+
+namespace conformer::vec::internal {
+
+const KernelTable* GetSse2Table() { return &sse2_impl::Table(); }
+
+}  // namespace conformer::vec::internal
+
+#else
+
+namespace conformer::vec::internal {
+
+const KernelTable* GetSse2Table() { return nullptr; }
+
+}  // namespace conformer::vec::internal
+
+#endif  // __SSE2__

@@ -1,0 +1,19 @@
+// Internal: per-backend kernel-table accessors. Each backend translation
+// unit defines its accessor; backends whose ISA is not compiled in return
+// nullptr and the dispatcher (vec.cc) skips them.
+
+#ifndef CONFORMER_TENSOR_VEC_VEC_TABLES_H_
+#define CONFORMER_TENSOR_VEC_VEC_TABLES_H_
+
+#include "tensor/vec/vec.h"
+
+namespace conformer::vec::internal {
+
+const KernelTable* GetScalarTable();  // never null
+const KernelTable* GetSse2Table();
+const KernelTable* GetAvx2Table();
+const KernelTable* GetNeonTable();
+
+}  // namespace conformer::vec::internal
+
+#endif  // CONFORMER_TENSOR_VEC_VEC_TABLES_H_

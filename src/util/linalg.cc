@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "tensor/vec/vec.h"
 #include "util/logging.h"
 
 namespace conformer {
@@ -9,9 +10,11 @@ namespace conformer {
 Status CholeskyFactor(std::vector<double>* a_in, int64_t n) {
   CONFORMER_CHECK_EQ(static_cast<int64_t>(a_in->size()), n * n);
   std::vector<double>& a = *a_in;
+  // Row dot products go through the dispatched SIMD kernel (fixed 4-bin
+  // fold; deterministic, identical across SIMD levels).
   for (int64_t j = 0; j < n; ++j) {
-    double diag = a[j * n + j];
-    for (int64_t k = 0; k < j; ++k) diag -= a[j * n + k] * a[j * n + k];
+    const double diag =
+        a[j * n + j] - vec::DdotN(&a[j * n], &a[j * n], j);
     if (diag <= 0.0) {
       return Status::InvalidArgument(
           "matrix is not positive definite (pivot " + std::to_string(j) + ")");
@@ -19,8 +22,7 @@ Status CholeskyFactor(std::vector<double>* a_in, int64_t n) {
     const double ljj = std::sqrt(diag);
     a[j * n + j] = ljj;
     for (int64_t i = j + 1; i < n; ++i) {
-      double acc = a[i * n + j];
-      for (int64_t k = 0; k < j; ++k) acc -= a[i * n + k] * a[j * n + k];
+      const double acc = a[i * n + j] - vec::DdotN(&a[i * n], &a[j * n], j);
       a[i * n + j] = acc / ljj;
     }
   }
@@ -33,8 +35,7 @@ void CholeskySolveInPlace(const std::vector<double>& l, int64_t n,
   std::vector<double>& b = *b_in;
   // Forward substitution: L y = b.
   for (int64_t i = 0; i < n; ++i) {
-    double acc = b[i];
-    for (int64_t k = 0; k < i; ++k) acc -= l[i * n + k] * b[k];
+    const double acc = b[i] - vec::DdotN(&l[i * n], b.data(), i);
     b[i] = acc / l[i * n + i];
   }
   // Back substitution: L^T x = y.
@@ -58,9 +59,9 @@ Result<std::vector<double>> RidgeLeastSquares(const std::vector<double>& x,
   for (int64_t r = 0; r < rows; ++r) {
     const double* row = x.data() + r * features;
     for (int64_t i = 0; i < features; ++i) {
-      for (int64_t j = i; j < features; ++j) {
-        gram[i * features + j] += row[i] * row[j];
-      }
+      // Upper triangle of the rank-1 update row ⊗ row, as one axpy span.
+      vec::DmulAddN(row + i, row[i], gram.data() + i * features + i,
+                    features - i);
     }
   }
   for (int64_t i = 0; i < features; ++i) {
@@ -77,8 +78,7 @@ Result<std::vector<double>> RidgeLeastSquares(const std::vector<double>& x,
     std::fill(rhs.begin(), rhs.end(), 0.0);
     for (int64_t r = 0; r < rows; ++r) {
       const double target = y[r * outputs + o];
-      const double* row = x.data() + r * features;
-      for (int64_t i = 0; i < features; ++i) rhs[i] += row[i] * target;
+      vec::DmulAddN(x.data() + r * features, target, rhs.data(), features);
     }
     CholeskySolveInPlace(gram, features, &rhs);
     for (int64_t i = 0; i < features; ++i) w[i * outputs + o] = rhs[i];

@@ -80,6 +80,19 @@ def main():
         code, out = run(compare, base, imp)
         check("improved", code, 0, out)
 
+        # Rows only in the current run are reported as NEW in the summary
+        # (one full row per metric, never gated) and do not affect the exit
+        # code.
+        grown = json.loads(json.dumps(kernels))
+        grown["results"].append(
+            {"kernel": "gemm_avx2", "threads": 1, "ops_per_sec": 900.0})
+        grw = write_json(tmpdir, "grown.json", grown)
+        code, out = run(compare, base, grw)
+        check("new metric exit code", code, 0, out)
+        if "gemm_avx2/t1/ops_per_sec" not in out or "NEW" not in out:
+            failures.append(
+                "new metric row missing NEW marker:\n{}".format(out))
+
         # A metric disappearing from the current run fails.
         shrunk = json.loads(json.dumps(kernels))
         shrunk["results"] = shrunk["results"][:1]

@@ -35,8 +35,20 @@ void* operator new(std::size_t size) {
   return p;
 }
 
+// The nothrow pair must be replaced too: the default nothrow new does not
+// forward to the replaced throwing new, so (e.g.) std::stable_sort's
+// get_temporary_buffer would otherwise allocate from the system allocator
+// and land in the free() below — an alloc/dealloc mismatch under asan.
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
 
 namespace conformer {
 namespace {

@@ -106,9 +106,14 @@ def main():
         print("{:<44} {:>14.4f} {:>14.4f} {:>+7.1%}{}".format(
             name, base_value, cur_value, delta, marker))
 
-    extra = sorted(set(current) - set(baseline))
-    if extra:
-        print("new metrics (not gated): {}".format(", ".join(extra)))
+    # Metrics present only in the current run get their own NEW rows in the
+    # summary table (full name and value, not a squashed one-liner) so a PR
+    # adding bench coverage shows exactly what it added. They are never gated:
+    # there is no baseline value to regress from until the baseline file is
+    # regenerated.
+    for name in sorted(set(current) - set(baseline)):
+        print("{:<44} {:>14} {:>14.4f}     NEW".format(
+            name, "-", current[name][0]))
 
     if failures:
         print("\ncompare_bench: {} regression(s):".format(len(failures)),
