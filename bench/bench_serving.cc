@@ -141,7 +141,8 @@ int Main() {
                       std::vector<std::thread> clients;
                       for (int64_t c = 0; c < kClients; ++c) {
                         clients.emplace_back([&, c] {
-                          std::vector<std::future<serve::Forecast>> futures;
+                          std::vector<std::future<Result<serve::Forecast>>>
+                              futures;
                           for (int64_t r = c; r < kRequests; r += kClients) {
                             futures.push_back(queue.Submit(singles[r]));
                           }
@@ -150,6 +151,69 @@ int Main() {
                       }
                       for (std::thread& t : clients) t.join();
                     })});
+  }
+
+  // Overload resilience (docs/SERVING.md, "Overload & failure policy"):
+  // open-loop arrivals at 2x the peak measured service rate, against a
+  // bounded queue (depth 16) with per-request deadlines sized to one full
+  // queue drain. The peak over the direct and queue rows bounds what the
+  // queue path can possibly serve (the closed-loop serve_queue_b8 row alone
+  // under-reads capacity on one core, where client threads steal dispatcher
+  // time), so 2x of it is guaranteed saturation. Over-capacity arrivals are
+  // rejected at admission and queued requests whose deadline lapses are
+  // shed before the model runs, so the model's time goes to requests
+  // somebody still wants:
+  //   serve_overload_goodput_b8   delivered series/sec under 2x overload
+  //   serve_overload_shed_rate_b8 shed+rejected fraction of offered load
+  //                               (a ratio in [0,1], not a rate)
+  {
+    double capacity = 0.0;
+    for (const Row& row : rows) {
+      if (row.kernel.rfind("serve_plan_", 0) == 0) continue;  // replay, not
+                                                              // the queue path
+      capacity = std::max(capacity, row.ops_per_sec);
+    }
+    serve::BatchingQueue queue(session.get(),
+                               {.max_batch_size = 8,
+                                .max_queue_delay_us = 500,
+                                .max_queue_depth = 16});
+    const auto interarrival =
+        std::chrono::nanoseconds(static_cast<int64_t>(1e9 / (2.0 * capacity)));
+    const int64_t deadline_us = static_cast<int64_t>(16 * 1e6 / capacity);
+    ClearBufferPool();
+    session->Predict(singles[0]);  // Warm-up: activation-buffer pool.
+
+    int64_t submitted = 0, delivered = 0, shed = 0, rejected = 0;
+    std::vector<std::future<Result<serve::Forecast>>> futures;
+    const auto start = Clock::now();
+    auto next_arrival = start;
+    double elapsed = 0.0;
+    do {
+      std::this_thread::sleep_until(next_arrival);
+      next_arrival += interarrival;
+      futures.push_back(queue.Submit(singles[submitted % kRequests],
+                                     {.deadline_us = deadline_us}));
+      ++submitted;
+      elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+    } while (elapsed < MinSeconds());
+    for (auto& f : futures) {
+      const Result<serve::Forecast> result = f.get();
+      if (result.ok()) {
+        ++delivered;
+      } else if (result.status().code() == StatusCode::kDeadlineExceeded) {
+        ++shed;
+      } else {
+        ++rejected;
+      }
+    }
+    queue.Shutdown();
+    const double total =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    rows.push_back({"serve_overload_goodput_b8", threads,
+                    static_cast<double>(delivered) / total});
+    rows.push_back({"serve_overload_shed_rate_b8", threads,
+                    static_cast<double>(shed + rejected) /
+                        static_cast<double>(submitted)});
   }
 
   std::printf("{\"hardware_concurrency\": %lld, \"results\": [",

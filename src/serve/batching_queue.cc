@@ -1,6 +1,8 @@
 #include "serve/batching_queue.h"
 
+#include <algorithm>
 #include <chrono>
+#include <string>
 #include <utility>
 
 #include "tensor/ops.h"
@@ -21,23 +23,63 @@ BatchingQueue::BatchingQueue(InferenceSession* session, QueueConfig config)
   CONFORMER_CHECK(session_ != nullptr);
   if (config_.max_batch_size < 1) config_.max_batch_size = 1;
   if (config_.max_queue_delay_us < 0) config_.max_queue_delay_us = 0;
+  if (config_.max_queue_depth < 0) config_.max_queue_depth = 0;
+  if (config_.circuit_breaker_failures < 0) config_.circuit_breaker_failures = 0;
   dispatcher_ = std::thread([this] { DispatchLoop(); });
 }
 
 BatchingQueue::~BatchingQueue() { Shutdown(); }
 
-std::future<Forecast> BatchingQueue::Submit(data::Batch request) {
-  CONFORMER_CHECK(request.x.defined() && request.size() > 0)
-      << "Submit() needs a non-empty batch";
+std::future<Result<Forecast>> BatchingQueue::Submit(data::Batch request,
+                                                    RequestOptions options) {
+  Registry().GetCounter("serve.requests").Increment();
   Pending pending;
+  std::future<Result<Forecast>> future = pending.promise.get_future();
+
+  // Admission. Every refusal is a status on the (already resolved) future —
+  // a client can never crash the server with a bad or ill-timed request.
+  const data::WindowConfig& window = session_->config().window;
+  if (!request.x.defined() || request.size() < 1) {
+    Registry().GetCounter("serve.rejected").Increment();
+    pending.promise.set_value(
+        Result<Forecast>(Status::InvalidArgument("empty request batch")));
+    return future;
+  }
+  if (request.x.dim() != 3 || request.x.size(1) != window.input_len ||
+      request.x.size(2) != session_->config().dims) {
+    Registry().GetCounter("serve.rejected").Increment();
+    pending.promise.set_value(Result<Forecast>(Status::InvalidArgument(
+        "request geometry does not match the session window")));
+    return future;
+  }
+
   pending.batch = std::move(request);
   pending.enqueue_ns = prof::internal::NowNs();
-  std::future<Forecast> future = pending.promise.get_future();
+  if (options.deadline_us > 0) {
+    pending.deadline_ns = pending.enqueue_ns + options.deadline_us * 1000;
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    CONFORMER_CHECK(!shutdown_) << "Submit() after Shutdown()";
+    if (shutdown_) {
+      Registry().GetCounter("serve.rejected").Increment();
+      pending.promise.set_value(Result<Forecast>(
+          Status::Unavailable("queue is shut down")));
+      return future;
+    }
+    if (circuit_open_) {
+      Registry().GetCounter("serve.rejected").Increment();
+      pending.promise.set_value(Result<Forecast>(Status::Unavailable(
+          "circuit breaker open after consecutive batch failures")));
+      return future;
+    }
+    if (config_.max_queue_depth > 0 &&
+        static_cast<int64_t>(queue_.size()) >= config_.max_queue_depth) {
+      Registry().GetCounter("serve.rejected").Increment();
+      pending.promise.set_value(Result<Forecast>(Status::ResourceExhausted(
+          "queue depth " + std::to_string(queue_.size()) + " at capacity")));
+      return future;
+    }
     queue_.push_back(std::move(pending));
-    Registry().GetCounter("serve.requests").Increment();
     Registry().GetGauge("serve.queue_depth")
         .Set(static_cast<double>(queue_.size()));
   }
@@ -48,11 +90,15 @@ std::future<Forecast> BatchingQueue::Submit(data::Batch request) {
 void BatchingQueue::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (shutdown_ && !dispatcher_.joinable()) return;
     shutdown_ = true;
   }
   cv_.notify_all();
-  if (dispatcher_.joinable()) dispatcher_.join();
+  // Exactly one caller joins; concurrent callers block here until the
+  // dispatcher has stopped, so Shutdown() returning always means "queue
+  // fully drained and dispatcher gone" for every caller.
+  std::call_once(join_once_, [this] {
+    if (dispatcher_.joinable()) dispatcher_.join();
+  });
 }
 
 int64_t BatchingQueue::pending() const {
@@ -60,10 +106,41 @@ int64_t BatchingQueue::pending() const {
   return static_cast<int64_t>(queue_.size());
 }
 
+bool BatchingQueue::circuit_open() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return circuit_open_;
+}
+
+void BatchingQueue::ResetCircuitBreaker() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    circuit_open_ = false;
+    consecutive_failures_ = 0;
+  }
+  cv_.notify_all();
+}
+
+void BatchingQueue::DrainAndRejectLocked(const Status& status) {
+  while (!queue_.empty()) {
+    Registry().GetCounter("serve.rejected").Increment();
+    queue_.front().promise.set_value(Result<Forecast>(status));
+    queue_.pop_front();
+  }
+  Registry().GetGauge("serve.queue_depth").Set(0.0);
+}
+
 void BatchingQueue::DispatchLoop() {
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
     cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+    if (circuit_open_) {
+      // Tripped: drain-and-reject instead of looping hot on a broken
+      // model. Submit() refuses new work while the circuit is open.
+      DrainAndRejectLocked(Status::Unavailable(
+          "circuit breaker open after consecutive batch failures"));
+      if (shutdown_) return;
+      continue;
+    }
     if (queue_.empty()) {
       if (shutdown_) return;
       continue;
@@ -93,23 +170,48 @@ void BatchingQueue::DispatchLoop() {
 
 void BatchingQueue::ServeBatch(std::unique_lock<std::mutex>& lock) {
   // Pop the longest prefix that fits max_batch_size series; the first
-  // request always ships, even if alone it exceeds the cap.
+  // request always ships, even if alone it exceeds the cap. Requests whose
+  // deadline already passed are shed as they surface — the model never
+  // spends time on work nobody is waiting for — and do not count against
+  // the batch budget.
   std::vector<Pending> taken;
+  std::vector<Pending> shed;
   int64_t series = 0;
+  const int64_t now_ns = prof::internal::NowNs();
   while (!queue_.empty()) {
-    const int64_t next = queue_.front().batch.size();
+    Pending& front = queue_.front();
+    if (front.deadline_ns > 0 && now_ns >= front.deadline_ns) {
+      shed.push_back(std::move(front));
+      queue_.pop_front();
+      continue;
+    }
+    const int64_t next = front.batch.size();
     if (!taken.empty() && series + next > config_.max_batch_size) break;
     series += next;
-    taken.push_back(std::move(queue_.front()));
+    taken.push_back(std::move(front));
     queue_.pop_front();
   }
   Registry().GetGauge("serve.queue_depth")
       .Set(static_cast<double>(queue_.size()));
   lock.unlock();
 
+  for (Pending& p : shed) {
+    Registry().GetCounter("serve.shed_expired").Increment();
+    p.promise.set_value(Result<Forecast>(Status::DeadlineExceeded(
+        "deadline passed before dispatch; request shed")));
+  }
+  if (taken.empty()) {
+    lock.lock();
+    return;
+  }
+
+  // Containment boundary: a throwing Predict fails only this batch's
+  // promises with a status — the dispatcher survives to serve the next
+  // batch, and no future is ever left broken.
   const int64_t start_ns = prof::internal::NowNs();
   Forecast merged;
-  {
+  Status failure = Status::OK();
+  try {
     CONFORMER_PROFILE_SCOPE_CAT("serve", "batch");
     if (taken.size() == 1) {
       merged = session_->Predict(taken[0].batch);
@@ -128,8 +230,37 @@ void BatchingQueue::ServeBatch(std::unique_lock<std::mutex>& lock) {
       batch.y_mark = Concat(y_mark, 0);
       merged = session_->Predict(batch);
     }
+  } catch (const std::exception& e) {
+    failure = Status::Internal(std::string("model Predict failed: ") +
+                               e.what());
+  } catch (...) {
+    failure = Status::Internal("model Predict failed: unknown exception");
   }
   const int64_t end_ns = prof::internal::NowNs();
+
+  metrics::Registry& registry = Registry();
+  if (!failure.ok()) {
+    CONFORMER_LOG(Warning) << "serving batch of " << series
+                           << " series failed: " << failure.ToString();
+    registry.GetCounter("serve.batch_failures").Increment();
+    for (Pending& p : taken) {
+      p.promise.set_value(Result<Forecast>(failure));
+    }
+    lock.lock();
+    ++consecutive_failures_;
+    if (config_.circuit_breaker_failures > 0 &&
+        consecutive_failures_ >= config_.circuit_breaker_failures &&
+        !circuit_open_) {
+      circuit_open_ = true;
+      registry.GetCounter("serve.circuit_opens").Increment();
+      CONFORMER_LOG(Error) << "serving circuit breaker open after "
+                           << consecutive_failures_
+                           << " consecutive batch failures";
+      DrainAndRejectLocked(Status::Unavailable(
+          "circuit breaker open after consecutive batch failures"));
+    }
+    return;
+  }
 
   int64_t offset = 0;
   for (Pending& p : taken) {
@@ -145,12 +276,19 @@ void BatchingQueue::ServeBatch(std::unique_lock<std::mutex>& lock) {
       }
     }
     offset += rows;
-    p.promise.set_value(std::move(slice));
-    Registry().GetHistogram("serve.request_latency_seconds")
+    if (p.deadline_ns > 0) {
+      // Slack still on the clock when the result was ready; a request that
+      // completed past its deadline (dispatched in time, served slow)
+      // records zero.
+      registry.GetHistogram("serve.deadline_slack_seconds")
+          .Observe(std::max(0.0,
+                            static_cast<double>(p.deadline_ns - end_ns) * 1e-9));
+    }
+    p.promise.set_value(Result<Forecast>(std::move(slice)));
+    registry.GetHistogram("serve.request_latency_seconds")
         .Observe(static_cast<double>(end_ns - p.enqueue_ns) * 1e-9);
   }
 
-  metrics::Registry& registry = Registry();
   registry.GetCounter("serve.batches").Increment();
   registry.GetHistogram("serve.batch_size",
                         {1, 2, 4, 8, 16, 32, 64, 128})
@@ -162,6 +300,7 @@ void BatchingQueue::ServeBatch(std::unique_lock<std::mutex>& lock) {
       .Observe(static_cast<double>(end_ns - start_ns) * 1e-9);
 
   lock.lock();
+  consecutive_failures_ = 0;
 }
 
 }  // namespace conformer::serve

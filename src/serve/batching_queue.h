@@ -13,6 +13,13 @@
 // Batching is transparent: kernels are row-independent with thread-count-
 // invariant chunking (docs/THREADING.md), so a request's rows are bitwise
 // identical whether served alone or inside any micro-batch.
+//
+// The queue is production-shaped (docs/SERVING.md, "Overload & failure
+// policy"): admission is bounded (max_queue_depth), requests carry optional
+// deadlines that shed expired work before it reaches the model, a failing
+// Predict fails only its own batch's futures, and a consecutive-failure
+// circuit breaker stops a broken model from looping hot. Every outcome is a
+// status on the returned future — Submit() never crashes the process.
 
 #ifndef CONFORMER_SERVE_BATCHING_QUEUE_H_
 #define CONFORMER_SERVE_BATCHING_QUEUE_H_
@@ -26,10 +33,11 @@
 #include <vector>
 
 #include "serve/inference_session.h"
+#include "util/status.h"
 
 namespace conformer::serve {
 
-/// \brief Micro-batching knobs.
+/// \brief Micro-batching and resilience knobs.
 struct QueueConfig {
   /// Series coalesced into one forward pass; larger batches amortize
   /// per-call overhead and feed the kernels wider ParallelFor ranges.
@@ -38,6 +46,24 @@ struct QueueConfig {
   /// company, counted from the first queued request. 0 = never wait:
   /// coalesce only what is already queued.
   int64_t max_queue_delay_us = 1000;
+  /// Bounded admission: Submit() rejects (ResourceExhausted, immediately
+  /// resolved future, serve.rejected) once this many requests are already
+  /// waiting. 0 = unbounded, the pre-resilience behaviour.
+  int64_t max_queue_depth = 0;
+  /// Circuit breaker: after this many *consecutive* failed batches the
+  /// queue opens the circuit — queued and future requests are rejected
+  /// (Unavailable) without touching the model — instead of looping hot on
+  /// a broken model. Any successful batch resets the count. 0 = disabled.
+  int64_t circuit_breaker_failures = 0;
+};
+
+/// \brief Per-request Submit() options.
+struct RequestOptions {
+  /// Deadline relative to Submit(), microseconds; 0 = none. A request whose
+  /// deadline has passed when the dispatcher picks it up is shed
+  /// (DeadlineExceeded, serve.shed_expired) without running the model; once
+  /// dispatched, a request always completes even if it finishes late.
+  int64_t deadline_us = 0;
 };
 
 /// \brief Coalesces concurrent requests into micro-batches over one
@@ -52,31 +78,48 @@ class BatchingQueue {
   BatchingQueue(const BatchingQueue&) = delete;
   BatchingQueue& operator=(const BatchingQueue&) = delete;
 
-  /// Enqueues one request (any batch size >= 1 with the session's window
-  /// geometry) and returns a future for its forecast. Bumps serve.requests
-  /// and observes serve.request_latency_seconds on completion.
-  std::future<Forecast> Submit(data::Batch request);
+  /// Enqueues one request (any batch size >= 1 matching the session's
+  /// window geometry) and returns a future for its forecast-or-status.
+  /// Admission failures resolve the future immediately instead of
+  /// enqueueing: ResourceExhausted (queue full), Unavailable (after
+  /// Shutdown, or circuit open), InvalidArgument (wrong geometry). Bumps
+  /// serve.requests / serve.rejected and observes
+  /// serve.request_latency_seconds on completion.
+  std::future<Result<Forecast>> Submit(data::Batch request,
+                                       RequestOptions options = {});
 
-  /// Drains every queued request, then stops the dispatcher. Submit() after
-  /// shutdown is an error. Idempotent.
+  /// Drains every queued request, then stops the dispatcher. Thread-safe
+  /// and idempotent: concurrent callers all return once the dispatcher has
+  /// stopped. Requests queued before shutdown complete; Submit() afterwards
+  /// is refused with Unavailable.
   void Shutdown();
 
   /// Requests currently waiting (not yet dispatched).
   int64_t pending() const;
+
+  /// True once the circuit breaker has tripped; every request is rejected
+  /// until ResetCircuitBreaker().
+  bool circuit_open() const;
+  /// Closes the circuit (e.g. after a model Reload fixed the fault).
+  void ResetCircuitBreaker();
 
   const QueueConfig& config() const { return config_; }
 
  private:
   struct Pending {
     data::Batch batch;
-    std::promise<Forecast> promise;
+    std::promise<Result<Forecast>> promise;
     int64_t enqueue_ns = 0;
+    int64_t deadline_ns = 0;  ///< Absolute; 0 = no deadline.
   };
 
   void DispatchLoop();
-  /// Pops up to max_batch_size series worth of requests, runs them as one
-  /// batch, and fulfills their promises. `lock` is held on entry and exit.
+  /// Pops up to max_batch_size series worth of requests (shedding expired
+  /// ones), runs them as one batch inside a containment boundary, and
+  /// fulfills their promises. `lock` is held on entry and exit.
   void ServeBatch(std::unique_lock<std::mutex>& lock);
+  /// Rejects every queued request with `status`; mu_ held.
+  void DrainAndRejectLocked(const Status& status);
 
   InferenceSession* session_;
   QueueConfig config_;
@@ -85,6 +128,9 @@ class BatchingQueue {
   std::condition_variable cv_;
   std::deque<Pending> queue_;
   bool shutdown_ = false;
+  bool circuit_open_ = false;
+  int64_t consecutive_failures_ = 0;  ///< Dispatcher-only.
+  std::once_flag join_once_;
   std::thread dispatcher_;
 };
 

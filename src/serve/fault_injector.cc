@@ -1,0 +1,159 @@
+#include "serve/fault_injector.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "util/env.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+
+namespace conformer::serve {
+
+namespace {
+
+// Injector state. `g_armed` is the fast-path switch: hooks bail on one
+// relaxed load unless an injector is installed or the gate is closed. The
+// slow-path state lives behind `g_mu`.
+std::atomic<bool> g_armed{false};
+std::atomic<bool> g_gate_closed{false};
+
+std::mutex g_mu;
+std::condition_variable g_gate_cv;
+FaultInjector::Config g_config;          // guarded by g_mu
+bool g_installed = false;                // guarded by g_mu
+std::atomic<int64_t> g_predict_calls{0};
+
+// Re-derives the fast-path switch from the slow-path state; g_mu held.
+void RearmLocked() {
+  g_armed.store(g_installed || g_gate_closed.load(std::memory_order_relaxed),
+                std::memory_order_release);
+}
+
+// Installs from CONFORMER_SERVE_FAULTS exactly once, at the first hook that
+// finds the injector armed-or-not; returns true after the check ran.
+void MaybeInstallFromEnv() {
+  static const bool parsed = [] {
+    const std::string spec = GetEnv("CONFORMER_SERVE_FAULTS");
+    if (spec.empty()) return false;
+    FaultInjector::Config config;
+    if (!FaultInjector::ParseConfig(spec, &config)) {
+      CONFORMER_LOG(Warning) << "ignoring malformed CONFORMER_SERVE_FAULTS="
+                             << spec;
+      return false;
+    }
+    CONFORMER_LOG(Warning) << "serving fault injection armed from "
+                              "CONFORMER_SERVE_FAULTS="
+                           << spec;
+    FaultInjector::Install(config);
+    return true;
+  }();
+  (void)parsed;
+}
+
+}  // namespace
+
+void FaultInjector::Install(const Config& config) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_config = config;
+  g_installed = true;
+  g_predict_calls.store(0, std::memory_order_relaxed);
+  RearmLocked();
+}
+
+void FaultInjector::Uninstall() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_config = Config{};
+  g_installed = false;
+  RearmLocked();
+}
+
+bool FaultInjector::Enabled() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return g_installed;
+}
+
+void FaultInjector::SetPredictGate(bool closed) {
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    g_gate_closed.store(closed, std::memory_order_relaxed);
+    RearmLocked();
+  }
+  g_gate_cv.notify_all();
+}
+
+void FaultInjector::MaybePredictFault() {
+  MaybeInstallFromEnv();
+  if (!g_armed.load(std::memory_order_acquire)) return;
+
+  Config config;
+  {
+    std::unique_lock<std::mutex> lock(g_mu);
+    g_gate_cv.wait(lock, [] {
+      return !g_gate_closed.load(std::memory_order_relaxed);
+    });
+    if (!g_installed) return;
+    config = g_config;
+  }
+
+  const int64_t call = g_predict_calls.fetch_add(1) + 1;  // 1-based.
+  const int64_t stall_every =
+      config.stall_every > 0 ? config.stall_every
+                             : (config.stall_us > 0 ? 1 : 0);
+  if (config.stall_us > 0 && stall_every > 0 && call % stall_every == 0) {
+    metrics::Registry::Global().GetCounter("serve.injected_stalls")
+        .Increment();
+    std::this_thread::sleep_for(std::chrono::microseconds(config.stall_us));
+  }
+  if (config.throw_every > 0 && call % config.throw_every == 0) {
+    metrics::Registry::Global().GetCounter("serve.injected_throws")
+        .Increment();
+    throw InjectedFault("injected Predict fault (call " +
+                        std::to_string(call) + ")");
+  }
+}
+
+bool FaultInjector::ShouldFailReload() {
+  MaybeInstallFromEnv();
+  if (!g_armed.load(std::memory_order_acquire)) return false;
+  std::lock_guard<std::mutex> lock(g_mu);
+  return g_installed && g_config.fail_reload;
+}
+
+bool FaultInjector::ParseConfig(const std::string& spec, Config* config) {
+  Config parsed;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) continue;
+    const size_t eq = item.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string key = item.substr(0, eq);
+    char* tail = nullptr;
+    const long long value = std::strtoll(item.c_str() + eq + 1, &tail, 10);
+    if (tail == item.c_str() + eq + 1 || *tail != '\0' || value < 0) {
+      return false;
+    }
+    if (key == "throw_every") {
+      parsed.throw_every = value;
+    } else if (key == "stall_us") {
+      parsed.stall_us = value;
+    } else if (key == "stall_every") {
+      parsed.stall_every = value;
+    } else if (key == "fail_reload") {
+      parsed.fail_reload = value != 0;
+    } else {
+      return false;
+    }
+  }
+  *config = parsed;
+  return true;
+}
+
+}  // namespace conformer::serve

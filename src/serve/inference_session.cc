@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "core/conformer_model.h"
+#include "serve/fault_injector.h"
 #include "train/checkpoint.h"
 #include "util/binary_io.h"
 #include "util/metrics.h"
@@ -15,6 +16,14 @@ namespace {
 std::string JoinPath(const std::string& dir, const std::string& name) {
   if (dir.empty() || dir.back() == '/') return dir + name;
   return dir + "/" + name;
+}
+
+// Restores `model`'s parameters from a .ckpt file or a MANIFEST directory
+// (newest-first with fallback) — the shared loader behind Open and Reload.
+Status RestoreParams(const std::string& checkpoint, nn::Module* model) {
+  return io::FileExists(JoinPath(checkpoint, "MANIFEST"))
+             ? train::LoadLatestCheckpointParams(checkpoint, model)
+             : train::LoadCheckpointParams(checkpoint, model);
 }
 
 // Plan-cache key: the shapes of the four batch tensors ("-" when undefined).
@@ -50,18 +59,22 @@ Result<std::unique_ptr<InferenceSession>> InferenceSession::Open(
   model.value()->SetTraining(false);
 
   if (!checkpoint.empty()) {
-    // A directory is recognized by its MANIFEST; anything else must be a
-    // single checkpoint file.
-    Status restored = io::FileExists(JoinPath(checkpoint, "MANIFEST"))
-                          ? train::LoadLatestCheckpointParams(
-                                checkpoint, model.value().get())
-                          : train::LoadCheckpointParams(checkpoint,
-                                                        model.value().get());
+    Status restored = RestoreParams(checkpoint, model.value().get());
     if (!restored.ok()) return restored;
   }
 
   return std::unique_ptr<InferenceSession>(
       new InferenceSession(config, std::move(model.value())));
+}
+
+Result<std::unique_ptr<InferenceSession>> InferenceSession::Open(
+    const SessionConfig& config, std::unique_ptr<models::Forecaster> model) {
+  if (model == nullptr) {
+    return Status::InvalidArgument("Open() needs a model");
+  }
+  model->SetTraining(false);
+  return std::unique_ptr<InferenceSession>(
+      new InferenceSession(config, std::move(model)));
 }
 
 Forecast InferenceSession::Predict(const data::Batch& batch) {
@@ -73,6 +86,11 @@ Forecast InferenceSession::Predict(const data::Batch& batch) {
 
   const int64_t start_ns = prof::internal::NowNs();
   InferenceModeGuard inference_mode;
+
+  // The session lock is Reload()'s swap point: holding it across the whole
+  // forward means a request runs entirely on one parameter set.
+  std::lock_guard<std::mutex> lock(mu_);
+  FaultInjector::MaybePredictFault();
 
   Forecast out;
   out.point = config_.use_static_plan ? PredictPoint(batch)
@@ -94,6 +112,55 @@ Forecast InferenceSession::Predict(const data::Batch& batch) {
   registry.GetHistogram("serve.predict_seconds")
       .Observe(static_cast<double>(prof::internal::NowNs() - start_ns) * 1e-9);
   return out;
+}
+
+Status InferenceSession::Reload(const std::string& checkpoint) {
+  CONFORMER_PROFILE_SCOPE_CAT("serve", "reload");
+  metrics::Registry& registry = metrics::Registry::Global();
+  const int64_t start_ns = prof::internal::NowNs();
+
+  // Stage: build a fresh architecture and restore into it without the
+  // serving lock, so a slow — or corrupt — checkpoint never stalls or
+  // perturbs in-flight Predicts. Only a fully validated parameter set ever
+  // reaches the swap below.
+  Status staged = Status::OK();
+  std::unique_ptr<models::Forecaster> incoming;
+  if (checkpoint.empty()) {
+    staged = Status::InvalidArgument("Reload() needs a checkpoint path");
+  } else {
+    Result<std::unique_ptr<models::Forecaster>> built =
+        models::MakeForecaster(config_.model_name, config_.window,
+                               config_.dims, config_.hyper);
+    if (!built.ok()) {
+      staged = built.status();
+    } else {
+      incoming = std::move(built.value());
+      incoming->SetTraining(false);
+      staged = RestoreParams(checkpoint, incoming.get());
+    }
+  }
+  if (staged.ok() && FaultInjector::ShouldFailReload()) {
+    staged = Status::IOError("injected reload fault before swap");
+  }
+  if (!staged.ok()) {
+    registry.GetCounter("serve.reload_failures").Increment();
+    return staged;
+  }
+
+  {
+    // Swap: the only mutation the serving path can observe, done under the
+    // same mutex Predict holds — in-flight requests finish on the old
+    // model, later ones see the new one. Plans compiled against the old
+    // parameter values are invalidated wholesale.
+    std::lock_guard<std::mutex> lock(mu_);
+    model_ = std::move(incoming);
+    plans_.clear();
+    failed_geometries_.clear();
+  }
+  registry.GetCounter("serve.reloads").Increment();
+  registry.GetHistogram("serve.reload_seconds")
+      .Observe(static_cast<double>(prof::internal::NowNs() - start_ns) * 1e-9);
+  return Status::OK();
 }
 
 Tensor InferenceSession::PredictPoint(const data::Batch& batch) {
@@ -152,6 +219,7 @@ Tensor InferenceSession::PredictPoint(const data::Batch& batch) {
 
 const runtime::Plan* InferenceSession::plan_for(
     const data::Batch& batch) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = plans_.find(GeometryKey(batch));
   return it == plans_.end() ? nullptr : &it->second->plan();
 }

@@ -6,11 +6,19 @@
 // outputs drawn from the calling thread's activation-buffer pool, so a
 // warm session allocates almost nothing per request. Results are bitwise
 // identical to an eval-mode training forward (see serve_test.cc).
+//
+// Sessions also hot-reload: Reload(checkpoint) stages a fresh parameter
+// set off the serving lock, then atomically swaps it in under the same
+// mutex Predict() holds, so in-flight requests finish on the old model and
+// later ones see the new one — and a corrupt or wrong-architecture
+// checkpoint is rejected with the old model bitwise undisturbed (see
+// serve_resilience_test.cc).
 
 #ifndef CONFORMER_SERVE_INFERENCE_SESSION_H_
 #define CONFORMER_SERVE_INFERENCE_SESSION_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -51,8 +59,10 @@ struct Forecast {
   Tensor upper;
 };
 
-/// \brief A loaded model serving forecasts. Predict() is safe to call from
-/// any single thread at a time (the BatchingQueue serializes callers).
+/// \brief A loaded model serving forecasts. Predict() and Reload() are
+/// thread-safe: both serialize on the session mutex (the BatchingQueue's
+/// dispatcher is the only hot-path Predict caller, so the lock is
+/// uncontended in steady state).
 class InferenceSession {
  public:
   /// Builds the model from `config` and restores parameters from
@@ -62,10 +72,27 @@ class InferenceSession {
   static Result<std::unique_ptr<InferenceSession>> Open(
       const SessionConfig& config, const std::string& checkpoint);
 
+  /// Serves a pre-built model (already restored / programmatically
+  /// constructed; fault-containment tests inject throwing forecasters this
+  /// way). The model is switched to eval mode; `config`'s architecture
+  /// fields are trusted to describe it.
+  static Result<std::unique_ptr<InferenceSession>> Open(
+      const SessionConfig& config,
+      std::unique_ptr<models::Forecaster> model);
+
   /// Forecasts one batch. Bumps serve.predicts and observes
   /// serve.predict_seconds; quantile sampling (when enabled) draws from the
   /// session's own RNG and does not perturb the point forecast.
   Forecast Predict(const data::Batch& batch);
+
+  /// Hot-swaps parameters from `checkpoint` (file or MANIFEST directory,
+  /// like Open): a fresh architecture is built and restored *off* the
+  /// serving lock, then swapped in atomically under it, invalidating the
+  /// static-plan cache. On any failure — corrupt file (CRC), wrong
+  /// architecture, injected mid-swap fault — the serving model is bitwise
+  /// untouched and keeps answering. Bumps serve.reloads /
+  /// serve.reload_failures.
+  Status Reload(const std::string& checkpoint);
 
   const models::Forecaster& model() const { return *model_; }
   const SessionConfig& config() const { return config_; }
@@ -84,9 +111,12 @@ class InferenceSession {
   Tensor PredictPoint(const data::Batch& batch);
 
   SessionConfig config_;
+  /// Serializes Predict() against Reload()'s pointer swap (and concurrent
+  /// Predict callers against each other, which also protects the plan
+  /// cache). Reload stages its expensive work before taking this.
+  mutable std::mutex mu_;
   std::unique_ptr<models::Forecaster> model_;
-  /// Geometry-keyed plan cache. Unsynchronized by design: Predict() has a
-  /// single caller at a time (see class comment).
+  /// Geometry-keyed plan cache; guarded by mu_, invalidated on Reload.
   std::unordered_map<std::string, std::unique_ptr<runtime::PlanExecutor>>
       plans_;
   std::unordered_set<std::string> failed_geometries_;

@@ -20,6 +20,9 @@ enum class StatusCode {
   kAlreadyExists,
   kUnimplemented,
   kInternal,
+  kResourceExhausted,
+  kDeadlineExceeded,
+  kUnavailable,
 };
 
 /// \brief Outcome of a fallible operation: a code plus a human-readable
@@ -51,6 +54,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -308,12 +308,14 @@ TEST(BatchingQueueTest, CoalescesAndMatchesDirectPredict) {
   BatchingQueue queue(session.value().get(),
                       {.max_batch_size = kRequests,
                        .max_queue_delay_us = 50 * 1000});
-  std::vector<std::future<Forecast>> futures;
+  std::vector<std::future<Result<Forecast>>> futures;
   for (int64_t r = 0; r < kRequests; ++r) {
     futures.push_back(queue.Submit(splits.test.GetRange(r, 1)));
   }
   for (int64_t r = 0; r < kRequests; ++r) {
-    ExpectTensorsBitwiseEqual(futures[r].get().point, direct[r],
+    Result<Forecast> result = futures[r].get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ExpectTensorsBitwiseEqual(result.value().point, direct[r],
                               "queued request " + std::to_string(r));
   }
   queue.Shutdown();
@@ -340,7 +342,7 @@ TEST(BatchingQueueTest, ShutdownDrainsPendingRequests) {
   auto session = InferenceSession::Open(config, "");
   ASSERT_TRUE(session.ok());
 
-  std::vector<std::future<Forecast>> futures;
+  std::vector<std::future<Result<Forecast>>> futures;
   {
     // Long delay + immediate destruction: every future must still resolve.
     BatchingQueue queue(session.value().get(),
@@ -351,7 +353,9 @@ TEST(BatchingQueueTest, ShutdownDrainsPendingRequests) {
     }
   }
   for (auto& f : futures) {
-    const Forecast forecast = f.get();
+    Result<Forecast> result = f.get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    const Forecast& forecast = result.value();
     EXPECT_EQ(forecast.point.size(0), 1);
     EXPECT_EQ(forecast.point.size(1), TestWindow().pred_len);
   }
@@ -368,13 +372,15 @@ TEST(BatchingQueueTest, MultiSeriesRequestsSliceCorrectly) {
 
   BatchingQueue queue(session.value().get(),
                       {.max_batch_size = 8, .max_queue_delay_us = 20 * 1000});
-  std::future<Forecast> two = queue.Submit(splits.test.GetRange(0, 2));
-  std::future<Forecast> three = queue.Submit(splits.test.GetRange(2, 3));
+  std::future<Result<Forecast>> two = queue.Submit(splits.test.GetRange(0, 2));
+  std::future<Result<Forecast>> three =
+      queue.Submit(splits.test.GetRange(2, 3));
   ExpectTensorsBitwiseEqual(
-      two.get().point, session.value()->Predict(splits.test.GetRange(0, 2)).point,
+      two.get().value().point,
+      session.value()->Predict(splits.test.GetRange(0, 2)).point,
       "two-series request");
   ExpectTensorsBitwiseEqual(
-      three.get().point,
+      three.get().value().point,
       session.value()->Predict(splits.test.GetRange(2, 3)).point,
       "three-series request");
   queue.Shutdown();

@@ -419,9 +419,10 @@ TEST(StaticRuntimeTsanTest, BatchingQueueDispatchesPlanReplayUnderLoad) {
   for (int c = 0; c < kClients; ++c) {
     clients.emplace_back([&] {
       for (int r = 0; r < kRequestsPerClient; ++r) {
-        serve::Forecast forecast =
+        Result<serve::Forecast> forecast =
             queue.Submit(splits.test.GetRange(r, 1)).get();
-        if (!TensorsBitwiseEqual(direct[r], forecast.point)) {
+        if (!forecast.ok() ||
+            !TensorsBitwiseEqual(direct[r], forecast.value().point)) {
           divergences.fetch_add(1);
         }
       }

@@ -6,7 +6,15 @@
 //
 //   serve_forecast --dataset etth1 --checkpoint ckpt-dir --train-if-missing
 //       --requests 64 --max-batch 8 --delay-us 2000 --metrics-out metrics.json
+//
+// Resilience knobs (docs/SERVING.md, "Overload & failure policy"):
+// --max-queue-depth bounds admission, --deadline-ms attaches a deadline to
+// every request (expired ones are shed before the model runs), and
+// --reload-every-n hot-reloads the checkpoint mid-stream to exercise the
+// atomic swap under client load. The summary reports delivered / shed /
+// rejected counts and rates.
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,6 +45,10 @@ struct Options {
   int64_t client_threads = 4;
   int64_t max_batch = 8;
   int64_t delay_us = 2000;
+  int64_t max_queue_depth = 0;
+  int64_t deadline_ms = 0;
+  int64_t reload_every_n = 0;
+  int64_t breaker = 0;
   int64_t quantile_samples = 0;
   double coverage = 0.9;
   bool static_plan = false;
@@ -61,6 +73,14 @@ void Usage() {
       "  --clients N           concurrent client threads (default 4)\n"
       "  --max-batch N         micro-batch size cap (default 8)\n"
       "  --delay-us N          max queueing delay per batch (default 2000)\n"
+      "  --max-queue-depth N   bounded admission: reject once N requests\n"
+      "                        wait (default 0 = unbounded)\n"
+      "  --deadline-ms N       per-request deadline; expired requests are\n"
+      "                        shed before the model runs (default 0 = none)\n"
+      "  --reload-every-n N    hot-reload --checkpoint after every N\n"
+      "                        submissions (default 0 = never)\n"
+      "  --breaker N           open the circuit after N consecutive failed\n"
+      "                        batches (default 0 = disabled)\n"
       "  --quantile-samples N  flow samples per request for a quantile band\n"
       "  --coverage C          band coverage (default 0.9)\n"
       "  --static-plan         serve point forecasts through the static\n"
@@ -111,6 +131,14 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
       if (!ParseInt(v, &opts->max_batch)) return false;
     } else if (arg == "--delay-us" && (v = next())) {
       if (!ParseInt(v, &opts->delay_us)) return false;
+    } else if (arg == "--max-queue-depth" && (v = next())) {
+      if (!ParseInt(v, &opts->max_queue_depth)) return false;
+    } else if (arg == "--deadline-ms" && (v = next())) {
+      if (!ParseInt(v, &opts->deadline_ms)) return false;
+    } else if (arg == "--reload-every-n" && (v = next())) {
+      if (!ParseInt(v, &opts->reload_every_n)) return false;
+    } else if (arg == "--breaker" && (v = next())) {
+      if (!ParseInt(v, &opts->breaker)) return false;
     } else if (arg == "--quantile-samples" && (v = next())) {
       if (!ParseInt(v, &opts->quantile_samples)) return false;
     } else if (arg == "--input-len" && (v = next())) {
@@ -188,8 +216,11 @@ int Main(int argc, char** argv) {
     return 1;
   }
 
-  serve::QueueConfig queue_config{.max_batch_size = opts.max_batch,
-                                  .max_queue_delay_us = opts.delay_us};
+  serve::QueueConfig queue_config{
+      .max_batch_size = opts.max_batch,
+      .max_queue_delay_us = opts.delay_us,
+      .max_queue_depth = opts.max_queue_depth,
+      .circuit_breaker_failures = opts.breaker};
   serve::BatchingQueue queue(session.value().get(), queue_config);
 
   // -- Replay the request stream -----------------------------------------
@@ -199,14 +230,41 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "dataset too short for the requested window\n");
     return 1;
   }
+  const serve::RequestOptions request_options{.deadline_us =
+                                                  opts.deadline_ms * 1000};
+  std::atomic<int64_t> submitted{0}, delivered{0}, shed{0}, rejected{0},
+      failed{0}, reloads{0}, reload_failures{0};
   std::vector<std::thread> clients;
   for (int64_t c = 0; c < opts.client_threads; ++c) {
     clients.emplace_back([&, c] {
-      std::vector<std::future<serve::Forecast>> futures;
+      std::vector<std::future<Result<serve::Forecast>>> futures;
       for (int64_t r = c; r < opts.requests; r += opts.client_threads) {
-        futures.push_back(queue.Submit(test.GetRange(r % n_windows, 1)));
+        futures.push_back(
+            queue.Submit(test.GetRange(r % n_windows, 1), request_options));
+        // Hot-reload under live client load: the swap is atomic, so no
+        // in-flight request should fail because of it.
+        if (opts.reload_every_n > 0 && !opts.checkpoint.empty() &&
+            ++submitted % opts.reload_every_n == 0) {
+          if (session.value()->Reload(opts.checkpoint).ok()) {
+            ++reloads;
+          } else {
+            ++reload_failures;
+          }
+        }
       }
-      for (auto& f : futures) f.get();
+      for (auto& f : futures) {
+        const Result<serve::Forecast> result = f.get();
+        if (result.ok()) {
+          ++delivered;
+        } else if (result.status().code() == StatusCode::kDeadlineExceeded) {
+          ++shed;
+        } else if (result.status().code() == StatusCode::kResourceExhausted ||
+                   result.status().code() == StatusCode::kUnavailable) {
+          ++rejected;
+        } else {
+          ++failed;
+        }
+      }
     });
   }
   for (std::thread& t : clients) t.join();
@@ -218,10 +276,12 @@ int Main(int argc, char** argv) {
   const int64_t batches = registry.GetCounter("serve.batches").value();
   const metrics::Histogram::Snapshot latency =
       registry.GetHistogram("serve.request_latency_seconds").GetSnapshot();
+  // series/batch divides *delivered* (not offered) requests: rejected and
+  // shed requests never occupy a batch slot.
   std::printf("served %lld requests in %lld micro-batches (%.2f series/batch)\n",
               static_cast<long long>(requests),
               static_cast<long long>(batches),
-              batches > 0 ? static_cast<double>(requests) /
+              batches > 0 ? static_cast<double>(delivered.load()) /
                                 static_cast<double>(batches)
                           : 0.0);
   std::printf("request latency: p50 %.1fms  p95 %.1fms  p99 %.1fms  (n=%lld)\n",
@@ -229,6 +289,22 @@ int Main(int argc, char** argv) {
               serve::HistogramQuantile(latency, 0.95) * 1e3,
               serve::HistogramQuantile(latency, 0.99) * 1e3,
               static_cast<long long>(latency.count));
+  std::printf(
+      "delivered %lld  shed %lld (%.1f%%)  rejected %lld (%.1f%%)  "
+      "failed %lld\n",
+      static_cast<long long>(delivered.load()),
+      static_cast<long long>(shed.load()),
+      100.0 * static_cast<double>(shed.load()) /
+          static_cast<double>(opts.requests),
+      static_cast<long long>(rejected.load()),
+      100.0 * static_cast<double>(rejected.load()) /
+          static_cast<double>(opts.requests),
+      static_cast<long long>(failed.load()));
+  if (opts.reload_every_n > 0) {
+    std::printf("hot reloads: %lld ok, %lld failed\n",
+                static_cast<long long>(reloads.load()),
+                static_cast<long long>(reload_failures.load()));
+  }
 
   if (!opts.metrics_out.empty()) {
     const Status written =
