@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <string>
 #include <utility>
 
+#include "data/time_features.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 #include "util/metrics.h"
@@ -15,6 +17,53 @@ namespace conformer::serve {
 namespace {
 
 metrics::Registry& Registry() { return metrics::Registry::Global(); }
+
+// Full-geometry admission check against the session's window. Every
+// dimension the merge path (Concat along dim 0) and the model forward will
+// touch is pinned here — all four batch tensors, not just x — so a
+// malformed request becomes a status on its own future instead of a
+// CHECK-abort that would take down the dispatcher and every co-batched
+// request. Pinning every non-batch dimension also makes admitted requests
+// mutually Concat-compatible by construction: no per-merge geometry key is
+// needed.
+Status ValidateRequest(const data::Batch& request,
+                       const SessionConfig& config) {
+  const data::WindowConfig& window = config.window;
+  if (!request.x.defined() || request.size() < 1) {
+    return Status::InvalidArgument("empty request batch");
+  }
+  if (request.x.dim() != 3 || request.x.size(1) != window.input_len ||
+      request.x.size(2) != config.dims) {
+    return Status::InvalidArgument(
+        "request x geometry does not match the session window");
+  }
+  const int64_t rows = request.size();
+  const int64_t decoder_len = window.label_len + window.pred_len;
+  const struct {
+    const Tensor& tensor;
+    const char* name;
+    int64_t len;
+    int64_t features;
+  } required[] = {
+      {request.x_mark, "x_mark", window.input_len, data::kNumTimeFeatures},
+      {request.y, "y", decoder_len, config.dims},
+      {request.y_mark, "y_mark", decoder_len, data::kNumTimeFeatures},
+  };
+  for (const auto& field : required) {
+    if (!field.tensor.defined()) {
+      return Status::InvalidArgument(std::string("request ") + field.name +
+                                     " is undefined");
+    }
+    if (field.tensor.dim() != 3 || field.tensor.size(0) != rows ||
+        field.tensor.size(1) != field.len ||
+        field.tensor.size(2) != field.features) {
+      return Status::InvalidArgument(std::string("request ") + field.name +
+                                     " geometry does not match the session"
+                                     " window");
+    }
+  }
+  return Status::OK();
+}
 
 }  // namespace
 
@@ -38,25 +87,24 @@ std::future<Result<Forecast>> BatchingQueue::Submit(data::Batch request,
 
   // Admission. Every refusal is a status on the (already resolved) future —
   // a client can never crash the server with a bad or ill-timed request.
-  const data::WindowConfig& window = session_->config().window;
-  if (!request.x.defined() || request.size() < 1) {
+  Status admitted = ValidateRequest(request, session_->config());
+  if (!admitted.ok()) {
     Registry().GetCounter("serve.rejected").Increment();
-    pending.promise.set_value(
-        Result<Forecast>(Status::InvalidArgument("empty request batch")));
-    return future;
-  }
-  if (request.x.dim() != 3 || request.x.size(1) != window.input_len ||
-      request.x.size(2) != session_->config().dims) {
-    Registry().GetCounter("serve.rejected").Increment();
-    pending.promise.set_value(Result<Forecast>(Status::InvalidArgument(
-        "request geometry does not match the session window")));
+    pending.promise.set_value(Result<Forecast>(std::move(admitted)));
     return future;
   }
 
   pending.batch = std::move(request);
   pending.enqueue_ns = prof::internal::NowNs();
   if (options.deadline_us > 0) {
-    pending.deadline_ns = pending.enqueue_ns + options.deadline_us * 1000;
+    // Saturate: a huge client-supplied deadline clamps to "effectively
+    // never" instead of overflowing int64 (UB) into a negative deadline_ns
+    // that would silently disable shedding.
+    const int64_t max_deadline_us =
+        (std::numeric_limits<int64_t>::max() - pending.enqueue_ns) / 1000;
+    pending.deadline_ns =
+        pending.enqueue_ns +
+        std::min(options.deadline_us, max_deadline_us) * 1000;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -63,6 +63,8 @@ struct RequestOptions {
   /// deadline has passed when the dispatcher picks it up is shed
   /// (DeadlineExceeded, serve.shed_expired) without running the model; once
   /// dispatched, a request always completes even if it finishes late.
+  /// Values too large to represent as an absolute nanosecond deadline
+  /// saturate to "effectively never" instead of overflowing.
   int64_t deadline_us = 0;
 };
 
@@ -80,10 +82,14 @@ class BatchingQueue {
 
   /// Enqueues one request (any batch size >= 1 matching the session's
   /// window geometry) and returns a future for its forecast-or-status.
-  /// Admission failures resolve the future immediately instead of
-  /// enqueueing: ResourceExhausted (queue full), Unavailable (after
-  /// Shutdown, or circuit open), InvalidArgument (wrong geometry). Bumps
-  /// serve.requests / serve.rejected and observes
+  /// Admission validates the full data::Batch contract — x
+  /// [B, input_len, D], x_mark [B, input_len, kNumTimeFeatures], y
+  /// [B, label_len + pred_len, D], y_mark likewise, all defined — so every
+  /// admitted request is safe to co-batch and forward. Admission failures
+  /// resolve the future immediately instead of enqueueing:
+  /// ResourceExhausted (queue full), Unavailable (after Shutdown, or
+  /// circuit open), InvalidArgument (missing tensors or wrong geometry).
+  /// Bumps serve.requests / serve.rejected and observes
   /// serve.request_latency_seconds on completion.
   std::future<Result<Forecast>> Submit(data::Batch request,
                                        RequestOptions options = {});

@@ -98,7 +98,11 @@ class InferenceSession {
   const SessionConfig& config() const { return config_; }
 
   /// The cached plan for `batch`'s geometry, or nullptr when none exists yet
-  /// (or tracing failed). Test/bench introspection only.
+  /// (or tracing failed). Test/bench introspection ONLY — never a serving
+  /// dependency. The returned pointer is owned by the plan cache and is
+  /// invalidated by Reload() (which clears the cache); do not hold it
+  /// across a Reload() or dereference it while reloads may run
+  /// concurrently.
   const runtime::Plan* plan_for(const data::Batch& batch) const;
 
  private:

@@ -25,6 +25,7 @@
 #include <fstream>
 #include <functional>
 #include <future>
+#include <limits>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -33,6 +34,7 @@
 #include "baselines/linear_forecaster.h"
 #include "baselines/registry.h"
 #include "data/dataset_registry.h"
+#include "data/time_features.h"
 #include "serve/batching_queue.h"
 #include "serve/fault_injector.h"
 #include "serve/inference_session.h"
@@ -262,6 +264,55 @@ TEST(AdmissionTest, MalformedRequestsRejectedNotCrashed) {
                 .status()
                 .code(),
             StatusCode::kInvalidArgument);
+
+  // Admission pins the FULL Batch contract, not just x: a request with a
+  // missing or mis-shaped x_mark / y / y_mark used to pass admission and
+  // then CHECK-abort the whole process in Concat or the model forward.
+  const data::Batch good = splits.test.GetRange(0, 1);
+  const int64_t dims = splits.test.dims();
+  const int64_t decoder_len = TestWindow().label_len + TestWindow().pred_len;
+  const auto expect_rejected = [&](const data::Batch& bad) {
+    std::future<Result<Forecast>> future = queue.Submit(bad);
+    // Refused at admission: resolved without touching the dispatcher.
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_EQ(future.get().status().code(), StatusCode::kInvalidArgument);
+  };
+  {
+    data::Batch bad = good;
+    bad.x_mark = Tensor();  // Undefined calendar features.
+    expect_rejected(bad);
+  }
+  {
+    data::Batch bad = good;
+    bad.y = Tensor();  // Undefined decoder block.
+    expect_rejected(bad);
+  }
+  {
+    data::Batch bad = good;
+    bad.y_mark = Tensor();
+    expect_rejected(bad);
+  }
+  {
+    data::Batch bad = good;  // Wrong calendar-feature width.
+    bad.x_mark = Tensor::Zeros(
+        {1, TestWindow().input_len, data::kNumTimeFeatures + 1});
+    expect_rejected(bad);
+  }
+  {
+    data::Batch bad = good;  // Decoder block missing the pred_len rows.
+    bad.y = Tensor::Zeros({1, TestWindow().label_len, dims});
+    expect_rejected(bad);
+  }
+  {
+    data::Batch bad = good;  // Row count disagrees with x.
+    bad.y_mark = Tensor::Zeros({2, decoder_len, data::kNumTimeFeatures});
+    expect_rejected(bad);
+  }
+
+  // The queue survived every malformed request: a well-formed one serves.
+  Result<Forecast> served = queue.Submit(good).get();
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
   queue.Shutdown();
 }
 
@@ -349,6 +400,25 @@ TEST(DeadlineTest, ExpiredRequestsShedWithoutModelTime) {
                 .GetSnapshot()
                 .count,
             slack_before);
+  queue.Shutdown();
+}
+
+TEST(DeadlineTest, HugeDeadlineSaturatesInsteadOfOverflowing) {
+  data::DatasetSplits splits = MakeTestSplits();
+  auto session = OpenLinearSession(splits);
+  ASSERT_TRUE(session.ok());
+  BatchingQueue queue(session.value().get(),
+                      {.max_batch_size = 4, .max_queue_delay_us = 0});
+
+  // INT64_MAX microseconds used to overflow the absolute nanosecond
+  // deadline (signed overflow, UB; in practice a negative deadline_ns that
+  // silently disabled shedding). It must saturate to "effectively never"
+  // and the request must serve normally.
+  Result<Forecast> result =
+      queue.Submit(splits.test.GetRange(0, 1),
+                   {.deadline_us = std::numeric_limits<int64_t>::max()})
+          .get();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
   queue.Shutdown();
 }
 
