@@ -3,13 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
-#include <string>
 #include <utility>
 
 #include "data/time_features.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
-#include "util/metrics.h"
 #include "util/profiler.h"
 
 namespace conformer::serve {
@@ -65,23 +63,60 @@ Status ValidateRequest(const data::Batch& request,
   return Status::OK();
 }
 
-}  // namespace
-
-BatchingQueue::BatchingQueue(InferenceSession* session, QueueConfig config)
-    : session_(session), config_(config) {
-  CONFORMER_CHECK(session_ != nullptr);
-  if (config_.max_batch_size < 1) config_.max_batch_size = 1;
-  if (config_.max_queue_delay_us < 0) config_.max_queue_delay_us = 0;
-  if (config_.max_queue_depth < 0) config_.max_queue_depth = 0;
-  if (config_.circuit_breaker_failures < 0) config_.circuit_breaker_failures = 0;
-  dispatcher_ = std::thread([this] { DispatchLoop(); });
+QueueConfig Sanitize(QueueConfig config) {
+  if (config.max_batch_size < 1) config.max_batch_size = 1;
+  if (config.max_queue_delay_us < 0) config.max_queue_delay_us = 0;
+  if (config.max_queue_depth < 0) config.max_queue_depth = 0;
+  if (config.circuit_breaker_failures < 0) config.circuit_breaker_failures = 0;
+  return config;
 }
 
-BatchingQueue::~BatchingQueue() { Shutdown(); }
+}  // namespace
 
-std::future<Result<Forecast>> BatchingQueue::Submit(data::Batch request,
-                                                    RequestOptions options) {
-  Registry().GetCounter("serve.requests").Increment();
+TenantQueue::TenantQueue(InferenceSession* session, QueueConfig config,
+                         std::string tenant_key,
+                         std::function<void()> on_work)
+    : session_(session),
+      config_(Sanitize(config)),
+      tenant_key_(std::move(tenant_key)),
+      on_work_(std::move(on_work)),
+      requests_(Registry().GetCounter("serve.requests")),
+      rejected_(Registry().GetCounter("serve.rejected")),
+      shed_(Registry().GetCounter("serve.shed_expired")) {
+  CONFORMER_CHECK(session_ != nullptr);
+  if (!tenant_key_.empty()) {
+    const std::string prefix = "serve.tenant." + tenant_key_ + ".";
+    tenant_requests_ = &Registry().GetCounter(prefix + "requests");
+    tenant_rejected_ = &Registry().GetCounter(prefix + "rejected");
+    tenant_shed_ = &Registry().GetCounter(prefix + "shed_expired");
+    tenant_batches_ = &Registry().GetCounter(prefix + "batches");
+    tenant_batch_failures_ = &Registry().GetCounter(prefix + "batch_failures");
+    tenant_circuit_opens_ = &Registry().GetCounter(prefix + "circuit_opens");
+    tenant_depth_ = &Registry().GetGauge(prefix + "queue_depth");
+    tenant_latency_ =
+        &Registry().GetHistogram(prefix + "request_latency_seconds");
+  }
+}
+
+void TenantQueue::NotifyWork() {
+  if (on_work_) on_work_();
+}
+
+void TenantQueue::CountRejected() {
+  rejected_.Increment();
+  if (tenant_rejected_ != nullptr) tenant_rejected_->Increment();
+}
+
+void TenantQueue::SetDepthLocked() {
+  const double depth = static_cast<double>(queue_.size());
+  Registry().GetGauge("serve.queue_depth").Set(depth);
+  if (tenant_depth_ != nullptr) tenant_depth_->Set(depth);
+}
+
+std::future<Result<Forecast>> TenantQueue::Submit(data::Batch request,
+                                                  RequestOptions options) {
+  requests_.Increment();
+  if (tenant_requests_ != nullptr) tenant_requests_->Increment();
   Pending pending;
   std::future<Result<Forecast>> future = pending.promise.get_future();
 
@@ -89,7 +124,7 @@ std::future<Result<Forecast>> BatchingQueue::Submit(data::Batch request,
   // a client can never crash the server with a bad or ill-timed request.
   Status admitted = ValidateRequest(request, session_->config());
   if (!admitted.ok()) {
-    Registry().GetCounter("serve.rejected").Increment();
+    CountRejected();
     pending.promise.set_value(Result<Forecast>(std::move(admitted)));
     return future;
   }
@@ -109,114 +144,113 @@ std::future<Result<Forecast>> BatchingQueue::Submit(data::Batch request,
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutdown_) {
-      Registry().GetCounter("serve.rejected").Increment();
+      CountRejected();
       pending.promise.set_value(Result<Forecast>(
           Status::Unavailable("queue is shut down")));
       return future;
     }
     if (circuit_open_) {
-      Registry().GetCounter("serve.rejected").Increment();
+      CountRejected();
       pending.promise.set_value(Result<Forecast>(Status::Unavailable(
           "circuit breaker open after consecutive batch failures")));
       return future;
     }
     if (config_.max_queue_depth > 0 &&
         static_cast<int64_t>(queue_.size()) >= config_.max_queue_depth) {
-      Registry().GetCounter("serve.rejected").Increment();
+      CountRejected();
       pending.promise.set_value(Result<Forecast>(Status::ResourceExhausted(
           "queue depth " + std::to_string(queue_.size()) + " at capacity")));
       return future;
     }
     queue_.push_back(std::move(pending));
-    Registry().GetGauge("serve.queue_depth")
-        .Set(static_cast<double>(queue_.size()));
+    SetDepthLocked();
   }
-  cv_.notify_all();
+  NotifyWork();
   return future;
 }
 
-void BatchingQueue::Shutdown() {
+void TenantQueue::BeginShutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
   }
-  cv_.notify_all();
-  // Exactly one caller joins; concurrent callers block here until the
-  // dispatcher has stopped, so Shutdown() returning always means "queue
-  // fully drained and dispatcher gone" for every caller.
-  std::call_once(join_once_, [this] {
-    if (dispatcher_.joinable()) dispatcher_.join();
-  });
+  NotifyWork();
 }
 
-int64_t BatchingQueue::pending() const {
+bool TenantQueue::shutdown_requested() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shutdown_;
+}
+
+int64_t TenantQueue::pending() const {
   std::lock_guard<std::mutex> lock(mu_);
   return static_cast<int64_t>(queue_.size());
 }
 
-bool BatchingQueue::circuit_open() const {
+bool TenantQueue::circuit_open() const {
   std::lock_guard<std::mutex> lock(mu_);
   return circuit_open_;
 }
 
-void BatchingQueue::ResetCircuitBreaker() {
+void TenantQueue::ResetCircuitBreaker() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     circuit_open_ = false;
     consecutive_failures_ = 0;
   }
-  cv_.notify_all();
+  NotifyWork();
 }
 
-void BatchingQueue::DrainAndRejectLocked(const Status& status) {
+void TenantQueue::DrainAndRejectLocked(const Status& status) {
   while (!queue_.empty()) {
-    Registry().GetCounter("serve.rejected").Increment();
+    CountRejected();
     queue_.front().promise.set_value(Result<Forecast>(status));
     queue_.pop_front();
   }
-  Registry().GetGauge("serve.queue_depth").Set(0.0);
+  SetDepthLocked();
 }
 
-void BatchingQueue::DispatchLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
-  while (true) {
-    cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-    if (circuit_open_) {
-      // Tripped: drain-and-reject instead of looping hot on a broken
-      // model. Submit() refuses new work while the circuit is open.
-      DrainAndRejectLocked(Status::Unavailable(
-          "circuit breaker open after consecutive batch failures"));
-      if (shutdown_) return;
-      continue;
-    }
-    if (queue_.empty()) {
-      if (shutdown_) return;
-      continue;
-    }
-    // Hold an underfull batch open until the configured delay after its
-    // oldest request — unless draining for shutdown, when latency no
-    // longer matters and everything queued goes out as fast as possible.
-    if (!shutdown_ && config_.max_queue_delay_us > 0) {
-      const auto full = [this] {
-        if (shutdown_) return true;
-        int64_t series = 0;
-        for (const Pending& p : queue_) series += p.batch.size();
-        return series >= config_.max_batch_size;
-      };
-      const int64_t waited_ns =
-          prof::internal::NowNs() - queue_.front().enqueue_ns;
-      const int64_t remaining_ns =
-          config_.max_queue_delay_us * 1000 - waited_ns;
-      if (remaining_ns > 0 && !full()) {
-        cv_.wait_for(lock, std::chrono::nanoseconds(remaining_ns), full);
-      }
-      if (queue_.empty()) continue;  // Raced a concurrent drain.
-    }
-    ServeBatch(lock);
+TenantQueue::DispatchState TenantQueue::Peek() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DispatchState state;
+  if (queue_.empty()) return state;
+  state.has_work = true;
+  if (shutdown_ || circuit_open_ || config_.max_queue_delay_us == 0) {
+    return state;  // ripe_at_ns = 0: dispatch (or drain) immediately.
   }
+  int64_t series = 0;
+  for (const Pending& p : queue_) series += p.batch.size();
+  if (series < config_.max_batch_size) {
+    state.ripe_at_ns =
+        queue_.front().enqueue_ns + config_.max_queue_delay_us * 1000;
+  }
+  return state;
 }
 
-void BatchingQueue::ServeBatch(std::unique_lock<std::mutex>& lock) {
+bool TenantQueue::ServeOnce(bool drain) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (circuit_open_) {
+    // Tripped: drain-and-reject instead of looping hot on a broken model.
+    // Submit() refuses new work while the circuit is open.
+    const bool had_work = !queue_.empty();
+    DrainAndRejectLocked(Status::Unavailable(
+        "circuit breaker open after consecutive batch failures"));
+    return had_work;
+  }
+  if (queue_.empty()) return false;
+  const int64_t now_ns = prof::internal::NowNs();
+  if (!drain && !shutdown_ && config_.max_queue_delay_us > 0) {
+    // Hold an underfull batch open until the configured delay after its
+    // oldest request; the dispatcher re-arms a timed wait off Peek().
+    int64_t series = 0;
+    for (const Pending& p : queue_) series += p.batch.size();
+    if (series < config_.max_batch_size &&
+        now_ns - queue_.front().enqueue_ns <
+            config_.max_queue_delay_us * 1000) {
+      return false;
+    }
+  }
+
   // Pop the longest prefix that fits max_batch_size series; the first
   // request always ships, even if alone it exceeds the cap. Requests whose
   // deadline already passed are shed as they surface — the model never
@@ -225,7 +259,6 @@ void BatchingQueue::ServeBatch(std::unique_lock<std::mutex>& lock) {
   std::vector<Pending> taken;
   std::vector<Pending> shed;
   int64_t series = 0;
-  const int64_t now_ns = prof::internal::NowNs();
   while (!queue_.empty()) {
     Pending& front = queue_.front();
     if (front.deadline_ns > 0 && now_ns >= front.deadline_ns) {
@@ -239,19 +272,16 @@ void BatchingQueue::ServeBatch(std::unique_lock<std::mutex>& lock) {
     taken.push_back(std::move(front));
     queue_.pop_front();
   }
-  Registry().GetGauge("serve.queue_depth")
-      .Set(static_cast<double>(queue_.size()));
+  SetDepthLocked();
   lock.unlock();
 
   for (Pending& p : shed) {
-    Registry().GetCounter("serve.shed_expired").Increment();
+    shed_.Increment();
+    if (tenant_shed_ != nullptr) tenant_shed_->Increment();
     p.promise.set_value(Result<Forecast>(Status::DeadlineExceeded(
         "deadline passed before dispatch; request shed")));
   }
-  if (taken.empty()) {
-    lock.lock();
-    return;
-  }
+  if (taken.empty()) return !shed.empty();
 
   // Containment boundary: a throwing Predict fails only this batch's
   // promises with a status — the dispatcher survives to serve the next
@@ -291,6 +321,7 @@ void BatchingQueue::ServeBatch(std::unique_lock<std::mutex>& lock) {
     CONFORMER_LOG(Warning) << "serving batch of " << series
                            << " series failed: " << failure.ToString();
     registry.GetCounter("serve.batch_failures").Increment();
+    if (tenant_batch_failures_ != nullptr) tenant_batch_failures_->Increment();
     for (Pending& p : taken) {
       p.promise.set_value(Result<Forecast>(failure));
     }
@@ -301,13 +332,19 @@ void BatchingQueue::ServeBatch(std::unique_lock<std::mutex>& lock) {
         !circuit_open_) {
       circuit_open_ = true;
       registry.GetCounter("serve.circuit_opens").Increment();
+      if (tenant_circuit_opens_ != nullptr) {
+        tenant_circuit_opens_->Increment();
+      }
       CONFORMER_LOG(Error) << "serving circuit breaker open after "
                            << consecutive_failures_
-                           << " consecutive batch failures";
+                           << " consecutive batch failures"
+                           << (tenant_key_.empty() ? ""
+                                                   : " (tenant " +
+                                                         tenant_key_ + ")");
       DrainAndRejectLocked(Status::Unavailable(
           "circuit breaker open after consecutive batch failures"));
     }
-    return;
+    return true;
   }
 
   int64_t offset = 0;
@@ -333,11 +370,13 @@ void BatchingQueue::ServeBatch(std::unique_lock<std::mutex>& lock) {
                             static_cast<double>(p.deadline_ns - end_ns) * 1e-9));
     }
     p.promise.set_value(Result<Forecast>(std::move(slice)));
-    registry.GetHistogram("serve.request_latency_seconds")
-        .Observe(static_cast<double>(end_ns - p.enqueue_ns) * 1e-9);
+    const double latency = static_cast<double>(end_ns - p.enqueue_ns) * 1e-9;
+    registry.GetHistogram("serve.request_latency_seconds").Observe(latency);
+    if (tenant_latency_ != nullptr) tenant_latency_->Observe(latency);
   }
 
   registry.GetCounter("serve.batches").Increment();
+  if (tenant_batches_ != nullptr) tenant_batches_->Increment();
   registry.GetHistogram("serve.batch_size",
                         {1, 2, 4, 8, 16, 32, 64, 128})
       .Observe(static_cast<double>(series));
@@ -349,6 +388,68 @@ void BatchingQueue::ServeBatch(std::unique_lock<std::mutex>& lock) {
 
   lock.lock();
   consecutive_failures_ = 0;
+  return true;
+}
+
+BatchingQueue::BatchingQueue(InferenceSession* session, QueueConfig config)
+    : core_(session, config, "", [this] {
+        {
+          // Taking the wake mutex (even empty-handed) closes the race with
+          // a dispatcher that just Peek()ed an empty queue and is about to
+          // wait: the notify below cannot fire between its check and its
+          // wait.
+          std::lock_guard<std::mutex> lock(wake_mu_);
+        }
+        wake_cv_.notify_all();
+      }) {
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+BatchingQueue::~BatchingQueue() { Shutdown(); }
+
+std::future<Result<Forecast>> BatchingQueue::Submit(data::Batch request,
+                                                    RequestOptions options) {
+  return core_.Submit(std::move(request), std::move(options));
+}
+
+void BatchingQueue::Shutdown() {
+  core_.BeginShutdown();
+  // Exactly one caller joins; concurrent callers block here until the
+  // dispatcher has stopped, so Shutdown() returning always means "queue
+  // fully drained and dispatcher gone" for every caller.
+  std::call_once(join_once_, [this] {
+    if (dispatcher_.joinable()) dispatcher_.join();
+  });
+}
+
+int64_t BatchingQueue::pending() const { return core_.pending(); }
+
+bool BatchingQueue::circuit_open() const { return core_.circuit_open(); }
+
+void BatchingQueue::ResetCircuitBreaker() { core_.ResetCircuitBreaker(); }
+
+void BatchingQueue::DispatchLoop() {
+  std::unique_lock<std::mutex> lock(wake_mu_);
+  while (true) {
+    const TenantQueue::DispatchState state = core_.Peek();
+    const bool drain = core_.shutdown_requested();
+    if (!state.has_work) {
+      if (drain) return;
+      wake_cv_.wait(lock);
+      continue;
+    }
+    const int64_t now_ns = prof::internal::NowNs();
+    if (!drain && state.ripe_at_ns > now_ns) {
+      // Underfull batch: hold it open for company until the coalescing
+      // delay elapses (or a Submit/Shutdown wakes us to re-check).
+      wake_cv_.wait_for(lock,
+                        std::chrono::nanoseconds(state.ripe_at_ns - now_ns));
+      continue;
+    }
+    lock.unlock();
+    core_.ServeOnce(drain);
+    lock.lock();
+  }
 }
 
 }  // namespace conformer::serve

@@ -1,14 +1,26 @@
 // Dynamic micro-batching for concurrent forecast requests
 // (docs/SERVING.md).
 //
-// Callers Submit() single-series (or small) batches and get a future; a
-// dedicated dispatcher thread coalesces whatever is queued — up to
-// max_batch_size series, waiting at most max_queue_delay_us after the first
-// request of a batch — into one InferenceSession::Predict call, then slices
-// the result back per request. The dispatcher is a plain std::thread, NOT a
-// ThreadPool task: pool workers that block would deadlock nested kernels
-// (nested ParallelFor runs sequentially), while a dedicated thread leaves
-// the whole pool to the coalesced forward pass.
+// Two layers:
+//
+//   TenantQueue    the dispatcherless core — bounded admission, deadline
+//                  shedding, FIFO coalescing with per-request slice-back,
+//                  fault containment and the circuit breaker over one
+//                  InferenceSession, plus per-tenant metrics. It never
+//                  starts a thread: something external calls ServeOnce().
+//   BatchingQueue  the single-tenant facade every pre-fleet caller uses —
+//                  one TenantQueue driven by one dedicated dispatcher
+//                  thread. Unchanged public API and semantics.
+//
+// The split exists for the model fleet (fleet_server.h): a FleetServer owns
+// one TenantQueue per tenant and a small shared pool of dispatcher threads
+// that pick ripe tenants by weighted round-robin, so N tenants do not cost
+// N dispatcher threads and one slow tenant cannot starve the rest.
+//
+// Dispatchers are plain std::threads, NOT ThreadPool tasks: pool workers
+// that block would deadlock nested kernels (nested ParallelFor runs
+// sequentially), while dedicated threads leave the whole pool to the
+// coalesced forward pass.
 //
 // Batching is transparent: kernels are row-independent with thread-count-
 // invariant chunking (docs/THREADING.md), so a request's rows are bitwise
@@ -27,12 +39,15 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "serve/inference_session.h"
+#include "util/metrics.h"
 #include "util/status.h"
 
 namespace conformer::serve {
@@ -68,8 +83,120 @@ struct RequestOptions {
   int64_t deadline_us = 0;
 };
 
-/// \brief Coalesces concurrent requests into micro-batches over one
-/// InferenceSession. Thread-safe; destruction drains the queue.
+/// \brief The dispatcherless batching core: one tenant's request queue over
+/// one InferenceSession. Thread-safe for any number of Submit() callers;
+/// at most ONE thread may be inside ServeOnce() at a time (BatchingQueue's
+/// dedicated dispatcher, or whichever FleetServer shard claimed the
+/// tenant). Destruction requires the owner to have drained the queue first
+/// (both owners do, via Shutdown()).
+class TenantQueue {
+ public:
+  /// `session` must outlive the queue. A non-empty `tenant_key`
+  /// additionally publishes the serve.tenant.<key>.* metric family next to
+  /// the process-wide serve.* aggregates. `on_work`, when set, is invoked
+  /// OUTSIDE the queue lock whenever newly dispatchable work may exist
+  /// (accepted Submit, BeginShutdown, breaker reset) — the hook fleet
+  /// dispatchers use to wake up.
+  TenantQueue(InferenceSession* session, QueueConfig config,
+              std::string tenant_key = "",
+              std::function<void()> on_work = {});
+
+  TenantQueue(const TenantQueue&) = delete;
+  TenantQueue& operator=(const TenantQueue&) = delete;
+
+  /// Enqueues one request (any batch size >= 1 matching the session's
+  /// window geometry) and returns a future for its forecast-or-status.
+  /// Admission validates the full data::Batch contract — x
+  /// [B, input_len, D], x_mark [B, input_len, kNumTimeFeatures], y
+  /// [B, label_len + pred_len, D], y_mark likewise, all defined — so every
+  /// admitted request is safe to co-batch and forward. Admission failures
+  /// resolve the future immediately instead of enqueueing:
+  /// ResourceExhausted (queue full), Unavailable (after BeginShutdown, or
+  /// circuit open), InvalidArgument (missing tensors or wrong geometry).
+  std::future<Result<Forecast>> Submit(data::Batch request,
+                                       RequestOptions options = {});
+
+  /// \brief Dispatcher-side snapshot of the queue.
+  struct DispatchState {
+    /// Something is waiting to be dispatched, shed, or breaker-drained.
+    bool has_work = false;
+    /// Earliest time the pending batch may dispatch: now or earlier means
+    /// ripe (batch full, coalescing delay elapsed, or draining); later
+    /// means the dispatcher should wait for company until then.
+    int64_t ripe_at_ns = 0;
+  };
+  DispatchState Peek() const;
+
+  /// Serves one micro-batch if one is ripe (`drain` ignores the coalescing
+  /// delay — shutdown semantics: everything queued goes out as fast as
+  /// possible). Sheds expired requests as they surface, runs the batch
+  /// inside the fault-containment boundary, trips/drains the breaker on
+  /// consecutive failures. Returns true if any request was fulfilled, shed,
+  /// or rejected. Single dispatcher at a time (see class comment).
+  bool ServeOnce(bool drain);
+
+  /// Refuses all later Submits with Unavailable. Queued requests are NOT
+  /// rejected — the owning dispatcher drains them with ServeOnce(true),
+  /// preserving the "no accepted request is lost" guarantee.
+  void BeginShutdown();
+  bool shutdown_requested() const;
+
+  /// Requests currently waiting (not yet dispatched).
+  int64_t pending() const;
+
+  /// True once the circuit breaker has tripped; every request is rejected
+  /// until ResetCircuitBreaker().
+  bool circuit_open() const;
+  /// Closes the circuit (e.g. after a model Reload fixed the fault).
+  void ResetCircuitBreaker();
+
+  const QueueConfig& config() const { return config_; }
+  const std::string& tenant_key() const { return tenant_key_; }
+  InferenceSession* session() const { return session_; }
+
+ private:
+  struct Pending {
+    data::Batch batch;
+    std::promise<Result<Forecast>> promise;
+    int64_t enqueue_ns = 0;
+    int64_t deadline_ns = 0;  ///< Absolute; 0 = no deadline.
+  };
+
+  /// Rejects every queued request with `status`; mu_ held.
+  void DrainAndRejectLocked(const Status& status);
+  void CountRejected();
+  void SetDepthLocked();
+  void NotifyWork();
+
+  InferenceSession* session_;
+  QueueConfig config_;
+  const std::string tenant_key_;
+  std::function<void()> on_work_;
+
+  // Cached instrument references (registry lookups are map-under-mutex;
+  // references are stable for the process lifetime). The tenant_* members
+  // are null for an untenanted queue.
+  metrics::Counter& requests_;
+  metrics::Counter& rejected_;
+  metrics::Counter& shed_;
+  metrics::Counter* tenant_requests_ = nullptr;
+  metrics::Counter* tenant_rejected_ = nullptr;
+  metrics::Counter* tenant_shed_ = nullptr;
+  metrics::Counter* tenant_batches_ = nullptr;
+  metrics::Counter* tenant_batch_failures_ = nullptr;
+  metrics::Counter* tenant_circuit_opens_ = nullptr;
+  metrics::Gauge* tenant_depth_ = nullptr;
+  metrics::Histogram* tenant_latency_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::deque<Pending> queue_;
+  bool shutdown_ = false;
+  bool circuit_open_ = false;
+  int64_t consecutive_failures_ = 0;  ///< Dispatcher-only.
+};
+
+/// \brief The single-tenant serving queue: one TenantQueue driven by one
+/// dedicated dispatcher thread. Thread-safe; destruction drains the queue.
 class BatchingQueue {
  public:
   /// `session` must outlive the queue.
@@ -80,17 +207,8 @@ class BatchingQueue {
   BatchingQueue(const BatchingQueue&) = delete;
   BatchingQueue& operator=(const BatchingQueue&) = delete;
 
-  /// Enqueues one request (any batch size >= 1 matching the session's
-  /// window geometry) and returns a future for its forecast-or-status.
-  /// Admission validates the full data::Batch contract — x
-  /// [B, input_len, D], x_mark [B, input_len, kNumTimeFeatures], y
-  /// [B, label_len + pred_len, D], y_mark likewise, all defined — so every
-  /// admitted request is safe to co-batch and forward. Admission failures
-  /// resolve the future immediately instead of enqueueing:
-  /// ResourceExhausted (queue full), Unavailable (after Shutdown, or
-  /// circuit open), InvalidArgument (missing tensors or wrong geometry).
-  /// Bumps serve.requests / serve.rejected and observes
-  /// serve.request_latency_seconds on completion.
+  /// See TenantQueue::Submit. Bumps serve.requests / serve.rejected and
+  /// observes serve.request_latency_seconds on completion.
   std::future<Result<Forecast>> Submit(data::Batch request,
                                        RequestOptions options = {});
 
@@ -109,33 +227,14 @@ class BatchingQueue {
   /// Closes the circuit (e.g. after a model Reload fixed the fault).
   void ResetCircuitBreaker();
 
-  const QueueConfig& config() const { return config_; }
+  const QueueConfig& config() const { return core_.config(); }
 
  private:
-  struct Pending {
-    data::Batch batch;
-    std::promise<Result<Forecast>> promise;
-    int64_t enqueue_ns = 0;
-    int64_t deadline_ns = 0;  ///< Absolute; 0 = no deadline.
-  };
-
   void DispatchLoop();
-  /// Pops up to max_batch_size series worth of requests (shedding expired
-  /// ones), runs them as one batch inside a containment boundary, and
-  /// fulfills their promises. `lock` is held on entry and exit.
-  void ServeBatch(std::unique_lock<std::mutex>& lock);
-  /// Rejects every queued request with `status`; mu_ held.
-  void DrainAndRejectLocked(const Status& status);
 
-  InferenceSession* session_;
-  QueueConfig config_;
-
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Pending> queue_;
-  bool shutdown_ = false;
-  bool circuit_open_ = false;
-  int64_t consecutive_failures_ = 0;  ///< Dispatcher-only.
+  TenantQueue core_;
+  std::mutex wake_mu_;           ///< Pairs with wake_cv_ only.
+  std::condition_variable wake_cv_;
   std::once_flag join_once_;
   std::thread dispatcher_;
 };

@@ -85,7 +85,7 @@ void FaultInjector::SetPredictGate(bool closed) {
   g_gate_cv.notify_all();
 }
 
-void FaultInjector::MaybePredictFault() {
+void FaultInjector::MaybePredictFault(const std::string& scope) {
   MaybeInstallFromEnv();
   if (!g_armed.load(std::memory_order_acquire)) return;
 
@@ -98,6 +98,9 @@ void FaultInjector::MaybePredictFault() {
     if (!g_installed) return;
     config = g_config;
   }
+  // A scoped injector targets one tenant: sessions with a different (or no)
+  // fault_scope are not counted and never faulted.
+  if (!config.scope.empty() && config.scope != scope) return;
 
   const int64_t call = g_predict_calls.fetch_add(1) + 1;  // 1-based.
   const int64_t stall_every =
@@ -116,11 +119,12 @@ void FaultInjector::MaybePredictFault() {
   }
 }
 
-bool FaultInjector::ShouldFailReload() {
+bool FaultInjector::ShouldFailReload(const std::string& scope) {
   MaybeInstallFromEnv();
   if (!g_armed.load(std::memory_order_acquire)) return false;
   std::lock_guard<std::mutex> lock(g_mu);
-  return g_installed && g_config.fail_reload;
+  if (!g_installed || !g_config.fail_reload) return false;
+  return g_config.scope.empty() || g_config.scope == scope;
 }
 
 bool FaultInjector::ParseConfig(const std::string& spec, Config* config) {
@@ -135,6 +139,11 @@ bool FaultInjector::ParseConfig(const std::string& spec, Config* config) {
     const size_t eq = item.find('=');
     if (eq == std::string::npos) return false;
     const std::string key = item.substr(0, eq);
+    if (key == "scope") {
+      parsed.scope = item.substr(eq + 1);
+      if (parsed.scope.empty()) return false;
+      continue;
+    }
     char* tail = nullptr;
     const long long value = std::strtoll(item.c_str() + eq + 1, &tail, 10);
     if (tail == item.c_str() + eq + 1 || *tail != '\0' || value < 0) {

@@ -15,6 +15,12 @@
 //   - operators set CONFORMER_SERVE_FAULTS, e.g.
 //       CONFORMER_SERVE_FAULTS="throw_every=5,stall_us=2000,fail_reload=1"
 //     which installs an injector at the first serving call.
+//
+// Faults can be scoped to one tenant of a model fleet (docs/SERVING.md):
+// `scope=<tenant-key>` limits every fault to sessions whose
+// SessionConfig::fault_scope matches (the fleet's ModelRegistry stamps each
+// tenant's key there), so a chaos drill can break conformer@16 while
+// linear@16 keeps serving bitwise-unchanged forecasts.
 
 #ifndef CONFORMER_SERVE_FAULT_INJECTOR_H_
 #define CONFORMER_SERVE_FAULT_INJECTOR_H_
@@ -49,6 +55,11 @@ class FaultInjector {
     /// Reload() fails after the new parameters are staged, immediately
     /// before the swap — the old model must keep serving untouched.
     bool fail_reload = false;
+    /// Non-empty: faults apply only to sessions whose
+    /// SessionConfig::fault_scope equals this string (tenant keys in a
+    /// fleet). Empty: faults apply to every session, the pre-fleet
+    /// behaviour.
+    std::string scope{};
   };
 
   /// Installs `config` process-wide (replacing any previous injector).
@@ -63,11 +74,15 @@ class FaultInjector {
   /// without an installed Config.
   static void SetPredictGate(bool closed);
 
-  /// Hook: called by InferenceSession::Predict. May block on the gate,
-  /// stall, and/or throw InjectedFault.
-  static void MaybePredictFault();
-  /// Hook: called by InferenceSession::Reload between staging and swap.
-  static bool ShouldFailReload();
+  /// Hook: called by InferenceSession::Predict with the session's
+  /// fault_scope. May block on the gate, stall, and/or throw InjectedFault.
+  /// A scoped injector ignores sessions whose scope does not match (the
+  /// gate still applies to everyone: it is a test synchronization tool,
+  /// not a fault).
+  static void MaybePredictFault(const std::string& scope = "");
+  /// Hook: called by InferenceSession::Reload between staging and swap,
+  /// with the session's fault_scope.
+  static bool ShouldFailReload(const std::string& scope = "");
 
   /// Parses a CONFORMER_SERVE_FAULTS-style spec ("k=v,k=v"). Returns false
   /// (leaving `config` default) on malformed input. Exposed for tests.

@@ -90,7 +90,7 @@ Forecast InferenceSession::Predict(const data::Batch& batch) {
   // The session lock is Reload()'s swap point: holding it across the whole
   // forward means a request runs entirely on one parameter set.
   std::lock_guard<std::mutex> lock(mu_);
-  FaultInjector::MaybePredictFault();
+  FaultInjector::MaybePredictFault(config_.fault_scope);
 
   Forecast out;
   out.point = config_.use_static_plan ? PredictPoint(batch)
@@ -139,7 +139,7 @@ Status InferenceSession::Reload(const std::string& checkpoint) {
       staged = RestoreParams(checkpoint, incoming.get());
     }
   }
-  if (staged.ok() && FaultInjector::ShouldFailReload()) {
+  if (staged.ok() && FaultInjector::ShouldFailReload(config_.fault_scope)) {
     staged = Status::IOError("injected reload fault before swap");
   }
   if (!staged.ok()) {

@@ -50,6 +50,12 @@ struct SessionConfig {
   /// Debug: re-run the eager model on every plan hit and CHECK that replay
   /// matches bitwise per node. Serving cost doubles; off in production.
   bool static_parity_check = false;
+  /// Label compared against FaultInjector::Config::scope: a scoped chaos
+  /// drill (CONFORMER_SERVE_FAULTS="...,scope=KEY") faults only sessions
+  /// carrying the matching label. The fleet's ModelRegistry stamps each
+  /// tenant's key here; empty means "unlabeled" (still hit by unscoped
+  /// injectors, ignored by scoped ones).
+  std::string fault_scope;
 };
 
 /// \brief One forecast: point prediction plus an optional quantile band.

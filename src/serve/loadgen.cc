@@ -1,0 +1,177 @@
+#include "serve/loadgen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <random>
+#include <thread>
+#include <utility>
+
+#include "serve/stats.h"
+#include "util/metrics.h"
+
+namespace conformer::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::duration Seconds(double s) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(s));
+}
+
+// Histograms are cumulative for the process; the run's own observations are
+// the after-minus-before bucket deltas.
+metrics::Histogram::Snapshot Delta(
+    const metrics::Histogram::Snapshot& before,
+    const metrics::Histogram::Snapshot& after) {
+  metrics::Histogram::Snapshot delta = after;
+  for (size_t i = 0; i < delta.counts.size() && i < before.counts.size();
+       ++i) {
+    delta.counts[i] -= before.counts[i];
+  }
+  delta.count -= before.count;
+  delta.sum -= before.sum;
+  return delta;
+}
+
+}  // namespace
+
+LoadReport RunOpenLoop(FleetServer& fleet, const std::vector<TenantLoad>& mix,
+                       const LoadgenOptions& options) {
+  LoadReport report;
+  report.offered_rps = options.offered_rps;
+  if (mix.empty() || options.offered_rps <= 0.0 ||
+      options.duration_seconds <= 0.0) {
+    return report;
+  }
+  const int64_t num_clients = std::max<int64_t>(1, options.num_clients);
+
+  metrics::Registry& registry = metrics::Registry::Global();
+  std::vector<metrics::Histogram*> latency;
+  std::vector<metrics::Histogram::Snapshot> before;
+  std::vector<double> weights;
+  latency.reserve(mix.size());
+  for (const TenantLoad& load : mix) {
+    latency.push_back(&registry.GetHistogram("serve.tenant." + load.key +
+                                             ".request_latency_seconds"));
+    before.push_back(latency.back()->GetSnapshot());
+    weights.push_back(std::max(load.mix, 1e-12));
+  }
+
+  // Per-client, per-tenant tallies; merged after the join so the hot loop
+  // shares nothing.
+  struct Tally {
+    std::vector<int64_t> issued, ok, rejected, shed, failed;
+    explicit Tally(size_t tenants)
+        : issued(tenants, 0),
+          ok(tenants, 0),
+          rejected(tenants, 0),
+          shed(tenants, 0),
+          failed(tenants, 0) {}
+  };
+  std::vector<Tally> tallies(num_clients, Tally(mix.size()));
+
+  const auto start = Clock::now();
+  const auto stop_at = start + Seconds(options.duration_seconds);
+  std::vector<std::thread> clients;
+  clients.reserve(num_clients);
+  for (int64_t c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      Tally& tally = tallies[c];
+      // Distinct, decorrelated streams per client; the run is reproducible
+      // for a fixed (seed, num_clients) pair up to scheduling jitter.
+      std::mt19937_64 rng(options.seed * 0x9e3779b97f4a7c15ULL +
+                          static_cast<uint64_t>(c) + 1);
+      std::exponential_distribution<double> interarrival(
+          options.offered_rps / static_cast<double>(num_clients));
+      std::discrete_distribution<int> pick_tenant(weights.begin(),
+                                                  weights.end());
+      std::uniform_real_distribution<double> uniform(1e-9, 1.0);
+
+      std::vector<std::pair<int, std::future<Result<Forecast>>>> inflight;
+      // The first arrival is one exponential gap out, like every later one
+      // — clients firing at t=0 would spike the achieved rate above the
+      // offered rate on short runs.
+      auto next_arrival = Clock::now() + Seconds(interarrival(rng));
+      // Open loop: the schedule never waits for completions. Saturation
+      // shows up as queue rejections and backlog, not a slower generator.
+      while (next_arrival < stop_at) {
+        std::this_thread::sleep_until(next_arrival);
+        const int idx = pick_tenant(rng);
+        ++tally.issued[idx];
+        inflight.emplace_back(
+            idx, fleet.Submit(mix[idx].key, mix[idx].prototype,
+                              {.deadline_us = options.deadline_us}));
+        double gap_s = interarrival(rng);
+        if (options.think_scale_us > 0.0) {
+          // Pareto(alpha) think time: scale * U^(-1/alpha).
+          gap_s += options.think_scale_us * 1e-6 *
+                   std::pow(uniform(rng),
+                            -1.0 / std::max(1.0001, options.think_tail_alpha));
+        }
+        next_arrival += Seconds(gap_s);
+      }
+      for (auto& [idx, future] : inflight) {
+        const Result<Forecast> result = future.get();
+        if (result.ok()) {
+          ++tally.ok[idx];
+          continue;
+        }
+        switch (result.status().code()) {
+          case StatusCode::kDeadlineExceeded:
+            ++tally.shed[idx];
+            break;
+          case StatusCode::kResourceExhausted:
+          case StatusCode::kUnavailable:
+          case StatusCode::kNotFound:
+          case StatusCode::kInvalidArgument:
+            ++tally.rejected[idx];
+            break;
+          default:
+            ++tally.failed[idx];
+            break;
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  report.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  int64_t total_issued = 0;
+  double total_good_series = 0.0;
+  for (size_t i = 0; i < mix.size(); ++i) {
+    TenantLoadStats stats;
+    stats.key = mix[i].key;
+    for (const Tally& tally : tallies) {
+      stats.issued += tally.issued[i];
+      stats.ok += tally.ok[i];
+      stats.rejected += tally.rejected[i];
+      stats.shed += tally.shed[i];
+      stats.failed += tally.failed[i];
+    }
+    const double series_per_request =
+        static_cast<double>(std::max<int64_t>(1, mix[i].prototype.size()));
+    stats.goodput_rps = static_cast<double>(stats.ok) * series_per_request /
+                        report.wall_seconds;
+    const metrics::Histogram::Snapshot run =
+        Delta(before[i], latency[i]->GetSnapshot());
+    if (run.count > 0) {
+      stats.p50_ms = HistogramQuantile(run, 0.50) * 1e3;
+      stats.p95_ms = HistogramQuantile(run, 0.95) * 1e3;
+      stats.p99_ms = HistogramQuantile(run, 0.99) * 1e3;
+    }
+    total_issued += stats.issued;
+    total_good_series += static_cast<double>(stats.ok) * series_per_request;
+    report.tenants.push_back(std::move(stats));
+  }
+  report.achieved_rps =
+      static_cast<double>(total_issued) / report.wall_seconds;
+  report.goodput_rps = total_good_series / report.wall_seconds;
+  return report;
+}
+
+}  // namespace conformer::serve

@@ -1,0 +1,105 @@
+// Open-loop load generation against a FleetServer (docs/SERVING.md,
+// "Driving a fleet with fleet_loadgen").
+//
+// Open-loop means arrivals follow their own clock: requests are submitted
+// on a Poisson schedule regardless of whether earlier ones finished, so a
+// saturated fleet sees a growing backlog instead of the generator politely
+// slowing down — the regime where admission bounds, deadline shedding, and
+// per-tenant isolation actually matter. (Closed-loop clients, like
+// bench_serving's serve_queue_b8 row, measure capacity; open-loop measures
+// behaviour PAST capacity.)
+//
+// The generator is a library so the fleet_loadgen CLI and bench_fleet
+// share one implementation: N client threads each run an independent
+// Poisson process at offered_rps / N, pick a tenant per request by the
+// traffic-mix weights, and optionally add Pareto(alpha) "think time" —
+// a heavy-tailed pause that clumps arrivals into realistic bursts while
+// the long-run rate stays put. Latency quantiles come from the fleet's own
+// serve.tenant.<key>.request_latency_seconds histograms (snapshot-delta
+// over the run), so the report measures exactly what the server observed.
+
+#ifndef CONFORMER_SERVE_LOADGEN_H_
+#define CONFORMER_SERVE_LOADGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/window_dataset.h"
+#include "serve/fleet_server.h"
+
+namespace conformer::serve {
+
+/// \brief One tenant's slice of the generated traffic.
+struct TenantLoad {
+  /// Registered FleetServer tenant key ("conformer@16").
+  std::string key;
+  /// Request payload submitted verbatim each arrival (its batch dimension
+  /// is the series-per-request for this tenant). Must match the tenant
+  /// session's geometry or every request dies at admission.
+  data::Batch prototype;
+  /// Relative traffic share; a {2, 1} mix sends the first tenant two
+  /// thirds of the arrivals. Must be > 0.
+  double mix = 1.0;
+};
+
+/// \brief Load-shape knobs (defaults = gentle smoke load).
+struct LoadgenOptions {
+  /// Aggregate Poisson arrival rate, requests/second across all tenants.
+  double offered_rps = 64.0;
+  /// Arrival window; futures issued inside it are always collected, so the
+  /// wall clock of a run exceeds this when the fleet is saturated.
+  double duration_seconds = 1.0;
+  /// Client threads; each runs an independent Poisson process at
+  /// offered_rps / num_clients (superposition keeps the aggregate Poisson).
+  int64_t num_clients = 2;
+  /// > 0 adds Pareto-distributed think time after each arrival:
+  /// think = think_scale_us * U^(-1/think_tail_alpha) microseconds. Alpha
+  /// in (1, 2] gives the classic heavy tail (finite mean, wild variance) —
+  /// arrivals clump into bursts that stress admission bounds harder than a
+  /// plain Poisson stream at the same average rate. 0 disables.
+  double think_scale_us = 0.0;
+  double think_tail_alpha = 1.5;
+  /// Per-request deadline, forwarded to Submit (0 = none).
+  int64_t deadline_us = 0;
+  uint64_t seed = 42;
+};
+
+/// \brief Per-tenant outcome tallies + latency quantiles for one run.
+struct TenantLoadStats {
+  std::string key;
+  int64_t issued = 0;
+  int64_t ok = 0;        ///< Forecast delivered.
+  int64_t rejected = 0;  ///< ResourceExhausted/Unavailable at admission.
+  int64_t shed = 0;      ///< DeadlineExceeded before dispatch.
+  int64_t failed = 0;    ///< Anything else (contained model faults, ...).
+  /// Delivered series/second: ok × (series per request) / wall_seconds —
+  /// the same unit as bench_serving's serving rows.
+  double goodput_rps = 0.0;
+  /// Quantiles of the tenant's served-request latency over this run,
+  /// milliseconds, at histogram-bucket resolution. 0 when nothing was
+  /// served.
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+/// \brief One load point: what was offered, what came back.
+struct LoadReport {
+  double offered_rps = 0.0;   ///< Configured target.
+  double achieved_rps = 0.0;  ///< Actually issued / wall (< offered when
+                              ///< saturated or think time dominates).
+  double goodput_rps = 0.0;   ///< Fleet-wide delivered series/second.
+  double wall_seconds = 0.0;  ///< Arrival window + backlog drain.
+  std::vector<TenantLoadStats> tenants;
+};
+
+/// Runs one open-loop load point against `fleet` and blocks until every
+/// issued future resolved. `mix` keys must already be registered (unknown
+/// keys simply tally as rejected — NotFound — like any other refusal).
+LoadReport RunOpenLoop(FleetServer& fleet, const std::vector<TenantLoad>& mix,
+                       const LoadgenOptions& options);
+
+}  // namespace conformer::serve
+
+#endif  // CONFORMER_SERVE_LOADGEN_H_

@@ -1,0 +1,99 @@
+#include "serve/model_registry.h"
+
+#include <utility>
+
+#include "util/metrics.h"
+
+namespace conformer::serve {
+
+std::string MakeTenantKey(const std::string& model_name, int64_t pred_len) {
+  return model_name + "@" + std::to_string(pred_len);
+}
+
+Status ModelRegistry::ValidateKey(const std::string& key) {
+  if (key.empty() || key.size() > 64) {
+    return Status::InvalidArgument(
+        "tenant key must be 1..64 chars, got \"" + key + "\"");
+  }
+  int64_t separators = 0;
+  for (const char c : key) {
+    if (c == '@') {
+      ++separators;
+      continue;
+    }
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' ||
+                    c == '-';
+    if (!ok) {
+      return Status::InvalidArgument(
+          std::string("tenant key has invalid char '") + c + "': \"" + key +
+          "\" (allowed: [A-Za-z0-9_.-] and one '@')");
+    }
+  }
+  if (separators != 1 || key.front() == '@' || key.back() == '@') {
+    return Status::InvalidArgument(
+        "tenant key must be \"model@horizon\" — exactly one '@' between "
+        "non-empty halves, got \"" + key + "\"");
+  }
+  return Status::OK();
+}
+
+Status ModelRegistry::Register(const std::string& key, SessionConfig config,
+                               const std::string& checkpoint) {
+  Status valid = ValidateKey(key);
+  if (!valid.ok()) return valid;
+  {
+    // Reject duplicates before the (expensive) open, and again at insert —
+    // two concurrent Registers of one key must not both succeed.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sessions_.count(key) > 0) {
+      return Status::AlreadyExists("tenant \"" + key +
+                                   "\" is already registered");
+    }
+  }
+  if (config.fault_scope.empty()) config.fault_scope = key;
+  Result<std::unique_ptr<InferenceSession>> session =
+      InferenceSession::Open(config, checkpoint);
+  if (!session.ok()) return session.status();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const bool inserted =
+      sessions_.emplace(key, std::move(session.value())).second;
+  if (!inserted) {
+    return Status::AlreadyExists("tenant \"" + key +
+                                 "\" was registered concurrently");
+  }
+  metrics::Registry::Global().GetGauge("serve.fleet.tenants")
+      .Set(static_cast<double>(sessions_.size()));
+  return Status::OK();
+}
+
+Status ModelRegistry::Reload(const std::string& key,
+                             const std::string& checkpoint) {
+  InferenceSession* session = Find(key);
+  if (session == nullptr) {
+    return Status::NotFound("tenant \"" + key + "\" is not registered");
+  }
+  return session->Reload(checkpoint);
+}
+
+InferenceSession* ModelRegistry::Find(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(key);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> ModelRegistry::Keys() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> keys;
+  keys.reserve(sessions_.size());
+  for (const auto& [key, session] : sessions_) keys.push_back(key);
+  return keys;
+}
+
+int64_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(sessions_.size());
+}
+
+}  // namespace conformer::serve

@@ -1,0 +1,80 @@
+// Tenant-keyed registry of serving sessions (docs/SERVING.md, "The model
+// fleet").
+//
+// A fleet serves many (model, horizon) variants concurrently; the registry
+// is the key -> InferenceSession map behind it. Tenant keys follow the
+// `model@horizon` naming contract ("conformer@16", "linear@96"): the model
+// half is conventionally a models::MakeForecaster registry name and the
+// horizon half the session's pred_len, so one model architecture served at
+// three horizons is three tenants with three independent parameter sets,
+// hot-reload schedules, and failure domains.
+//
+// Each session keeps its own PR-8 Reload() machinery — the registry adds
+// only the naming, duplicate rejection, and lookup. Reload(key, checkpoint)
+// therefore inherits every single-tenant guarantee: staging off the serving
+// lock, atomic swap, corrupt-checkpoint rejection with the old parameters
+// bitwise undisturbed — and touches nothing but that one tenant (proved by
+// serve_fleet_test.cc's bitwise isolation cases).
+
+#ifndef CONFORMER_SERVE_MODEL_REGISTRY_H_
+#define CONFORMER_SERVE_MODEL_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/inference_session.h"
+#include "util/status.h"
+
+namespace conformer::serve {
+
+/// Builds the conventional tenant key for a model served at a horizon:
+/// "conformer@16". Purely a naming helper — Register accepts any valid key.
+std::string MakeTenantKey(const std::string& model_name, int64_t pred_len);
+
+/// \brief Key -> hot-reloadable InferenceSession map. Thread-safe; sessions
+/// live until the registry dies (Remove() is deliberately absent — serving
+/// infrastructure holds raw session pointers, and retiring a tenant is a
+/// drain-the-queue problem the FleetServer owns, not a map erase).
+class ModelRegistry {
+ public:
+  /// The tenant-key naming contract: non-empty, at most 64 chars, drawn
+  /// from [A-Za-z0-9_.-] plus exactly one '@' separating two non-empty
+  /// halves. Keys are embedded in metric names (serve.tenant.<key>.*), so
+  /// the charset keeps the metrics JSON sane.
+  static Status ValidateKey(const std::string& key);
+
+  /// Opens a session for `key` from `config` + `checkpoint` (exactly like
+  /// InferenceSession::Open; empty checkpoint serves the fresh model).
+  /// `config.fault_scope`, when empty, is stamped with `key` so scoped
+  /// chaos drills (CONFORMER_SERVE_FAULTS="...,scope=<key>") target this
+  /// tenant alone. Fails with AlreadyExists on a duplicate key and
+  /// InvalidArgument on a malformed one; a failed open registers nothing.
+  Status Register(const std::string& key, SessionConfig config,
+                  const std::string& checkpoint);
+
+  /// Hot-reloads one tenant's parameters (InferenceSession::Reload): every
+  /// other tenant's session is untouched by construction. NotFound for an
+  /// unknown key.
+  Status Reload(const std::string& key, const std::string& checkpoint);
+
+  /// The session serving `key`, or nullptr when unregistered. The pointer
+  /// is stable for the registry's lifetime.
+  InferenceSession* Find(const std::string& key) const;
+
+  /// Registered keys, sorted (the map order) — deterministic iteration for
+  /// dispatch and reporting.
+  std::vector<std::string> Keys() const;
+
+  int64_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<InferenceSession>> sessions_;
+};
+
+}  // namespace conformer::serve
+
+#endif  // CONFORMER_SERVE_MODEL_REGISTRY_H_

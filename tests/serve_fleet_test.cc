@@ -1,0 +1,455 @@
+// Multi-tenant fleet suite (docs/SERVING.md, "The model fleet"). Proves the
+// fleet's isolation contract:
+//   (a) the registry enforces the tenant-key contract and rejects duplicate
+//       registration; Submit against an unregistered key resolves NotFound,
+//   (b) micro-batching stays transparent per tenant — a request served
+//       through the fleet is bitwise identical to the tenant session's own
+//       Predict — including tenants with different horizons,
+//   (c) Reload of one tenant leaves every other tenant's outputs bitwise
+//       unchanged,
+//   (d) a scoped fault injection (CONFORMER_SERVE_FAULTS ... scope=<key>)
+//       trips only the target tenant's circuit breaker while the others
+//       keep serving bitwise-identical forecasts,
+//   (e) Shutdown() drains every tenant's queue (no accepted request lost),
+//   (f) concurrent clients across tenants are race-free (tsan label), and
+//   (g) the open-loop load generator's report tallies add up.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <future>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "baselines/registry.h"
+#include "data/dataset_registry.h"
+#include "serve/fault_injector.h"
+#include "serve/fleet_server.h"
+#include "serve/loadgen.h"
+#include "serve/model_registry.h"
+#include "train/checkpoint.h"
+#include "train/trainer.h"
+
+namespace conformer::serve {
+namespace {
+
+data::WindowConfig TestWindow(int64_t pred_len = 8) {
+  return {.input_len = 24, .label_len = 8, .pred_len = pred_len};
+}
+
+data::TimeSeries TestSeries() {
+  return data::MakeDataset("etth1", 0.05).value();
+}
+
+SessionConfig LinearConfig(int64_t dims, int64_t pred_len = 8) {
+  SessionConfig config;
+  config.model_name = "linear";
+  config.window = TestWindow(pred_len);
+  config.dims = dims;
+  return config;
+}
+
+std::string MakeTempDir(const std::string& tag) {
+  const std::string dir = "/tmp/conformer_fleet_" + tag + "_" +
+                          std::to_string(static_cast<int64_t>(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+void ExpectTensorsBitwiseEqual(const Tensor& a, const Tensor& b,
+                               const std::string& what) {
+  ASSERT_EQ(a.shape(), b.shape()) << what;
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.numel() * sizeof(float)), 0)
+      << what << " differs";
+}
+
+bool WaitFor(const std::function<bool()>& pred, int64_t timeout_ms = 10000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return pred();
+}
+
+struct GateGuard {
+  GateGuard() { FaultInjector::SetPredictGate(true); }
+  ~GateGuard() { FaultInjector::SetPredictGate(false); }
+  void Open() { FaultInjector::SetPredictGate(false); }
+};
+
+struct InjectorGuard {
+  explicit InjectorGuard(const FaultInjector::Config& config) {
+    FaultInjector::Install(config);
+  }
+  ~InjectorGuard() { FaultInjector::Uninstall(); }
+};
+
+/// Trains a linear model briefly and publishes it as a checkpoint directory
+/// (the reload-isolation fixture); returns the trained model in eval mode.
+std::unique_ptr<models::Forecaster> PublishTrainedLinear(
+    const data::DatasetSplits& splits, const std::string& dir) {
+  auto model =
+      models::MakeForecaster("linear", TestWindow(), splits.test.dims())
+          .value();
+  train::TrainConfig config;
+  config.epochs = 1;
+  config.max_train_batches = 4;
+  config.max_eval_batches = 2;
+  config.batch_size = 8;
+  train::Trainer(config).Fit(model.get(), splits.train, splits.val);
+
+  train::Adam optimizer(model->Parameters());
+  train::TrainProgress progress;
+  progress.global_step = 100;
+  progress.epoch_rng_state = Rng(5).Serialize();
+  train::CheckpointManager manager(dir);
+  EXPECT_TRUE(manager.Save(*model, optimizer, progress).ok());
+  model->SetTraining(false);
+  return model;
+}
+
+// -- Tenant keys & registry -------------------------------------------------
+
+TEST(TenantKeyTest, MakeTenantKeyFollowsTheContract) {
+  EXPECT_EQ(MakeTenantKey("conformer", 16), "conformer@16");
+  EXPECT_TRUE(ModelRegistry::ValidateKey(MakeTenantKey("linear", 96)).ok());
+}
+
+TEST(TenantKeyTest, ValidateKeyRejectsMalformedKeys) {
+  EXPECT_TRUE(ModelRegistry::ValidateKey("conformer@16").ok());
+  EXPECT_TRUE(ModelRegistry::ValidateKey("my-model_v2.1@720").ok());
+  for (const std::string& bad : std::vector<std::string>{
+           "", "conformer", "@16", "conformer@", "a@b@c", "con former@16",
+           "conformer@16\n", std::string(70, 'a') + "@1"}) {
+    EXPECT_EQ(ModelRegistry::ValidateKey(bad).code(),
+              StatusCode::kInvalidArgument)
+        << "\"" << bad << "\" should be rejected";
+  }
+}
+
+TEST(ModelRegistryTest, RejectsDuplicateAndMalformedRegistration) {
+  data::DatasetSplits splits = data::MakeSplits(TestSeries(), TestWindow());
+  ModelRegistry registry;
+  const SessionConfig config = LinearConfig(splits.test.dims());
+
+  ASSERT_TRUE(registry.Register("linear@8", config, "").ok());
+  EXPECT_EQ(registry.Register("linear@8", config, "").code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(registry.Register("not a key", config, "").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry.size(), 1);
+  EXPECT_NE(registry.Find("linear@8"), nullptr);
+  EXPECT_EQ(registry.Find("other@8"), nullptr);
+  EXPECT_EQ(registry.Reload("other@8", "/nowhere").code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(registry.Keys(), std::vector<std::string>{"linear@8"});
+}
+
+TEST(ModelRegistryTest, StampsTenantKeyAsFaultScope) {
+  data::DatasetSplits splits = data::MakeSplits(TestSeries(), TestWindow());
+  ModelRegistry registry;
+  ASSERT_TRUE(
+      registry.Register("linear@8", LinearConfig(splits.test.dims()), "")
+          .ok());
+  EXPECT_EQ(registry.Find("linear@8")->config().fault_scope, "linear@8");
+}
+
+// -- Fleet routing ----------------------------------------------------------
+
+TEST(FleetServerTest, SubmitToUnregisteredTenantResolvesNotFound) {
+  data::DatasetSplits splits = data::MakeSplits(TestSeries(), TestWindow());
+  FleetServer fleet;
+  Result<Forecast> result =
+      fleet.Submit("ghost@8", splits.test.GetRange(0, 1)).get();
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(fleet.tenant_count(), 0);
+}
+
+TEST(FleetServerTest, AddTenantRejectsDuplicates) {
+  data::DatasetSplits splits = data::MakeSplits(TestSeries(), TestWindow());
+  FleetServer fleet;
+  TenantSpec spec;
+  spec.session = LinearConfig(splits.test.dims());
+  ASSERT_TRUE(fleet.AddTenant("linear@8", spec).ok());
+  EXPECT_EQ(fleet.AddTenant("linear@8", spec).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(fleet.tenant_count(), 1);
+}
+
+TEST(FleetServerTest, ServesMixedHorizonTenantsBatchTransparently) {
+  data::TimeSeries series = TestSeries();
+  data::DatasetSplits splits8 = data::MakeSplits(series, TestWindow(8));
+  data::DatasetSplits splits16 = data::MakeSplits(series, TestWindow(16));
+
+  FleetServer fleet({.num_dispatchers = 2});
+  TenantSpec spec8;
+  spec8.session = LinearConfig(splits8.test.dims(), 8);
+  spec8.queue = {.max_batch_size = 4, .max_queue_delay_us = 200};
+  TenantSpec spec16;
+  spec16.session = LinearConfig(splits16.test.dims(), 16);
+  spec16.queue = {.max_batch_size = 4, .max_queue_delay_us = 200};
+  ASSERT_TRUE(fleet.AddTenant("linear@8", spec8).ok());
+  ASSERT_TRUE(fleet.AddTenant("linear@16", spec16).ok());
+  EXPECT_EQ(fleet.tenant_keys(),
+            (std::vector<std::string>{"linear@16", "linear@8"}));
+
+  // Interleaved submits to both horizons; every response must be bitwise
+  // identical to the tenant session's own unbatched Predict.
+  const int64_t kRequests = 8;
+  std::vector<std::future<Result<Forecast>>> f8, f16;
+  for (int64_t r = 0; r < kRequests; ++r) {
+    f8.push_back(fleet.Submit("linear@8", splits8.test.GetRange(r, 1)));
+    f16.push_back(fleet.Submit("linear@16", splits16.test.GetRange(r, 1)));
+  }
+  for (int64_t r = 0; r < kRequests; ++r) {
+    Result<Forecast> got8 = f8[r].get();
+    Result<Forecast> got16 = f16[r].get();
+    ASSERT_TRUE(got8.ok()) << got8.status().message();
+    ASSERT_TRUE(got16.ok()) << got16.status().message();
+    EXPECT_EQ(got8.value().point.size(1), 8);
+    EXPECT_EQ(got16.value().point.size(1), 16);
+    ExpectTensorsBitwiseEqual(
+        got8.value().point,
+        fleet.session("linear@8")->Predict(splits8.test.GetRange(r, 1)).point,
+        "linear@8 request " + std::to_string(r));
+    ExpectTensorsBitwiseEqual(
+        got16.value().point,
+        fleet.session("linear@16")
+            ->Predict(splits16.test.GetRange(r, 1))
+            .point,
+        "linear@16 request " + std::to_string(r));
+  }
+}
+
+// -- Isolation --------------------------------------------------------------
+
+TEST(FleetServerTest, ReloadTouchesOnlyTheTargetTenant) {
+  data::DatasetSplits splits = data::MakeSplits(TestSeries(), TestWindow());
+  const std::string dir = MakeTempDir("reload");
+  std::unique_ptr<models::Forecaster> trained =
+      PublishTrainedLinear(splits, dir);
+  const data::Batch probe = splits.test.GetRange(0, 1);
+
+  FleetServer fleet;
+  TenantSpec spec;
+  spec.session = LinearConfig(splits.test.dims());
+  spec.queue = {.max_batch_size = 4, .max_queue_delay_us = 0};
+  ASSERT_TRUE(fleet.AddTenant("linear-a@8", spec).ok());
+  ASSERT_TRUE(fleet.AddTenant("linear-b@8", spec).ok());
+
+  const Tensor b_before =
+      fleet.Submit("linear-b@8", probe).get().value().point;
+
+  // Reload A from the trained checkpoint: A now serves the trained
+  // parameters, B is bitwise where it was.
+  ASSERT_TRUE(fleet.Reload("linear-a@8", dir).ok());
+  EXPECT_EQ(fleet.Reload("ghost@8", dir).code(), StatusCode::kNotFound);
+
+  const Tensor a_after =
+      fleet.Submit("linear-a@8", probe).get().value().point;
+  const Tensor b_after =
+      fleet.Submit("linear-b@8", probe).get().value().point;
+  ExpectTensorsBitwiseEqual(a_after, trained->Predict(probe),
+                            "reloaded tenant vs trained reference");
+  ExpectTensorsBitwiseEqual(b_after, b_before,
+                            "untouched tenant across neighbour reload");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FleetServerTest, ScopedFaultTripsOnlyTheTargetTenantsBreaker) {
+  data::DatasetSplits splits = data::MakeSplits(TestSeries(), TestWindow());
+  const data::Batch probe = splits.test.GetRange(0, 1);
+
+  FleetServer fleet({.num_dispatchers = 2});
+  TenantSpec spec;
+  spec.session = LinearConfig(splits.test.dims());
+  spec.queue = {.max_batch_size = 4,
+                .max_queue_delay_us = 0,
+                .circuit_breaker_failures = 1};
+  ASSERT_TRUE(fleet.AddTenant("linear-a@8", spec).ok());
+  ASSERT_TRUE(fleet.AddTenant("linear-b@8", spec).ok());
+  const Tensor a_baseline =
+      fleet.Submit("linear-a@8", probe).get().value().point;
+  const Tensor b_baseline =
+      fleet.Submit("linear-b@8", probe).get().value().point;
+
+  {
+    // Every A Predict throws; B is out of scope and must not even be
+    // counted by the injector.
+    InjectorGuard injector({.throw_every = 1, .scope = "linear-a@8"});
+
+    Result<Forecast> a_result = fleet.Submit("linear-a@8", probe).get();
+    EXPECT_EQ(a_result.status().code(), StatusCode::kInternal);
+    ASSERT_TRUE(WaitFor([&] { return fleet.circuit_open("linear-a@8"); }));
+    EXPECT_FALSE(fleet.circuit_open("linear-b@8"));
+
+    // A is breaker-rejected; B keeps serving bitwise-identical forecasts
+    // with the injector still armed.
+    EXPECT_EQ(fleet.Submit("linear-a@8", probe).get().status().code(),
+              StatusCode::kUnavailable);
+    Result<Forecast> b_result = fleet.Submit("linear-b@8", probe).get();
+    ASSERT_TRUE(b_result.ok()) << b_result.status().message();
+    ExpectTensorsBitwiseEqual(b_result.value().point, b_baseline,
+                              "out-of-scope tenant under injected faults");
+  }
+
+  // Fault cleared: closing the breaker restores A.
+  ASSERT_TRUE(fleet.ResetCircuitBreaker("linear-a@8").ok());
+  EXPECT_EQ(fleet.ResetCircuitBreaker("ghost@8").code(),
+            StatusCode::kNotFound);
+  Result<Forecast> healed = fleet.Submit("linear-a@8", probe).get();
+  ASSERT_TRUE(healed.ok()) << healed.status().message();
+  ExpectTensorsBitwiseEqual(healed.value().point, a_baseline,
+                            "healed tenant vs its pre-fault output");
+}
+
+// -- Shutdown ---------------------------------------------------------------
+
+TEST(FleetServerTest, ShutdownDrainsEveryTenant) {
+  data::DatasetSplits splits = data::MakeSplits(TestSeries(), TestWindow());
+  auto fleet = std::make_unique<FleetServer>(FleetConfig{.num_dispatchers = 2});
+  TenantSpec spec;
+  spec.session = LinearConfig(splits.test.dims());
+  spec.queue = {.max_batch_size = 2, .max_queue_delay_us = 100000};
+  ASSERT_TRUE(fleet->AddTenant("linear-a@8", spec).ok());
+  ASSERT_TRUE(fleet->AddTenant("linear-b@8", spec).ok());
+
+  // Hold the dispatchers at the model boundary while requests pile up, so
+  // Shutdown() races a genuinely backlogged fleet.
+  GateGuard gate;
+  std::vector<std::future<Result<Forecast>>> futures;
+  for (int64_t r = 0; r < 6; ++r) {
+    futures.push_back(
+        fleet->Submit(r % 2 == 0 ? "linear-a@8" : "linear-b@8",
+                      splits.test.GetRange(r, 1)));
+  }
+  std::thread closer([&] { fleet->Shutdown(); });
+  gate.Open();
+  closer.join();
+
+  for (auto& future : futures) {
+    Result<Forecast> result = future.get();
+    EXPECT_TRUE(result.ok()) << result.status().message();
+  }
+  EXPECT_EQ(fleet->Submit("linear-a@8", splits.test.GetRange(0, 1))
+                .get()
+                .status()
+                .code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(fleet->AddTenant("linear-c@8", spec).code(),
+            StatusCode::kUnavailable);
+  fleet.reset();  // Double-shutdown via the destructor must be a no-op.
+}
+
+// -- Concurrency (tsan) -----------------------------------------------------
+
+TEST(FleetServerTest, ConcurrentMultiTenantSubmitIsRaceFree) {
+  data::DatasetSplits splits = data::MakeSplits(TestSeries(), TestWindow());
+  const std::vector<std::string> keys = {"linear-a@8", "linear-b@8",
+                                         "linear-c@8"};
+  FleetServer fleet({.num_dispatchers = 3});
+  TenantSpec spec;
+  spec.session = LinearConfig(splits.test.dims());
+  spec.queue = {.max_batch_size = 4, .max_queue_delay_us = 200};
+  for (const std::string& key : keys) {
+    ASSERT_TRUE(fleet.AddTenant(key, spec).ok());
+  }
+  // Freshly initialized models differ per instance, so references are
+  // per-tenant: [tenant][row].
+  std::vector<std::vector<Tensor>> reference(keys.size());
+  for (size_t k = 0; k < keys.size(); ++k) {
+    for (int64_t r = 0; r < 4; ++r) {
+      reference[k].push_back(
+          fleet.session(keys[k])->Predict(splits.test.GetRange(r, 1)).point);
+    }
+  }
+
+  const int64_t kClients = 6;
+  const int64_t kPerClient = 8;
+  std::vector<std::thread> clients;
+  for (int64_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::vector<
+          std::tuple<size_t, int64_t, std::future<Result<Forecast>>>>
+          futures;
+      for (int64_t r = 0; r < kPerClient; ++r) {
+        const size_t tenant = static_cast<size_t>(c + r) % keys.size();
+        const int64_t row = (c + r) % 4;
+        futures.emplace_back(
+            tenant, row,
+            fleet.Submit(keys[tenant], splits.test.GetRange(row, 1)));
+      }
+      for (auto& [tenant, row, future] : futures) {
+        Result<Forecast> result = future.get();
+        ASSERT_TRUE(result.ok()) << result.status().message();
+        ExpectTensorsBitwiseEqual(
+            result.value().point, reference[tenant][row],
+            "concurrent fleet " + keys[tenant] + " row " +
+                std::to_string(row));
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  fleet.Shutdown();
+}
+
+// -- Load generator ---------------------------------------------------------
+
+TEST(LoadgenTest, OpenLoopReportTalliesAddUp) {
+  data::DatasetSplits splits = data::MakeSplits(TestSeries(), TestWindow());
+  FleetServer fleet({.num_dispatchers = 2});
+  TenantSpec spec;
+  spec.session = LinearConfig(splits.test.dims());
+  spec.queue = {.max_batch_size = 8, .max_queue_delay_us = 200};
+  ASSERT_TRUE(fleet.AddTenant("linear-a@8", spec).ok());
+  ASSERT_TRUE(fleet.AddTenant("linear-b@8", spec).ok());
+
+  std::vector<TenantLoad> mix;
+  mix.push_back({"linear-a@8", splits.test.GetRange(0, 1), 2.0});
+  mix.push_back({"linear-b@8", splits.test.GetRange(1, 1), 1.0});
+  LoadgenOptions options;
+  options.offered_rps = 200.0;
+  options.duration_seconds = 0.25;
+  options.num_clients = 2;
+  options.think_scale_us = 50.0;  // Exercise the heavy-tail path too.
+  options.seed = 7;
+  const LoadReport report = RunOpenLoop(fleet, mix, options);
+
+  EXPECT_GE(report.wall_seconds, options.duration_seconds * 0.9);
+  ASSERT_EQ(report.tenants.size(), 2u);
+  int64_t issued = 0;
+  for (const TenantLoadStats& tenant : report.tenants) {
+    EXPECT_EQ(tenant.issued,
+              tenant.ok + tenant.rejected + tenant.shed + tenant.failed)
+        << tenant.key;
+    issued += tenant.issued;
+  }
+  EXPECT_GT(issued, 0);
+  EXPECT_GT(report.goodput_rps, 0.0);
+  EXPECT_GT(report.achieved_rps, 0.0);
+  // The 2:1 mix should actually skew traffic toward tenant a.
+  EXPECT_GT(report.tenants[0].issued, report.tenants[1].issued);
+  // A gentle load against a fast linear model delivers everything.
+  for (const TenantLoadStats& tenant : report.tenants) {
+    EXPECT_EQ(tenant.ok, tenant.issued) << tenant.key;
+    EXPECT_GT(tenant.p50_ms, 0.0) << tenant.key;
+    EXPECT_LE(tenant.p50_ms, tenant.p99_ms) << tenant.key;
+  }
+
+  // Empty/invalid option sets degrade to an empty report, not UB.
+  EXPECT_EQ(RunOpenLoop(fleet, {}, options).tenants.size(), 0u);
+  LoadgenOptions zero = options;
+  zero.offered_rps = 0.0;
+  EXPECT_EQ(RunOpenLoop(fleet, mix, zero).achieved_rps, 0.0);
+}
+
+}  // namespace
+}  // namespace conformer::serve
