@@ -94,6 +94,19 @@ void BenchAtThreadCount(int64_t threads, std::vector<Result>* results) {
   }
 
   {
+    // The TimesNet-lite grid shape: [B, M, cycles, period] with a 3x3 kernel.
+    Tensor input = Tensor::Randn({4, 32, 8, 24}, &rng);
+    Tensor weight = Tensor::Randn({32, 32, 3, 3}, &rng);
+    Tensor bias = Tensor::Randn({32}, &rng);
+    results->push_back({"conv2d_4x32x8x24", threads, MeasureOpsPerSec([&] {
+                          Tensor out = Conv2d(input, weight, bias,
+                                              /*padding_h=*/1,
+                                              /*padding_w=*/1);
+                          (void)out;
+                        })});
+  }
+
+  {
     attention::AttentionConfig config;
     config.window = 8;
     auto mech = attention::MakeAttention(

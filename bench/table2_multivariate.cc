@@ -1,6 +1,6 @@
 // Reproduces Table II: multivariate LTTF comparison of Conformer against
-// Longformer / Autoformer / Informer / Reformer / LSTNet / GRU / N-Beats on
-// all seven datasets across the horizon grid.
+// Longformer / Autoformer / Informer / Reformer / LSTNet / GRU / N-Beats /
+// TimesNet-lite on all seven datasets across the horizon grid.
 //
 // Paper-observed shape: Conformer has the best (or 2nd best) MSE on nearly
 // every (dataset, horizon) cell; Transformer baselines beat RNN baselines;
@@ -14,8 +14,8 @@ namespace {
 int Run() {
   const BenchScale scale = GetBenchScale();
   const std::vector<std::string> kModels = {
-      "conformer", "longformer", "autoformer", "informer",
-      "reformer",  "lstnet",     "gru",        "nbeats"};
+      "conformer", "longformer", "autoformer", "informer", "reformer",
+      "lstnet",    "gru",        "nbeats",     "timesnet"};
 
   ResultTable table("Table II: multivariate LTTF (MSE / MAE, * = best)");
   for (const std::string& dataset : data::AvailableDatasets()) {

@@ -7,6 +7,7 @@
 #include "baselines/lstnet.h"
 #include "baselines/naive.h"
 #include "baselines/nbeats.h"
+#include "baselines/timesnet_lite.h"
 #include "baselines/transformer_forecaster.h"
 #include "baselines/ts2vec.h"
 #include "core/conformer_model.h"
@@ -18,7 +19,8 @@ std::vector<std::string> AvailableModels() {
   return {"conformer", "longformer", "autoformer", "informer",
           "reformer",  "logtrans",   "transformer", "gru",
           "lstm",      "lstnet",     "nbeats",      "ts2vec",
-          "deepar",    "linear",     "naive",       "seasonal_naive"};
+          "deepar",    "timesnet",   "linear",      "naive",
+          "seasonal_naive"};
 }
 
 Result<std::unique_ptr<Forecaster>> MakeForecaster(
@@ -95,6 +97,10 @@ Result<std::unique_ptr<Forecaster>> MakeForecaster(
   if (key == "ts2vec") {
     return std::unique_ptr<Forecaster>(
         std::make_unique<Ts2Vec>(window, dims, params.hidden));
+  }
+  if (key == "timesnet") {
+    return std::unique_ptr<Forecaster>(std::make_unique<TimesNetLite>(
+        window, dims, params.d_model, /*top_k=*/3));
   }
 
   return Status::NotFound("unknown model '" + name + "'");

@@ -31,7 +31,7 @@ std::vector<std::string> AvailableModels();
 
 /// Builds a model by name: "conformer", "longformer", "autoformer",
 /// "informer", "reformer", "logtrans", "transformer", "gru", "lstnet",
-/// "nbeats", "ts2vec".
+/// "nbeats", "ts2vec", "timesnet".
 Result<std::unique_ptr<Forecaster>> MakeForecaster(
     const std::string& name, data::WindowConfig window, int64_t dims,
     const ModelHyperParams& params = {});

@@ -126,13 +126,46 @@ std::vector<int64_t> TopKLags(const std::vector<double>& correlation, int64_t k)
   const int64_t n = static_cast<int64_t>(correlation.size());
   std::vector<int64_t> lags;
   for (int64_t i = 1; i < n; ++i) lags.push_back(i);
-  k = std::min<int64_t>(k, static_cast<int64_t>(lags.size()));
+  k = std::clamp<int64_t>(k, 0, static_cast<int64_t>(lags.size()));
+  // Equal correlations break toward the lower lag: partial_sort's order
+  // among tied elements is otherwise implementation-defined, and downstream
+  // consumers (lag selection, period dedup) rely on a stable answer.
   std::partial_sort(lags.begin(), lags.begin() + k, lags.end(),
                     [&](int64_t x, int64_t y) {
-                      return correlation[x] > correlation[y];
+                      if (correlation[x] != correlation[y]) {
+                        return correlation[x] > correlation[y];
+                      }
+                      return x < y;
                     });
   lags.resize(k);
   return lags;
+}
+
+std::vector<PeriodCandidate> TopKPeriods(const std::vector<double>& amplitude,
+                                         int64_t length, int64_t k) {
+  CONFORMER_CHECK_GT(length, 0);
+  // Usable bins: [1, Nyquist]. Bin 0 (DC) carries the mean, not a period;
+  // bins past length/2 mirror the lower half for real input.
+  const int64_t max_freq = std::min<int64_t>(
+      static_cast<int64_t>(amplitude.size()) - 1, length / 2);
+  std::vector<int64_t> freqs;
+  for (int64_t f = 1; f <= max_freq; ++f) freqs.push_back(f);
+  std::sort(freqs.begin(), freqs.end(), [&](int64_t x, int64_t y) {
+    if (amplitude[x] != amplitude[y]) return amplitude[x] > amplitude[y];
+    return x < y;  // Tie: prefer the lower frequency (longer period).
+  });
+  std::vector<PeriodCandidate> out;
+  std::vector<bool> seen(length + 1, false);
+  for (int64_t f : freqs) {
+    if (static_cast<int64_t>(out.size()) >= std::max<int64_t>(k, 0)) break;
+    const int64_t period = length / f;
+    // Integer rounding maps several high bins to the same period; keep the
+    // strongest (first in amplitude order).
+    if (seen[period]) continue;
+    seen[period] = true;
+    out.push_back({f, period});
+  }
+  return out;
 }
 
 }  // namespace conformer::fft

@@ -37,8 +37,28 @@ std::vector<double> CrossCorrelation(const std::vector<double>& a,
                                      const std::vector<double>& b);
 
 /// Lags of the `k` largest auto-correlation values (lag 0 excluded) —
-/// the period candidates used by the Autoformer-style baseline.
+/// the period candidates used by the Autoformer-style baseline. `k` is
+/// clamped into [0, n-1]; ties are deterministic (equal correlation →
+/// lower lag wins), so the result is a pure function of `correlation`
+/// independent of the sort implementation.
 std::vector<int64_t> TopKLags(const std::vector<double>& correlation, int64_t k);
+
+/// One dominant-period candidate from a real-FFT amplitude spectrum.
+struct PeriodCandidate {
+  int64_t frequency;  ///< DFT bin index (cycles over the window), >= 1.
+  int64_t period;     ///< length / frequency (integer division), >= 2.
+};
+
+/// The `k` dominant periods of a length-`length` series given its per-bin
+/// spectrum `amplitude` (amplitude[f] = |X[f]|; any size up to `length` —
+/// bins past Nyquist are ignored since they mirror). The TimesNet-lite
+/// `FFT_for_Period` recipe with its implicit assumptions made explicit:
+/// the DC bin is excluded, amplitude ties break toward the lower frequency
+/// (the longer period), periods that collide after the `length / frequency`
+/// rounding are deduplicated (keeping the higher-amplitude bin), and `k` is
+/// clamped to the number of distinct candidates.
+std::vector<PeriodCandidate> TopKPeriods(const std::vector<double>& amplitude,
+                                         int64_t length, int64_t k);
 
 }  // namespace conformer::fft
 

@@ -8,12 +8,13 @@ namespace conformer::nn {
 
 Conv1dLayer::Conv1dLayer(int64_t in_channels, int64_t out_channels,
                          int64_t kernel, int64_t padding, PadMode mode,
-                         bool bias, int64_t dilation)
+                         bool bias, int64_t dilation, int64_t stride)
     : in_channels_(in_channels),
       out_channels_(out_channels),
       padding_(padding),
       mode_(mode),
-      dilation_(dilation) {
+      dilation_(dilation),
+      stride_(stride) {
   const int64_t fan_in = in_channels * kernel;
   weight_ = RegisterParameter(
       "weight", KaimingUniform({out_channels, in_channels, kernel}, fan_in));
@@ -24,7 +25,7 @@ Conv1dLayer::Conv1dLayer(int64_t in_channels, int64_t out_channels,
 }
 
 Tensor Conv1dLayer::Forward(const Tensor& x) const {
-  return Conv1d(x, weight_, bias_, padding_, mode_, dilation_);
+  return Conv1d(x, weight_, bias_, padding_, mode_, dilation_, stride_);
 }
 
 }  // namespace conformer::nn

@@ -16,7 +16,7 @@ class Conv1dLayer : public Module {
  public:
   Conv1dLayer(int64_t in_channels, int64_t out_channels, int64_t kernel,
               int64_t padding, PadMode mode = PadMode::kZeros,
-              bool bias = true, int64_t dilation = 1);
+              bool bias = true, int64_t dilation = 1, int64_t stride = 1);
 
   Tensor Forward(const Tensor& x) const;
 
@@ -29,6 +29,7 @@ class Conv1dLayer : public Module {
   int64_t padding_;
   PadMode mode_;
   int64_t dilation_;
+  int64_t stride_;
   Tensor weight_;  // [Cout, Cin, K]
   Tensor bias_;    // [Cout] or undefined
 };

@@ -1,0 +1,29 @@
+#include "nn/conv2d.h"
+
+#include <cmath>
+
+#include "nn/init.h"
+
+namespace conformer::nn {
+
+Conv2dLayer::Conv2dLayer(int64_t in_channels, int64_t out_channels,
+                         int64_t kernel_h, int64_t kernel_w, int64_t padding,
+                         bool bias)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      padding_(padding) {
+  const int64_t fan_in = in_channels * kernel_h * kernel_w;
+  weight_ = RegisterParameter(
+      "weight",
+      KaimingUniform({out_channels, in_channels, kernel_h, kernel_w}, fan_in));
+  if (bias) {
+    const float bound = 1.0f / std::sqrt(static_cast<float>(fan_in));
+    bias_ = RegisterParameter("bias", UniformInit({out_channels}, bound));
+  }
+}
+
+Tensor Conv2dLayer::Forward(const Tensor& x) const {
+  return Conv2d(x, weight_, bias_, padding_, padding_);
+}
+
+}  // namespace conformer::nn

@@ -1,0 +1,35 @@
+// 2-D convolution layer.
+
+#ifndef CONFORMER_NN_CONV2D_H_
+#define CONFORMER_NN_CONV2D_H_
+
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace conformer::nn {
+
+/// \brief Conv over a 2-D grid: input [B, Cin, H, W] -> [B, Cout, H', W'].
+///
+/// Used by the TimesNet-lite baseline's (cycles x period) grids; symmetric
+/// zero padding keeps H' = H and W' = W at padding = (kernel - 1) / 2.
+class Conv2dLayer : public Module {
+ public:
+  Conv2dLayer(int64_t in_channels, int64_t out_channels, int64_t kernel_h,
+              int64_t kernel_w, int64_t padding, bool bias = true);
+
+  Tensor Forward(const Tensor& x) const;
+
+  int64_t in_channels() const { return in_channels_; }
+  int64_t out_channels() const { return out_channels_; }
+
+ private:
+  int64_t in_channels_;
+  int64_t out_channels_;
+  int64_t padding_;
+  Tensor weight_;  // [Cout, Cin, Kh, Kw]
+  Tensor bias_;    // [Cout] or undefined
+};
+
+}  // namespace conformer::nn
+
+#endif  // CONFORMER_NN_CONV2D_H_

@@ -132,11 +132,20 @@ Tensor BatchedIndexSelect(const Tensor& a, const std::vector<int64_t>& indices,
 enum class PadMode { kZeros, kCircular, kReplicate };
 
 /// 1-D convolution. input [B, Cin, L], weight [Cout, Cin, K], optional bias
-/// [Cout]; stride 1; `padding` added on both sides with `mode`;
-/// `dilation` spaces the kernel taps (effective kernel (K-1)*dilation + 1).
+/// [Cout]; `padding` added on both sides with `mode`; `dilation` spaces the
+/// kernel taps (effective kernel span = (K-1)*dilation + 1); `stride` steps
+/// the window, out_len = (padded_len - span) / stride + 1. Circular padding
+/// folds whole-tile repeats, so any padding width is legal.
 Tensor Conv1d(const Tensor& input, const Tensor& weight, const Tensor& bias,
               int64_t padding, PadMode mode = PadMode::kZeros,
-              int64_t dilation = 1);
+              int64_t dilation = 1, int64_t stride = 1);
+/// 2-D convolution over [B, Cin, H, W] with weight [Cout, Cin, Kh, Kw] and
+/// optional bias [Cout]; symmetric zero padding per axis, unit stride.
+/// Composed from differentiable capture-instrumented primitives (im2col
+/// slices + MatMul), so autograd, static-plan capture, and the threading /
+/// SIMD determinism contracts are inherited rather than re-implemented.
+Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
+              int64_t padding_h, int64_t padding_w);
 /// 1-D average pooling over the last dim: input [..., L], window `kernel`,
 /// given stride. No implicit padding (compose with Pad/ReplicatePad).
 Tensor AvgPool1d(const Tensor& input, int64_t kernel, int64_t stride);

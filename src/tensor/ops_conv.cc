@@ -20,10 +20,24 @@ Tensor PadInput(const Tensor& input, int64_t padding, PadMode mode) {
       return ReplicatePad(input, /*dim=*/2, padding, padding);
     case PadMode::kCircular: {
       const int64_t length = input.size(2);
-      CONFORMER_CHECK_LE(padding, length) << "circular pad wider than input";
-      Tensor head = Slice(input, 2, length - padding, length);
-      Tensor tail = Slice(input, 2, 0, padding);
-      return Concat({head, input, tail}, 2);
+      if (padding <= length) {
+        Tensor head = Slice(input, 2, length - padding, length);
+        Tensor tail = Slice(input, 2, 0, padding);
+        return Concat({head, input, tail}, 2);
+      }
+      // Pad wider than the input: the periodic extension is whole-tile
+      // repeats plus a remainder slice on each side — any width is legal,
+      // where this used to CHECK-abort (reachable from model config).
+      const int64_t reps = padding / length;
+      const int64_t rem = padding % length;
+      Tensor tiles = Tile(input, {1, 1, reps});
+      std::vector<Tensor> parts;
+      if (rem > 0) parts.push_back(Slice(input, 2, length - rem, length));
+      parts.push_back(tiles);
+      parts.push_back(input);
+      parts.push_back(tiles);
+      if (rem > 0) parts.push_back(Slice(input, 2, 0, rem));
+      return Concat(parts, 2);
     }
   }
   CONFORMER_CHECK(false) << "unreachable";
@@ -33,12 +47,14 @@ Tensor PadInput(const Tensor& input, int64_t padding, PadMode mode) {
 }  // namespace
 
 Tensor Conv1d(const Tensor& input, const Tensor& weight, const Tensor& bias,
-              int64_t padding, PadMode mode, int64_t dilation) {
+              int64_t padding, PadMode mode, int64_t dilation,
+              int64_t stride) {
   CONFORMER_PROFILE_SCOPE("conv1d");
   CONFORMER_CHECK(input.defined() && weight.defined());
   CONFORMER_CHECK_EQ(input.dim(), 3) << "Conv1d input must be [B, Cin, L]";
   CONFORMER_CHECK_EQ(weight.dim(), 3) << "Conv1d weight must be [Cout, Cin, K]";
   CONFORMER_CHECK_GE(dilation, 1);
+  CONFORMER_CHECK_GE(stride, 1);
   const int64_t cin = input.size(1);
   CONFORMER_CHECK_EQ(weight.size(1), cin) << "Conv1d channel mismatch";
 
@@ -48,7 +64,7 @@ Tensor Conv1d(const Tensor& input, const Tensor& weight, const Tensor& bias,
   const int64_t cout = weight.size(0);
   const int64_t kernel = weight.size(2);
   const int64_t span = (kernel - 1) * dilation + 1;  // effective kernel
-  const int64_t out_len = length - span + 1;
+  const int64_t out_len = (length - span) / stride + 1;
   CONFORMER_CHECK_GT(out_len, 0) << "Conv1d kernel longer than padded input";
 
   // im2col: columns [B, out_len, Cin*K]; then out = columns x W^T.
@@ -56,8 +72,11 @@ Tensor Conv1d(const Tensor& input, const Tensor& weight, const Tensor& bias,
   std::vector<Tensor> taps;
   taps.reserve(kernel);
   for (int64_t k = 0; k < kernel; ++k) {
-    // [B, Cin, out_len] window starting at dilated offset k.
-    taps.push_back(Slice(padded, 2, k * dilation, k * dilation + out_len));
+    // [B, Cin, out_len] strided window starting at dilated offset k. At
+    // stride 1 this is the same [k*d, k*d + out_len) slice as before, so
+    // existing call sites stay bitwise unchanged.
+    taps.push_back(Slice(padded, 2, k * dilation,
+                         k * dilation + (out_len - 1) * stride + 1, stride));
   }
   // [B, Cin, K, out_len] -> [B, out_len, Cin, K] -> [B, out_len, Cin*K]
   Tensor stacked = StackTensors(taps, /*dim=*/2);
@@ -71,6 +90,60 @@ Tensor Conv1d(const Tensor& input, const Tensor& weight, const Tensor& bias,
     out = Add(out, Reshape(bias, {1, 1, cout}));
   }
   return Permute(out, {0, 2, 1});  // [B, Cout, out_len]
+}
+
+Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
+              int64_t padding_h, int64_t padding_w) {
+  CONFORMER_PROFILE_SCOPE("conv2d");
+  CONFORMER_CHECK(input.defined() && weight.defined());
+  CONFORMER_CHECK_EQ(input.dim(), 4) << "Conv2d input must be [B, Cin, H, W]";
+  CONFORMER_CHECK_EQ(weight.dim(), 4)
+      << "Conv2d weight must be [Cout, Cin, Kh, Kw]";
+  CONFORMER_CHECK_GE(padding_h, 0);
+  CONFORMER_CHECK_GE(padding_w, 0);
+  const int64_t cin = input.size(1);
+  CONFORMER_CHECK_EQ(weight.size(1), cin) << "Conv2d channel mismatch";
+
+  Tensor padded = input;
+  if (padding_h > 0) padded = Pad(padded, /*dim=*/2, padding_h, padding_h);
+  if (padding_w > 0) padded = Pad(padded, /*dim=*/3, padding_w, padding_w);
+  const int64_t batch = padded.size(0);
+  const int64_t height = padded.size(2);
+  const int64_t width = padded.size(3);
+  const int64_t cout = weight.size(0);
+  const int64_t kh = weight.size(2);
+  const int64_t kw = weight.size(3);
+  const int64_t out_h = height - kh + 1;
+  const int64_t out_w = width - kw + 1;
+  CONFORMER_CHECK(out_h > 0 && out_w > 0)
+      << "Conv2d kernel larger than padded input";
+
+  // im2col from differentiable primitives, exactly like Conv1d: one tap per
+  // (i, j) kernel offset, stacked in the weight's (Cin, Kh, Kw) memory
+  // order so a single MatMul against the reshaped weight applies the whole
+  // kernel. Autograd, capture instrumentation, and the ParallelFor / SIMD
+  // determinism contracts are all inherited from the primitives.
+  std::vector<Tensor> taps;
+  taps.reserve(kh * kw);
+  for (int64_t i = 0; i < kh; ++i) {
+    for (int64_t j = 0; j < kw; ++j) {
+      // [B, Cin, out_h, out_w] window at offset (i, j).
+      taps.push_back(
+          Slice(Slice(padded, 2, i, i + out_h), 3, j, j + out_w));
+    }
+  }
+  // [B, Cin, Kh*Kw, out_h, out_w] -> [B, out_h, out_w, Cin, Kh*Kw]
+  Tensor stacked = StackTensors(taps, /*dim=*/2);
+  Tensor columns = Reshape(Permute(stacked, {0, 3, 4, 1, 2}),
+                           {batch, out_h * out_w, cin * kh * kw});
+  // weight [Cout, Cin, Kh, Kw] -> [Cin*Kh*Kw, Cout]
+  Tensor wmat = Transpose(Reshape(weight, {cout, cin * kh * kw}), 0, 1);
+  Tensor out = MatMul(columns, wmat);  // [B, out_h*out_w, Cout]
+  if (bias.defined()) {
+    CONFORMER_CHECK_EQ(bias.numel(), cout);
+    out = Add(out, Reshape(bias, {1, 1, cout}));
+  }
+  return Permute(Reshape(out, {batch, out_h, out_w, cout}), {0, 3, 1, 2});
 }
 
 Tensor AvgPool1d(const Tensor& input, int64_t kernel, int64_t stride) {

@@ -340,6 +340,55 @@ TEST(GradCheckTest, DilatedConv) {
       {Leaf({1, 2, 7}, 72), Leaf({2, 2, 3}, 73)});
 }
 
+TEST(GradCheckTest, StridedConv) {
+  ExpectGradOk(
+      [](const Inputs& in) {
+        Tensor y = Conv1d(in[0], in[1], in[2], 1, PadMode::kZeros,
+                          /*dilation=*/1, /*stride=*/2);
+        return Sum(Mul(y, y));
+      },
+      {Leaf({2, 2, 9}, 80), Leaf({3, 2, 3}, 81), Leaf({3}, 82)});
+}
+
+TEST(GradCheckTest, StridedDilatedConv) {
+  ExpectGradOk(
+      [](const Inputs& in) {
+        Tensor y = Conv1d(in[0], in[1], Tensor(), 2, PadMode::kReplicate,
+                          /*dilation=*/2, /*stride=*/3);
+        return Sum(Mul(y, y));
+      },
+      {Leaf({1, 2, 10}, 83), Leaf({2, 2, 3}, 84)});
+}
+
+TEST(GradCheckTest, CircularPadWiderThanInput) {
+  // padding (4) > length (3): the folded tile path must stay differentiable
+  // (it used to CHECK-abort before the fold).
+  ExpectGradOk(
+      [](const Inputs& in) {
+        Tensor y = Conv1d(in[0], in[1], Tensor(), 4, PadMode::kCircular);
+        return Sum(Mul(y, y));
+      },
+      {Leaf({1, 2, 3}, 85), Leaf({2, 2, 3}, 86)});
+}
+
+TEST(GradCheckTest, Conv2dZeroPad) {
+  ExpectGradOk(
+      [](const Inputs& in) {
+        Tensor y = Conv2d(in[0], in[1], in[2], 1, 1);
+        return Sum(Mul(y, y));
+      },
+      {Leaf({1, 2, 3, 3}, 87), Leaf({2, 2, 3, 3}, 88), Leaf({2}, 89)});
+}
+
+TEST(GradCheckTest, Conv2dValid) {
+  ExpectGradOk(
+      [](const Inputs& in) {
+        Tensor y = Conv2d(in[0], in[1], Tensor(), 0, 0);
+        return Sum(Mul(y, y));
+      },
+      {Leaf({1, 3, 5, 4}, 90), Leaf({2, 3, 2, 3}, 91)});
+}
+
 TEST(GradCheckTest, AvgPool) {
   ExpectGradOk(
       [](const Inputs& in) {

@@ -11,6 +11,7 @@
 #include "baselines/naive.h"
 #include "baselines/nbeats.h"
 #include "baselines/registry.h"
+#include "baselines/timesnet_lite.h"
 #include "baselines/transformer_forecaster.h"
 #include "baselines/ts2vec.h"
 #include "data/dataset_registry.h"
@@ -329,6 +330,42 @@ TEST(ForecasterTest, ZeroLabelLengthWorks) {
     EXPECT_EQ(pred.shape(), (Shape{2, 8, ts.dims()})) << name;
     EXPECT_TRUE(std::isfinite(model.value()->Loss(batch).item())) << name;
   }
+}
+
+TEST(TimesNetLiteTest, SelectsDominantPeriodFromCleanSinusoid) {
+  // A pure 3-cycles-per-window sinusoid: bin 3 dominates, period = 24/3 = 8.
+  data::WindowConfig cfg{.input_len = 24, .label_len = 8, .pred_len = 8};
+  TimesNetLite model(cfg, /*dims=*/1, /*d_model=*/8, /*top_k=*/2);
+  std::vector<float> vals(24);
+  for (int64_t t = 0; t < 24; ++t) {
+    vals[t] = std::sin(2.0 * M_PI * 3.0 * t / 24.0);
+  }
+  Tensor row = Tensor::FromVector(std::move(vals), {1, 24, 1});
+  const std::vector<fft::PeriodCandidate> periods = model.SelectPeriods(row);
+  ASSERT_FALSE(periods.empty());
+  EXPECT_EQ(periods[0].frequency, 3);
+  EXPECT_EQ(periods[0].period, 8);
+}
+
+TEST(TimesNetLiteTest, RaggedPeriodStillMatchesShapeContract) {
+  // input_len = 16 with a 3-cycle sinusoid selects period 16/3 = 5, which
+  // does not divide the window: the ragged-tail zero-pad path must still
+  // produce the contract shape.
+  data::WindowConfig cfg{.input_len = 16, .label_len = 8, .pred_len = 8};
+  TimesNetLite model(cfg, /*dims=*/2, /*d_model=*/8, /*top_k=*/1);
+  std::vector<float> vals(16 * 2);
+  for (int64_t t = 0; t < 16; ++t) {
+    const float v = static_cast<float>(std::sin(2.0 * M_PI * 3.0 * t / 16.0));
+    vals[t * 2] = v;
+    vals[t * 2 + 1] = v;
+  }
+  Tensor x = Tensor::FromVector(std::move(vals), {1, 16, 2});
+  const std::vector<fft::PeriodCandidate> periods = model.SelectPeriods(x);
+  ASSERT_FALSE(periods.empty());
+  EXPECT_EQ(periods[0].period, 5);  // 16 / 3, the ragged case.
+  data::Batch batch;
+  batch.x = x;
+  EXPECT_EQ(model.Forward(batch).shape(), (Shape{1, 8, 2}));
 }
 
 TEST(ForecasterTest, TargetBlockIsSuffix) {

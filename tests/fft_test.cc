@@ -396,6 +396,84 @@ TEST(AutoCorrTest, TopKLagsExcludesZeroAndSorts) {
   EXPECT_EQ(all.size(), 4u);
 }
 
+TEST(AutoCorrTest, TopKLagsTiesBreakTowardLowerLag) {
+  // All four lags tie: the contract pins the order to ascending lag. The
+  // pre-fix comparator left tied order to partial_sort's heap internals,
+  // which returns {2, 4, 1, 3} for this input on libstdc++.
+  std::vector<double> corr = {0.0, 5.0, 5.0, 5.0, 5.0};
+  EXPECT_EQ(TopKLags(corr, 4), (std::vector<int64_t>{1, 2, 3, 4}));
+  // A tie below the top: lags 2 and 4 share 7.0, lower lag first.
+  std::vector<double> partial = {100.0, 1.0, 7.0, 3.0, 7.0, 9.0};
+  EXPECT_EQ(TopKLags(partial, 3), (std::vector<int64_t>{5, 2, 4}));
+}
+
+TEST(AutoCorrTest, TopKLagsClampsOutOfRangeK) {
+  std::vector<double> corr = {3.0, 2.0, 1.0};
+  // Negative k was undefined behaviour (partial_sort past begin) pre-fix.
+  EXPECT_TRUE(TopKLags(corr, -1).empty());
+  EXPECT_TRUE(TopKLags(corr, 0).empty());
+  EXPECT_EQ(TopKLags(corr, 99), (std::vector<int64_t>{1, 2}));
+  EXPECT_TRUE(TopKLags({42.0}, 3).empty());  // No usable lag at n=1.
+}
+
+// -- top-k period selection (TimesNet-lite FFT_for_Period audit) -----------
+
+TEST(TopKPeriodsTest, ExcludesDcAndRanksByAmplitude) {
+  // Length 24; bins 1..12 usable. DC dominates but must be excluded.
+  std::vector<double> amp(13, 0.0);
+  amp[0] = 1e6;
+  amp[3] = 9.0;   // period 8
+  amp[1] = 7.0;   // period 24
+  amp[12] = 5.0;  // period 2
+  auto periods = TopKPeriods(amp, 24, 3);
+  ASSERT_EQ(periods.size(), 3u);
+  EXPECT_EQ(periods[0].frequency, 3);
+  EXPECT_EQ(periods[0].period, 8);
+  EXPECT_EQ(periods[1].frequency, 1);
+  EXPECT_EQ(periods[1].period, 24);
+  EXPECT_EQ(periods[2].frequency, 12);
+  EXPECT_EQ(periods[2].period, 2);
+}
+
+TEST(TopKPeriodsTest, DedupesPeriodsCollidingAfterRounding) {
+  // Length 16: frequencies 6, 7, 8 all round to period 2 (16/6 = 2, 16/7 =
+  // 2, 16/8 = 2). Only the strongest survives; the next distinct period
+  // fills the remaining slot.
+  std::vector<double> amp(9, 0.0);
+  amp[6] = 9.0;
+  amp[7] = 8.0;
+  amp[8] = 7.0;
+  amp[5] = 1.0;  // period 3
+  auto periods = TopKPeriods(amp, 16, 2);
+  ASSERT_EQ(periods.size(), 2u);
+  EXPECT_EQ(periods[0].frequency, 6);
+  EXPECT_EQ(periods[0].period, 2);
+  EXPECT_EQ(periods[1].frequency, 5);
+  EXPECT_EQ(periods[1].period, 3);
+}
+
+TEST(TopKPeriodsTest, TiesPreferLowerFrequencyAndKClamps) {
+  std::vector<double> amp = {0.0, 4.0, 4.0, 4.0};
+  auto periods = TopKPeriods(amp, 8, 99);  // k clamped to the candidates
+  ASSERT_EQ(periods.size(), 3u);
+  EXPECT_EQ(periods[0].frequency, 1);  // Tie: longer period wins.
+  EXPECT_EQ(periods[0].period, 8);
+  EXPECT_EQ(periods[1].period, 4);
+  EXPECT_EQ(periods[2].period, 2);
+  EXPECT_TRUE(TopKPeriods(amp, 8, 0).empty());
+  EXPECT_TRUE(TopKPeriods(amp, 8, -2).empty());
+  EXPECT_TRUE(TopKPeriods({1.0}, 1, 3).empty());  // DC only.
+  // Bins past Nyquist mirror the lower half and are ignored: bin 7 at
+  // length 8 must never outrank the in-range bins despite its amplitude.
+  std::vector<double> long_amp(8, 0.0);
+  long_amp[7] = 100.0;  // Mirrors bin 1 — not a candidate.
+  long_amp[2] = 1.0;
+  auto nyq = TopKPeriods(long_amp, 8, 8);
+  ASSERT_FALSE(nyq.empty());
+  EXPECT_EQ(nyq[0].frequency, 2);
+  for (const auto& c : nyq) EXPECT_LE(c.frequency, 4);
+}
+
 // -- batched auto-correlation (threaded; tsan-labeled suite) ----------------
 
 TEST(AutoCorrBatchTest, MatchesPerRowAutoCorrelationBitwise) {

@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "nn/conv1d.h"
+#include "nn/conv2d.h"
 #include "nn/dropout.h"
 #include "nn/embedding.h"
 #include "nn/gru.h"
@@ -106,6 +107,41 @@ TEST(Conv1dLayerTest, SamePaddingKeepsLength) {
 TEST(Conv1dLayerTest, ValidPaddingShrinks) {
   Conv1dLayer conv(1, 1, 4, 0);
   EXPECT_EQ(conv.Forward(Tensor::Randn({1, 1, 10})).shape(), (Shape{1, 1, 7}));
+}
+
+TEST(Conv1dLayerTest, StrideDownsamples) {
+  // out_len = (10 + 2*1 - 3) / 2 + 1 = 5.
+  Conv1dLayer conv(2, 4, 3, 1, PadMode::kZeros, true, /*dilation=*/1,
+                   /*stride=*/2);
+  EXPECT_EQ(conv.Forward(Tensor::Randn({3, 2, 10})).shape(), (Shape{3, 4, 5}));
+}
+
+// -- Conv2dLayer ------------------------------------------------------------
+
+TEST(Conv2dLayerTest, SamePaddingKeepsGridShape) {
+  Conv2dLayer conv(2, 5, 3, 3, /*padding=*/1);
+  EXPECT_EQ(conv.Forward(Tensor::Randn({2, 2, 6, 4})).shape(),
+            (Shape{2, 5, 6, 4}));
+}
+
+TEST(Conv2dLayerTest, ValidPaddingShrinksBothAxes) {
+  Conv2dLayer conv(3, 1, 3, 2, /*padding=*/0, /*bias=*/false);
+  EXPECT_EQ(conv.Forward(Tensor::Randn({1, 3, 7, 5})).shape(),
+            (Shape{1, 1, 5, 4}));
+  EXPECT_EQ(conv.Parameters().size(), 1u);  // No bias parameter.
+}
+
+TEST(Conv2dLayerTest, GradCheck) {
+  Conv2dLayer conv(2, 2, 3, 3, /*padding=*/1);
+  std::vector<Tensor> params = conv.Parameters();
+  GradCheckResult r = CheckGradients(
+      [&](const std::vector<Tensor>&) {
+        Tensor x = Tensor::Arange(24, -1.0f, 0.25f);
+        Tensor out = conv.Forward(Reshape(x, {1, 2, 4, 3}));
+        return Sum(Mul(out, out));
+      },
+      params);
+  EXPECT_TRUE(r.passed) << r.message;
 }
 
 // -- LayerNorm -----------------------------------------------------------------

@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "attention/attention.h"
+#include "baselines/timesnet_lite.h"
+#include "data/window_dataset.h"
 #include "tensor/gradcheck.h"
 #include "tensor/kernels.h"
 #include "tensor/ops.h"
@@ -341,6 +343,43 @@ TEST_F(ParallelTest, Conv1dForwardAndBackward) {
                         PadMode::kReplicate, /*dilation=*/2);
         },
         {{4, 3, 48}, {5, 3, 3}, {5}});
+  });
+}
+
+TEST_F(ParallelTest, StridedConv1dForwardAndBackward) {
+  ExpectBitwiseIdentical([] {
+    return ForwardBackward(
+        [](const Inputs& in) {
+          return Conv1d(in[0], in[1], in[2], /*padding=*/1, PadMode::kZeros,
+                        /*dilation=*/1, /*stride=*/3);
+        },
+        {{4, 3, 48}, {5, 3, 3}, {5}});
+  });
+}
+
+TEST_F(ParallelTest, Conv2dForwardAndBackward) {
+  ExpectBitwiseIdentical([] {
+    return ForwardBackward(
+        [](const Inputs& in) { return Conv2d(in[0], in[1], in[2], 1, 1); },
+        {{3, 4, 9, 7}, {6, 4, 3, 3}, {6}});
+  });
+}
+
+TEST_F(ParallelTest, TimesNetLitePeriodPathForwardAndBackward) {
+  // Whole period-adaptive path: FFT period selection, grid fold, 2-D convs,
+  // softmax recombine. Params are built once; only execution is re-run.
+  models::TimesNetLite model({.input_len = 24, .label_len = 8, .pred_len = 8},
+                             /*dims=*/3, /*d_model=*/8, /*top_k=*/3);
+  ExpectBitwiseIdentical([&] {
+    model.ZeroGrad();
+    data::Batch batch;
+    Rng rng(424);
+    batch.x = Tensor::Randn({2, 24, 3}, &rng);
+    Tensor out = model.Forward(batch);
+    Sum(Mul(out, out)).Backward();
+    std::vector<Tensor> results = {out};
+    for (Tensor& p : model.Parameters()) results.push_back(p.grad().Clone());
+    return results;
   });
 }
 

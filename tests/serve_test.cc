@@ -28,7 +28,7 @@ namespace conformer::serve {
 namespace {
 
 constexpr const char* kRoundTripModels[] = {"conformer", "gru", "linear",
-                                            "informer"};
+                                            "informer", "timesnet"};
 
 data::WindowConfig TestWindow() {
   return {.input_len = 24, .label_len = 8, .pred_len = 8};
@@ -265,22 +265,27 @@ TEST(InferenceSessionTest, ConformerQuantileBandOrdersAroundPoint) {
 
 TEST(InferenceSessionTest, BatchedPredictBitwiseEqualsSingles) {
   data::DatasetSplits splits = MakeTestSplits();
-  SessionConfig config;
-  config.model_name = "conformer";
-  config.window = TestWindow();
-  config.dims = splits.test.dims();
-  auto session = InferenceSession::Open(config, "");
-  ASSERT_TRUE(session.ok());
+  // "timesnet" exercises the per-series FFT period selection: its data-
+  // dependent host logic must still be a pure function of each row.
+  for (const char* name : {"conformer", "timesnet"}) {
+    SessionConfig config;
+    config.model_name = name;
+    config.window = TestWindow();
+    config.dims = splits.test.dims();
+    auto session = InferenceSession::Open(config, "");
+    ASSERT_TRUE(session.ok()) << name;
 
-  const int64_t kBatch = 4;
-  const data::Batch merged = splits.test.GetRange(0, kBatch);
-  const Tensor batched = session.value()->Predict(merged).point;
-  for (int64_t r = 0; r < kBatch; ++r) {
-    const Tensor single =
-        session.value()->Predict(splits.test.GetRange(r, 1)).point;
-    const Tensor row = Slice(batched, 0, r, r + 1);
-    ExpectTensorsBitwiseEqual(single, row,
-                              "row " + std::to_string(r) + " of micro-batch");
+    const int64_t kBatch = 4;
+    const data::Batch merged = splits.test.GetRange(0, kBatch);
+    const Tensor batched = session.value()->Predict(merged).point;
+    for (int64_t r = 0; r < kBatch; ++r) {
+      const Tensor single =
+          session.value()->Predict(splits.test.GetRange(r, 1)).point;
+      const Tensor row = Slice(batched, 0, r, r + 1);
+      ExpectTensorsBitwiseEqual(single, row,
+                                std::string(name) + " row " +
+                                    std::to_string(r) + " of micro-batch");
+    }
   }
 }
 

@@ -15,7 +15,9 @@
 #include <functional>
 #include <vector>
 
+#include "baselines/timesnet_lite.h"
 #include "core/series_decomposition.h"
+#include "data/window_dataset.h"
 #include "tensor/kernels.h"
 #include "tensor/ops.h"
 #include "tensor/vec/vec.h"
@@ -489,6 +491,55 @@ TEST_F(SimdTest, SeriesDecompositionAcrossLevels) {
         return Add(d.trend, MulScalar(d.seasonal, 0.5f));
       },
       {{2, 40, 3}}, "series-decomposition");
+}
+
+TEST_F(SimdTest, Conv2dGraphAcrossLevels) {
+  ExpectGraphIdenticalAcrossLevels(
+      [](const std::vector<Tensor>& in) {
+        return Conv2d(in[0], in[1], in[2], /*padding_h=*/1, /*padding_w=*/1);
+      },
+      {{2, 3, 6, 5}, {4, 3, 3, 3}, {4}}, "conv2d");
+}
+
+TEST_F(SimdTest, StridedConv1dGraphAcrossLevels) {
+  ExpectGraphIdenticalAcrossLevels(
+      [](const std::vector<Tensor>& in) {
+        return Conv1d(in[0], in[1], in[2], /*padding=*/1, PadMode::kZeros,
+                      /*dilation=*/1, /*stride=*/2);
+      },
+      {{2, 3, 33}, {4, 3, 3}, {4}}, "strided-conv1d");
+}
+
+TEST_F(SimdTest, TimesNetLiteForwardBackwardAcrossLevels) {
+  // The whole period-adaptive path (host FFT selection + grid convs) must
+  // produce identical forecasts and parameter gradients at every level.
+  models::TimesNetLite model({.input_len = 24, .label_len = 8, .pred_len = 8},
+                             /*dims=*/2, /*d_model=*/8, /*top_k=*/3);
+  auto run = [&] {
+    model.ZeroGrad();
+    data::Batch batch;
+    Rng rng(311);
+    batch.x = Tensor::Randn({2, 24, 2}, &rng);
+    Tensor out = model.Forward(batch);
+    Sum(Mul(out, out)).Backward();
+    std::vector<Tensor> results = {out};
+    for (Tensor& p : model.Parameters()) results.push_back(p.grad().Clone());
+    return results;
+  };
+  ASSERT_TRUE(vec::SetSimdLevel(SimdLevel::kScalar));
+  const std::vector<Tensor> want = run();
+  for (SimdLevel level : VectorLevels()) {
+    ASSERT_TRUE(vec::SetSimdLevel(level));
+    const std::vector<Tensor> got = run();
+    ASSERT_EQ(want.size(), got.size());
+    for (size_t t = 0; t < want.size(); ++t) {
+      ASSERT_EQ(want[t].shape(), got[t].shape());
+      EXPECT_EQ(0, std::memcmp(want[t].data(), got[t].data(),
+                               sizeof(float) * want[t].numel()))
+          << "timesnet tensor " << t << ": scalar vs "
+          << vec::SimdLevelName(level);
+    }
+  }
 }
 
 TEST_F(SimdTest, RidgeLeastSquaresIdenticalAcrossLevels) {

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "tensor/alloc_stats.h"
 #include "tensor/kernels.h"
@@ -549,6 +550,125 @@ TEST(ConvTest, DilatedTapsSkipPositions) {
   EXPECT_EQ(y.shape(), (Shape{1, 1, 3}));
   EXPECT_EQ(y.at({0, 0, 0}), 1.0f + 3.0f);
   EXPECT_EQ(y.at({0, 0, 2}), 3.0f + 5.0f);
+}
+
+TEST(ConvTest, StrideStepsWindows) {
+  // Pre-fix Conv1d had no stride parameter at all: out_len must follow
+  // (padded_len - span) / stride + 1 and windows must start stride apart.
+  Tensor x = Tensor::FromVector({1, 2, 3, 4, 5, 6, 7}, {1, 1, 7});
+  Tensor w = Tensor::Ones({1, 1, 2});
+  Tensor y = Conv1d(x, w, Tensor(), 0, PadMode::kZeros, /*dilation=*/1,
+                    /*stride=*/2);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 3}));
+  EXPECT_EQ(y.at({0, 0, 0}), 1.0f + 2.0f);
+  EXPECT_EQ(y.at({0, 0, 1}), 3.0f + 4.0f);
+  EXPECT_EQ(y.at({0, 0, 2}), 5.0f + 6.0f);
+}
+
+TEST(ConvTest, StrideComposesWithPaddingAndDilation) {
+  // span = (2-1)*2 + 1 = 3; padded_len = 6 + 2 = 8; out = (8-3)/3 + 1 = 2.
+  Tensor x = Tensor::FromVector({1, 2, 3, 4, 5, 6}, {1, 1, 6});
+  Tensor w = Tensor::Ones({1, 1, 2});
+  Tensor y = Conv1d(x, w, Tensor(), 1, PadMode::kZeros, /*dilation=*/2,
+                    /*stride=*/3);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 2}));
+  EXPECT_EQ(y.at({0, 0, 0}), 0.0f + 2.0f);  // taps at padded 0 and 2
+  EXPECT_EQ(y.at({0, 0, 1}), 3.0f + 5.0f);  // taps at padded 3 and 5
+}
+
+TEST(ConvTest, StrideOneBitwiseMatchesDefault) {
+  Rng rng(97);
+  Tensor x = Tensor::Randn({2, 3, 16}, &rng);
+  Tensor w = Tensor::Randn({4, 3, 3}, &rng);
+  Tensor b = Tensor::Randn({4}, &rng);
+  Tensor def = Conv1d(x, w, b, 1, PadMode::kReplicate, /*dilation=*/2);
+  Tensor strided = Conv1d(x, w, b, 1, PadMode::kReplicate, /*dilation=*/2,
+                          /*stride=*/1);
+  ASSERT_EQ(def.shape(), strided.shape());
+  EXPECT_EQ(0, std::memcmp(def.data(), strided.data(),
+                           sizeof(float) * def.numel()));
+}
+
+TEST(ConvTest, CircularPadWiderThanInputFoldsTiles) {
+  // padding > length used to CHECK-abort; the periodic extension makes any
+  // width legal: with kernel = ones(7) over a length-3 circular series,
+  // every output sums 7 consecutive periodic values.
+  Tensor x = Tensor::FromVector({1, 2, 3}, {1, 1, 3});
+  Tensor w = Tensor::Ones({1, 1, 7});
+  Tensor y = Conv1d(x, w, Tensor(), 5, PadMode::kCircular);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 7}));
+  // Padded sequence: [2 3 1 2 3 | 1 2 3 | 1 2 3 1 2]; a 7-wide window sums
+  // two full periods (12) plus its first value, so sums cycle 14, 15, 13.
+  EXPECT_EQ(y.at({0, 0, 0}), 14.0f);
+  EXPECT_EQ(y.at({0, 0, 1}), 15.0f);
+  EXPECT_EQ(y.at({0, 0, 2}), 13.0f);
+  EXPECT_EQ(y.at({0, 0, 3}), 14.0f);
+}
+
+// -- Conv2d ----------------------------------------------------------------------
+
+// Naive 2-D convolution oracle over [B, Cin, H, W].
+Tensor NaiveConv2d(const Tensor& x, const Tensor& w, const Tensor& b,
+                   int64_t ph, int64_t pw) {
+  const int64_t batch = x.size(0), cin = x.size(1), h = x.size(2),
+                width = x.size(3);
+  const int64_t cout = w.size(0), kh = w.size(2), kw = w.size(3);
+  const int64_t oh = h + 2 * ph - kh + 1, ow = width + 2 * pw - kw + 1;
+  std::vector<float> out(batch * cout * oh * ow, 0.0f);
+  for (int64_t n = 0; n < batch; ++n) {
+    for (int64_t co = 0; co < cout; ++co) {
+      for (int64_t i = 0; i < oh; ++i) {
+        for (int64_t j = 0; j < ow; ++j) {
+          double acc = b.defined() ? b.at({co}) : 0.0;
+          for (int64_t ci = 0; ci < cin; ++ci) {
+            for (int64_t u = 0; u < kh; ++u) {
+              for (int64_t v = 0; v < kw; ++v) {
+                const int64_t r = i + u - ph, c = j + v - pw;
+                if (r < 0 || r >= h || c < 0 || c >= width) continue;
+                acc += static_cast<double>(x.at({n, ci, r, c})) *
+                       w.at({co, ci, u, v});
+              }
+            }
+          }
+          out[((n * cout + co) * oh + i) * ow + j] = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return Tensor::FromVector(std::move(out), {batch, cout, oh, ow});
+}
+
+TEST(Conv2dTest, MatchesNaiveOracle) {
+  Rng rng(123);
+  Tensor x = Tensor::Randn({2, 3, 5, 4}, &rng);
+  Tensor w = Tensor::Randn({4, 3, 3, 3}, &rng);
+  Tensor b = Tensor::Randn({4}, &rng);
+  for (int64_t pad : {0, 1}) {
+    Tensor got = Conv2d(x, w, b, pad, pad);
+    Tensor want = NaiveConv2d(x, w, b, pad, pad);
+    ASSERT_EQ(got.shape(), want.shape()) << "pad " << pad;
+    for (int64_t i = 0; i < got.numel(); ++i) {
+      EXPECT_NEAR(got.data()[i], want.data()[i], 1e-4) << "pad " << pad;
+    }
+  }
+}
+
+TEST(Conv2dTest, IdentityKernelReproducesInput) {
+  Tensor x = Tensor::FromVector({1, 2, 3, 4, 5, 6}, {1, 1, 2, 3});
+  std::vector<float> kernel(9, 0.0f);
+  kernel[4] = 1.0f;  // centre of a 3x3 kernel
+  Tensor w = Tensor::FromVector(std::move(kernel), {1, 1, 3, 3});
+  Tensor y = Conv2d(x, w, Tensor(), 1, 1);
+  EXPECT_EQ(y.shape(), x.shape());
+  EXPECT_EQ(0,
+            std::memcmp(y.data(), x.data(), sizeof(float) * x.numel()));
+}
+
+TEST(Conv2dTest, AsymmetricPaddingShapes) {
+  Tensor x = Tensor::Zeros({1, 2, 4, 6});
+  Tensor w = Tensor::Zeros({3, 2, 3, 1});
+  Tensor y = Conv2d(x, w, Tensor(), 1, 0);
+  EXPECT_EQ(y.shape(), (Shape{1, 3, 4, 6}));
 }
 
 TEST(CumsumTest, LastDim) {
